@@ -1,0 +1,46 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper and prints
+the corresponding rows/series.  Budgets are controlled by environment
+variables so the same harness can run a quick laptop pass or a long
+faithful pass:
+
+* ``REPRO_BENCH_SCALE`` — search-budget scale relative to the library
+  defaults (default ``0.08``; the paper's budgets correspond to ~1000).
+* ``REPRO_BENCH_SEED`` — RNG seed shared by all benchmarks (default 1).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
+SWEEP_TARGETS = (0.45, 0.60, 0.75)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    """Search-budget scale used by all figure benchmarks."""
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    """Seed used by all figure benchmarks."""
+    return BENCH_SEED
+
+
+@pytest.fixture(scope="session")
+def sweep_targets() -> tuple[float, ...]:
+    """Utilization sweep used by the ratio-vs-load figures."""
+    return SWEEP_TARGETS
+
+
+def emit(result) -> None:
+    """Print a figure result's series below the benchmark output."""
+    print()
+    print(result.format())
+    print()

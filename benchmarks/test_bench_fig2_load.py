@@ -1,0 +1,25 @@
+"""Figure 2(a-c): R_H and R_L vs average link utilization, load-based cost.
+
+Paper shape: R_H stays ~1 on all topologies while R_L rises well above 1
+with a peak at moderate load (up to ~60x random, ~40x power-law, ~10x ISP).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.eval.figures import fig2
+
+
+@pytest.mark.parametrize("topology", ["random", "powerlaw", "isp"])
+def test_fig2_load(benchmark, topology, bench_scale, bench_seed, sweep_targets):
+    result = benchmark.pedantic(
+        fig2,
+        args=(topology, "load"),
+        kwargs={"targets": sweep_targets, "scale": bench_scale, "seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    for point in result.series.points:
+        assert point.ratio_high >= 1.0 - 1e-9
+        assert point.ratio_low >= 1.0 - 1e-9

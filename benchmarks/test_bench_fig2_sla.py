@@ -1,0 +1,25 @@
+"""Figure 2(d-f): R_H and R_L vs average link utilization, SLA-based cost.
+
+Paper shape: the H-cost ratio stays ~1 (both schemes meet the same SLAs)
+while the L-cost ratio rises to ~25x (random), ~30x (power-law), ~12x (ISP)
+at moderate load.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.eval.figures import fig2
+
+
+@pytest.mark.parametrize("topology", ["random", "powerlaw", "isp"])
+def test_fig2_sla(benchmark, topology, bench_scale, bench_seed, sweep_targets):
+    result = benchmark.pedantic(
+        fig2,
+        args=(topology, "sla"),
+        kwargs={"targets": sweep_targets, "scale": bench_scale, "seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    for point in result.series.points:
+        assert point.ratio_low >= 1.0 - 1e-9

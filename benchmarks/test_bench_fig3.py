@@ -1,0 +1,33 @@
+"""Figure 3: link-utilization histograms, STR vs DTR (30-node random topology).
+
+Paper shape: DTR yields significantly fewer overloaded (utilization > 1)
+links than STR; with k = 30 % under the SLA cost the STR tail spreads
+further right.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.eval.figures import fig3
+
+
+@pytest.mark.parametrize("panel", ["a", "b", "c"])
+def test_fig3(benchmark, panel, bench_scale, bench_seed):
+    result = benchmark.pedantic(
+        fig3,
+        args=(panel,),
+        kwargs={"scale": bench_scale, "seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    overload_bins = result.bin_edges[:-1] >= 1.0
+    str_overloaded = int(result.str_counts[overload_bins].sum())
+    dtr_overloaded = int(result.dtr_counts[overload_bins].sum())
+    print(f"overloaded links: STR={str_overloaded} DTR={dtr_overloaded}")
+    total_links = int(result.str_counts.sum())
+    slack = 0 if bench_scale >= 0.5 else max(3, total_links // 20)
+    assert dtr_overloaded <= str_overloaded + slack
+    assert result.dtr_counts.sum() == total_links
+    assert np.all(result.str_counts >= 0)

@@ -1,0 +1,24 @@
+"""Figure 4: impact of the high-priority volume fraction f on R_L.
+
+Paper shape: with the load-based cost on the random topology, R_L is
+larger for f = 40 % than for f = 20 % across the load sweep.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.eval.figures import fig4
+
+
+def test_fig4(benchmark, bench_scale, bench_seed, sweep_targets):
+    result = benchmark.pedantic(
+        fig4,
+        kwargs={"targets": sweep_targets, "scale": bench_scale, "seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    low_f = np.mean([p.ratio_low for p in result.series[0].points])
+    high_f = np.mean([p.ratio_low for p in result.series[1].points])
+    print(f"mean R_L: f=20% -> {low_f:.2f}, f=40% -> {high_f:.2f}")
+    assert all(p.ratio_low >= 1.0 - 1e-9 for s in result.series for p in s.points)

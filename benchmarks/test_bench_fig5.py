@@ -1,0 +1,29 @@
+"""Figure 5: impact of the high-priority SD-pair density k on R_L.
+
+Paper shape: increasing k from 10 % to 30 % *decreases* R_L under the
+load-based cost (high-priority load spreads over more links) but
+*increases* it under the SLA-based cost (low-priority traffic is dragged
+onto short-delay links).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.eval.figures import fig5
+
+
+@pytest.mark.parametrize("mode", ["load", "sla"])
+def test_fig5(benchmark, mode, bench_scale, bench_seed, sweep_targets):
+    result = benchmark.pedantic(
+        fig5,
+        args=(mode,),
+        kwargs={"targets": sweep_targets, "scale": bench_scale, "seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    k10 = np.mean([p.ratio_low for p in result.series[0].points])
+    k30 = np.mean([p.ratio_low for p in result.series[1].points])
+    print(f"[{mode}] mean R_L: k=10% -> {k10:.2f}, k=30% -> {k30:.2f}")
+    assert all(p.ratio_low >= 1.0 - 1e-9 for s in result.series for p in s.points)

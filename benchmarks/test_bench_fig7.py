@@ -1,0 +1,25 @@
+"""Figure 7: link load as a function of propagation delay (SLA cost).
+
+Paper shape: under STR, links with low propagation delay attract higher
+load (the SLA objective concentrates high-priority flows on short links
+and STR drags low-priority traffic with them); DTR decouples the two, so
+its delay-load correlation is weaker (less negative).
+"""
+
+from benchmarks.conftest import emit
+from repro.eval.figures import fig7
+
+
+def test_fig7(benchmark, bench_scale, bench_seed):
+    result = benchmark.pedantic(
+        fig7,
+        kwargs={"scale": bench_scale, "seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    str_corr = result.correlation("str")
+    dtr_corr = result.correlation("dtr")
+    print(f"corr(delay, util): STR={str_corr:+.3f} DTR={dtr_corr:+.3f}")
+    assert -1.0 <= str_corr <= 1.0
+    assert -1.0 <= dtr_corr <= 1.0

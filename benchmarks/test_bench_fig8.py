@@ -1,0 +1,28 @@
+"""Figure 8: sink communication pattern, Uniform vs Local client placement.
+
+Paper shape: on the power-law topology with f = 20 %, DTR's advantage is
+pronounced when clients are spread uniformly but nearly vanishes
+(R_L ~ 1) when clients sit next to the sinks.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.eval.figures import fig8
+
+
+@pytest.mark.parametrize("mode", ["load", "sla"])
+def test_fig8(benchmark, mode, bench_scale, bench_seed, sweep_targets):
+    result = benchmark.pedantic(
+        fig8,
+        args=(mode,),
+        kwargs={"targets": sweep_targets, "scale": bench_scale, "seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    uniform = np.mean([p.ratio_low for p in result.series[0].points])
+    local = np.mean([p.ratio_low for p in result.series[1].points])
+    print(f"[{mode}] mean R_L: Uniform -> {uniform:.2f}, Local -> {local:.2f}")
+    assert all(p.ratio_low >= 1.0 - 1e-9 for s in result.series for p in s.points)

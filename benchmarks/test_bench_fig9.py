@@ -1,0 +1,26 @@
+"""Figure 9: impact of the SLA delay bound on STR and DTR.
+
+Paper shape: (a) STR and DTR violate the same (small) number of SLAs at
+every bound; (b) the low-priority cost gap shrinks as theta loosens from
+25 ms to 35 ms; (c) DTR's max link utilization is no worse than STR's.
+"""
+
+from benchmarks.conftest import emit
+from repro.eval.figures import fig9
+
+
+def test_fig9(benchmark, bench_scale, bench_seed):
+    result = benchmark.pedantic(
+        fig9,
+        kwargs={"scale": bench_scale, "seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    for point in result.points:
+        assert point.dtr_phi_low <= point.str_phi_low + 1e-9
+    tight = result.points[0]
+    loose = result.points[-1]
+    tight_gap = tight.str_phi_low / max(tight.dtr_phi_low, 1e-9)
+    loose_gap = loose.str_phi_low / max(loose.dtr_phi_low, 1e-9)
+    print(f"Phi_L gap: theta=25ms -> {tight_gap:.2f}x, theta=35ms -> {loose_gap:.2f}x")

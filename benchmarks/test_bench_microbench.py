@@ -1,0 +1,89 @@
+"""Microbenchmarks of the routing and costing primitives.
+
+These measure the per-evaluation building blocks that dominate the weight
+search: Dijkstra over all destinations, ECMP load accumulation, and a full
+dual-topology evaluation (the search does thousands of these).
+"""
+
+import random
+
+import numpy as np
+
+from repro.core.evaluator import DualTopologyEvaluator
+from repro.costs.fortz import fortz_cost_vector
+from repro.eval.experiment import ExperimentConfig, build_network, build_traffic
+from repro.routing.state import Routing
+from repro.routing.weights import random_weights
+from benchmarks.conftest import BENCH_SEED
+
+
+def _setup(topology="random"):
+    config = ExperimentConfig(topology=topology, seed=BENCH_SEED)
+    net = build_network(topology, BENCH_SEED)
+    high, low, _ = build_traffic(net, config, random.Random(BENCH_SEED))
+    return net, high, low
+
+
+def test_routing_construction(benchmark):
+    net, _, _ = _setup()
+    weights = random_weights(net.num_links, random.Random(1))
+    routing = benchmark(lambda: Routing(net, weights))
+    assert routing.network is net
+
+
+def test_link_loads(benchmark):
+    net, high, low = _setup()
+    routing = Routing(net, random_weights(net.num_links, random.Random(2)))
+    total = high + low
+    loads = benchmark(lambda: routing.link_loads(total))
+    assert loads.shape == (net.num_links,)
+
+
+def test_pair_fractions(benchmark):
+    net, _, _ = _setup()
+    routing = Routing(net, random_weights(net.num_links, random.Random(3)))
+    fractions = benchmark(lambda: routing.pair_link_fractions(0, net.num_nodes - 1))
+    assert fractions.sum() >= 1.0
+
+
+def test_fortz_vector(benchmark):
+    net, _, _ = _setup()
+    loads = np.linspace(0, 600, net.num_links)
+    caps = net.capacities()
+    costs = benchmark(lambda: fortz_cost_vector(loads, caps))
+    assert costs.shape == (net.num_links,)
+
+
+def test_full_evaluation_load_mode(benchmark):
+    net, high, low = _setup()
+    evaluator = DualTopologyEvaluator(net, high, low, mode="load", cache_size=1)
+    rng = random.Random(4)
+
+    def evaluate_fresh():
+        w = random_weights(net.num_links, rng)
+        return evaluator.evaluate(w, w)
+
+    result = benchmark(evaluate_fresh)
+    assert result.phi_high >= 0
+
+
+def test_full_evaluation_sla_mode(benchmark):
+    net, high, low = _setup()
+    evaluator = DualTopologyEvaluator(net, high, low, mode="sla", cache_size=1)
+    rng = random.Random(5)
+
+    def evaluate_fresh():
+        w = random_weights(net.num_links, rng)
+        return evaluator.evaluate(w, w)
+
+    result = benchmark(evaluate_fresh)
+    assert result.phi_low >= 0
+
+
+def test_cached_evaluation(benchmark):
+    net, high, low = _setup()
+    evaluator = DualTopologyEvaluator(net, high, low, mode="load")
+    w = random_weights(net.num_links, random.Random(6))
+    evaluator.evaluate(w, w)
+    result = benchmark(lambda: evaluator.evaluate(w, w))
+    assert result.phi_high >= 0

@@ -1,0 +1,24 @@
+"""Table 1: low-priority performance of epsilon-relaxed STR vs DTR.
+
+Paper shape: for every topology and load level,
+``R_L,30% <= R_L,5% <= R_L`` (relaxation helps STR) while a large gap to
+DTR remains even at epsilon = 30 %.
+"""
+
+from benchmarks.conftest import emit
+from repro.eval.figures import table1
+
+
+def test_table1(benchmark, bench_scale, bench_seed, sweep_targets):
+    result = benchmark.pedantic(
+        table1,
+        kwargs={"targets": sweep_targets, "scale": bench_scale, "seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    for topology, rows in result.rows_by_topology.items():
+        for row in rows:
+            assert row.ratio_low_30pct <= row.ratio_low_5pct + 1e-9
+            assert row.ratio_low_5pct <= row.ratio_low + 1e-9
+            assert row.ratio_low >= 1.0 - 1e-9

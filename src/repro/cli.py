@@ -1,0 +1,137 @@
+"""Command-line interface: ``repro-dtr``.
+
+Subcommands::
+
+    repro-dtr topology  --family isp --out isp.json
+    repro-dtr figure    --id fig2a --scale 0.2 --seed 1 [--json out.json]
+    repro-dtr compare   --topology random --mode load --utilization 0.6
+
+``figure`` accepts: fig2a..fig2f, fig3a..fig3c, fig4, fig5a, fig5b, fig6,
+fig7, fig8a, fig8b, fig9, table1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.evaluator import LOAD_MODE, SLA_MODE
+from repro.eval import figures
+from repro.eval.experiment import ExperimentConfig, run_comparison, scaled_config
+from repro.eval.results import save_result
+from repro.network.io import save_network
+from repro.network.topology_isp import isp_topology
+from repro.network.topology_powerlaw import powerlaw_topology
+from repro.network.topology_random import random_topology
+
+_FIGURE_RUNNERS = {
+    "fig2a": lambda scale, seed: figures.fig2("random", LOAD_MODE, scale=scale, seed=seed),
+    "fig2b": lambda scale, seed: figures.fig2("powerlaw", LOAD_MODE, scale=scale, seed=seed),
+    "fig2c": lambda scale, seed: figures.fig2("isp", LOAD_MODE, scale=scale, seed=seed),
+    "fig2d": lambda scale, seed: figures.fig2("random", SLA_MODE, scale=scale, seed=seed),
+    "fig2e": lambda scale, seed: figures.fig2("powerlaw", SLA_MODE, scale=scale, seed=seed),
+    "fig2f": lambda scale, seed: figures.fig2("isp", SLA_MODE, scale=scale, seed=seed),
+    "fig3a": lambda scale, seed: figures.fig3("a", scale=scale, seed=seed),
+    "fig3b": lambda scale, seed: figures.fig3("b", scale=scale, seed=seed),
+    "fig3c": lambda scale, seed: figures.fig3("c", scale=scale, seed=seed),
+    "fig4": lambda scale, seed: figures.fig4(scale=scale, seed=seed),
+    "fig5a": lambda scale, seed: figures.fig5(LOAD_MODE, scale=scale, seed=seed),
+    "fig5b": lambda scale, seed: figures.fig5(SLA_MODE, scale=scale, seed=seed),
+    "fig6": lambda scale, seed: figures.fig6(scale=scale, seed=seed),
+    "fig7": lambda scale, seed: figures.fig7(scale=scale, seed=seed),
+    "fig8a": lambda scale, seed: figures.fig8(LOAD_MODE, scale=scale, seed=seed),
+    "fig8b": lambda scale, seed: figures.fig8(SLA_MODE, scale=scale, seed=seed),
+    "fig9": lambda scale, seed: figures.fig9(scale=scale, seed=seed),
+    "table1": lambda scale, seed: figures.table1(scale=scale, seed=seed),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-dtr",
+        description="Dual Topology Routing reproduction (Kwong et al., CoNEXT 2007)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    topo = sub.add_parser("topology", help="generate a topology and save it as JSON")
+    topo.add_argument("--family", choices=["random", "powerlaw", "isp"], default="isp")
+    topo.add_argument("--seed", type=int, default=1)
+    topo.add_argument("--out", required=True, help="output JSON path")
+
+    fig = sub.add_parser("figure", help="reproduce a figure or table from the paper")
+    fig.add_argument("--id", dest="figure_id", choices=sorted(_FIGURE_RUNNERS), required=True)
+    fig.add_argument("--scale", type=float, default=1.0, help="search budget scale")
+    fig.add_argument("--seed", type=int, default=1)
+    fig.add_argument("--json", dest="json_out", default=None, help="also save JSON here")
+
+    cmp_ = sub.add_parser("compare", help="run one STR vs DTR comparison")
+    cmp_.add_argument("--topology", choices=["random", "powerlaw", "isp"], default="random")
+    cmp_.add_argument("--mode", choices=[LOAD_MODE, SLA_MODE], default=LOAD_MODE)
+    cmp_.add_argument("--utilization", type=float, default=0.6)
+    cmp_.add_argument("--fraction", type=float, default=0.30, help="high-priority volume fraction f")
+    cmp_.add_argument("--density", type=float, default=0.10, help="high-priority SD-pair density k")
+    cmp_.add_argument("--scale", type=float, default=1.0)
+    cmp_.add_argument("--seed", type=int, default=1)
+    return parser
+
+
+def _run_topology(args: argparse.Namespace) -> int:
+    import random as random_module
+
+    rng = random_module.Random(args.seed)
+    if args.family == "random":
+        net = random_topology(rng=rng)
+    elif args.family == "powerlaw":
+        net = powerlaw_topology(rng=rng)
+    else:
+        net = isp_topology()
+    save_network(net, args.out)
+    print(f"wrote {net!r} to {args.out}")
+    return 0
+
+
+def _run_figure(args: argparse.Namespace) -> int:
+    result = _FIGURE_RUNNERS[args.figure_id](args.scale, args.seed)
+    print(result.format())
+    if args.json_out:
+        save_result(result, args.json_out)
+        print(f"saved JSON to {args.json_out}")
+    return 0
+
+
+def _run_compare(args: argparse.Namespace) -> int:
+    config = scaled_config(
+        ExperimentConfig(
+            topology=args.topology,
+            mode=args.mode,
+            target_utilization=args.utilization,
+            high_fraction=args.fraction,
+            high_density=args.density,
+            seed=args.seed,
+        ),
+        args.scale,
+    )
+    result = run_comparison(config)
+    print(f"topology={args.topology} mode={args.mode} AD={result.average_utilization:.3f}")
+    print(f"STR objective: {result.str_evaluation.objective}")
+    print(f"DTR objective: {result.dtr_evaluation.objective}")
+    print(f"R_H={result.ratio_high:.3f}  R_L={result.ratio_low:.3f}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    if args.command == "topology":
+        return _run_topology(args)
+    if args.command == "figure":
+        return _run_figure(args)
+    if args.command == "compare":
+        return _run_compare(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

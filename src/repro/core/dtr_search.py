@@ -1,0 +1,230 @@
+"""DTR link-weight search: the paper's Algorithm 1 with FindH/FindL (Algorithm 2).
+
+Routine 1 optimizes the high-priority weights ``W_H`` under the full
+lexicographic objective with the low-priority weights held fixed.
+Routine 2 freezes the best ``W_H`` and optimizes ``W_L`` by the
+low-priority cost alone (``W_L`` cannot affect the high-priority class).
+Routine 3 refines both vectors together in a small neighborhood of the
+incumbent, alternating FindH and FindL steps.  Each routine diversifies by
+randomly perturbing a fraction of weights after ``M`` stale iterations.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.evaluator import DualTopologyEvaluator, Evaluation
+from repro.core.lexicographic import LexCost
+from repro.core.neighborhood import NeighborhoodSampler
+from repro.core.perturbation import perturb_weights
+from repro.core.search_params import SearchParams
+from repro.routing.weights import random_weights
+
+PHASE_HIGH = "high"
+PHASE_LOW = "low"
+PHASE_REFINE = "refine"
+
+
+@dataclass
+class DtrResult:
+    """Outcome of a DTR search.
+
+    Attributes:
+        high_weights: Best high-priority weight vector ``W_H*``.
+        low_weights: Best low-priority weight vector ``W_L*``.
+        objective: Lexicographic cost of the best setting.
+        evaluation: Full evaluation of the best setting.
+        history: ``(phase, iteration, objective)`` at each improvement.
+        evaluations: Weight settings evaluated during the search.
+    """
+
+    high_weights: np.ndarray
+    low_weights: np.ndarray
+    objective: LexCost
+    evaluation: Evaluation
+    history: list[tuple[str, int, LexCost]] = field(default_factory=list)
+    evaluations: int = 0
+
+
+class _DtrSearch:
+    """One run of Algorithm 1."""
+
+    def __init__(
+        self,
+        evaluator: DualTopologyEvaluator,
+        params: SearchParams,
+        rng: random.Random,
+        initial_high: np.ndarray,
+        initial_low: np.ndarray,
+    ) -> None:
+        self.evaluator = evaluator
+        self.params = params
+        self.rng = rng
+        self.sampler = NeighborhoodSampler(params, rng)
+        self.wh = initial_high.copy()
+        self.wl = initial_low.copy()
+        self.best_wh = initial_high.copy()
+        self.best_wl = initial_low.copy()
+        self.best_objective = evaluator.evaluate(self.wh, self.wl).objective
+        self.history: list[tuple[str, int, LexCost]] = [
+            (PHASE_HIGH, 0, self.best_objective)
+        ]
+
+    # -- Algorithm 2 -----------------------------------------------------
+    def find_step(self, which: str) -> None:
+        """One FindH (``which='high'``) or FindL (``which='low'``) move.
+
+        Replaces the current solution with the best neighbor if that
+        neighbor improves it; otherwise the current solution is kept.
+        """
+        evaluation = self.evaluator.evaluate(self.wh, self.wl)
+        if which == PHASE_HIGH:
+            keys = evaluation.high_link_sort_keys()
+            order = sorted(range(len(keys)), key=lambda i: keys[i], reverse=True)
+            current, metric = self.wh, evaluation.objective
+        else:
+            keys = evaluation.low_link_sort_keys()
+            order = list(np.argsort(-np.asarray(keys), kind="stable"))
+            current, metric = self.wl, evaluation.phi_low
+
+        best_neighbor = None
+        best_metric = metric
+        for neighbor in self.sampler.neighbors(current, order):
+            if which == PHASE_HIGH:
+                candidate = self.evaluator.evaluate(neighbor, self.wl)
+                candidate_metric = candidate.objective
+            else:
+                candidate = self.evaluator.evaluate(self.wh, neighbor)
+                candidate_metric = candidate.phi_low
+            if candidate_metric < best_metric:
+                best_metric = candidate_metric
+                best_neighbor = neighbor
+        if best_neighbor is not None:
+            if which == PHASE_HIGH:
+                self.wh = best_neighbor
+            else:
+                self.wl = best_neighbor
+
+    # -- Algorithm 1 routines ---------------------------------------------
+    def routine_high(self) -> None:
+        """Routine 1: optimize ``W_H`` with ``W_L`` fixed (lines 3-12)."""
+        stale = 0
+        for iteration in range(1, self.params.iterations_high + 1):
+            self.find_step(PHASE_HIGH)
+            objective = self.evaluator.evaluate(self.wh, self.wl).objective
+            if objective < self.best_objective:
+                self.best_objective = objective
+                self.best_wh = self.wh.copy()
+                self.best_wl = self.wl.copy()
+                self.history.append((PHASE_HIGH, iteration, objective))
+                stale = 0
+            else:
+                stale += 1
+            if stale >= self.params.diversification_interval:
+                self.wh = self._perturb(self.wh, self.params.perturb_high_fraction)
+                stale = 0
+
+    def routine_low(self) -> None:
+        """Routine 2: freeze ``W_H*``, optimize ``W_L`` by ``Phi_L`` (lines 13-24)."""
+        self.wh = self.best_wh.copy()
+        self.wl = self.best_wl.copy()
+        best_phi_low = self.evaluator.evaluate(self.wh, self.wl).phi_low
+        stale = 0
+        for iteration in range(1, self.params.iterations_low + 1):
+            self.find_step(PHASE_LOW)
+            evaluation = self.evaluator.evaluate(self.wh, self.wl)
+            if evaluation.phi_low < best_phi_low:
+                best_phi_low = evaluation.phi_low
+                self.best_wl = self.wl.copy()
+                self.best_objective = evaluation.objective
+                self.history.append((PHASE_LOW, iteration, evaluation.objective))
+                stale = 0
+            else:
+                stale += 1
+            if stale >= self.params.diversification_interval:
+                self.wl = self._perturb(self.wl, self.params.perturb_low_fraction)
+                stale = 0
+
+    def routine_refine(self) -> None:
+        """Routine 3: joint refinement around the incumbent (lines 25-38)."""
+        self.wh = self.best_wh.copy()
+        self.wl = self.best_wl.copy()
+        stale = 0
+        for iteration in range(1, self.params.iterations_refine + 1):
+            self.find_step(PHASE_HIGH)
+            self.find_step(PHASE_LOW)
+            objective = self.evaluator.evaluate(self.wh, self.wl).objective
+            if objective < self.best_objective:
+                self.best_objective = objective
+                self.best_wh = self.wh.copy()
+                self.best_wl = self.wl.copy()
+                self.history.append((PHASE_REFINE, iteration, objective))
+                stale = 0
+            else:
+                stale += 1
+            if stale >= self.params.diversification_interval:
+                self.wh = self._perturb(self.best_wh, self.params.perturb_refine_fraction)
+                self.wl = self._perturb(self.best_wl, self.params.perturb_refine_fraction)
+                stale = 0
+
+    def _perturb(self, weights: np.ndarray, fraction: float) -> np.ndarray:
+        return perturb_weights(
+            weights, fraction, self.rng, self.params.min_weight, self.params.max_weight
+        )
+
+
+def optimize_dtr(
+    evaluator: DualTopologyEvaluator,
+    params: Optional[SearchParams] = None,
+    rng: Optional[random.Random] = None,
+    initial_high: Optional[Sequence[int]] = None,
+    initial_low: Optional[Sequence[int]] = None,
+) -> DtrResult:
+    """Search for a dual weight setting minimizing the lexicographic objective.
+
+    Args:
+        evaluator: Cost evaluator (load or SLA mode).
+        params: Search budgets; library defaults if omitted.
+        rng: Source of randomness; a fresh unseeded one is created if omitted.
+        initial_high: Starting high-priority weights; random if omitted.
+            Seeding both vectors with an STR solution guarantees DTR never
+            ends lexicographically worse than that solution.
+        initial_low: Starting low-priority weights; defaults to
+            ``initial_high`` when that is given, otherwise random.
+
+    Returns:
+        A :class:`DtrResult`.
+    """
+    params = params or SearchParams()
+    rng = rng or random.Random()
+    num_links = evaluator.network.num_links
+
+    if initial_high is None:
+        wh0 = random_weights(num_links, rng, params.min_weight, params.max_weight)
+    else:
+        wh0 = np.array(initial_high, dtype=np.int64)
+    if initial_low is None:
+        wl0 = wh0.copy() if initial_high is not None else random_weights(
+            num_links, rng, params.min_weight, params.max_weight
+        )
+    else:
+        wl0 = np.array(initial_low, dtype=np.int64)
+
+    start_evals = evaluator.evaluations
+    search = _DtrSearch(evaluator, params, rng, wh0, wl0)
+    search.routine_high()
+    search.routine_low()
+    search.routine_refine()
+
+    return DtrResult(
+        high_weights=search.best_wh,
+        low_weights=search.best_wl,
+        objective=search.best_objective,
+        evaluation=evaluator.evaluate(search.best_wh, search.best_wl),
+        history=search.history,
+        evaluations=evaluator.evaluations - start_evals,
+    )

@@ -1,0 +1,256 @@
+"""Cached evaluation of dual weight settings under either cost function.
+
+The search evaluates thousands of weight settings that differ from each
+other in only one topology (FindH perturbs only the high-priority weights,
+FindL only the low-priority weights).  The evaluator therefore caches two
+independent layers keyed by weight vector:
+
+* the *high layer* — high-priority routing, loads, residual capacities,
+  per-link high cost, and (in SLA mode) link delays and per-pair penalties;
+* the *low layer* — low-priority routing and loads.
+
+A full evaluation combines one entry of each layer with a cheap O(|E|)
+costing pass, so FindL iterations reuse the entire high layer and FindH
+iterations reuse the low-priority loads.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.costs.fortz import fortz_cost_vector
+from repro.costs.load_cost import LoadCostEvaluation
+from repro.costs.residual import residual_capacities
+from repro.costs.sla import SlaCostEvaluation, SlaParams, link_delays_ms
+from repro.network.graph import Network
+from repro.routing.state import Routing
+from repro.routing.weights import weights_key
+from repro.traffic.matrix import TrafficMatrix
+
+LOAD_MODE = "load"
+SLA_MODE = "sla"
+
+Evaluation = Union[LoadCostEvaluation, SlaCostEvaluation]
+
+
+@dataclass
+class _HighLayer:
+    routing: Routing
+    loads: np.ndarray
+    residual: np.ndarray
+    per_link_cost: np.ndarray
+    link_delays: Optional[np.ndarray] = None
+    pair_delays: Optional[dict[tuple[int, int], float]] = None
+    penalty: float = 0.0
+    violations: int = 0
+
+
+@dataclass
+class _LowLayer:
+    routing: Routing
+    loads: np.ndarray
+
+
+class _LruCache:
+    """A small bytes-keyed LRU cache."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self._capacity = capacity
+        self._store: OrderedDict[bytes, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: bytes):
+        entry = self._store.get(key)
+        if entry is not None:
+            self._store.move_to_end(key)
+            self.hits += 1
+        else:
+            self.misses += 1
+        return entry
+
+    def put(self, key: bytes, value: object) -> None:
+        self._store[key] = value
+        self._store.move_to_end(key)
+        while len(self._store) > self._capacity:
+            self._store.popitem(last=False)
+
+
+class DualTopologyEvaluator:
+    """Evaluates ``(W_H, W_L)`` under the load-based or SLA-based objective.
+
+    Args:
+        net: The network.
+        high_traffic: High-priority traffic matrix ``T_H``.
+        low_traffic: Low-priority traffic matrix ``T_L``.
+        mode: ``"load"`` for objective ``A`` (Eq. 2) or ``"sla"`` for
+            objective ``S`` (Eq. 5).
+        sla_params: SLA bound/penalty parameters (SLA mode only).
+        cache_size: Entries kept per cache layer.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        high_traffic: TrafficMatrix,
+        low_traffic: TrafficMatrix,
+        mode: str = LOAD_MODE,
+        sla_params: Optional[SlaParams] = None,
+        cache_size: int = 128,
+    ) -> None:
+        if mode not in (LOAD_MODE, SLA_MODE):
+            raise ValueError(f"mode must be '{LOAD_MODE}' or '{SLA_MODE}', got {mode!r}")
+        if high_traffic.num_nodes != net.num_nodes or low_traffic.num_nodes != net.num_nodes:
+            raise ValueError("traffic matrix size does not match the network")
+        self._net = net
+        self._high_traffic = high_traffic
+        self._low_traffic = low_traffic
+        self.mode = mode
+        self.sla_params = sla_params or SlaParams()
+        self._high_cache = _LruCache(cache_size)
+        self._low_cache = _LruCache(cache_size)
+        self._full_cache = _LruCache(cache_size * 2)
+        self.evaluations = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def network(self) -> Network:
+        """The network being evaluated."""
+        return self._net
+
+    @property
+    def high_traffic(self) -> TrafficMatrix:
+        """High-priority traffic matrix."""
+        return self._high_traffic
+
+    @property
+    def low_traffic(self) -> TrafficMatrix:
+        """Low-priority traffic matrix."""
+        return self._low_traffic
+
+    def evaluate(self, high_weights: np.ndarray, low_weights: np.ndarray) -> Evaluation:
+        """Full evaluation of a dual weight setting.
+
+        Returns a :class:`LoadCostEvaluation` in load mode or a
+        :class:`SlaCostEvaluation` in SLA mode; both expose ``.objective``
+        (the lexicographic cost) and the per-link sort keys the search
+        routines consume.
+        """
+        self.evaluations += 1
+        hk = weights_key(np.asarray(high_weights, dtype=np.int64))
+        lk = weights_key(np.asarray(low_weights, dtype=np.int64))
+        full_key = hk + b"|" + lk
+        cached = self._full_cache.get(full_key)
+        if cached is not None:
+            return cached
+
+        high = self._high_layer(hk, high_weights)
+        low = self._low_layer(lk, low_weights)
+        per_link_low = fortz_cost_vector(low.loads, high.residual)
+        utilization = (high.loads + low.loads) / self._net.capacities()
+
+        if self.mode == LOAD_MODE:
+            result: Evaluation = LoadCostEvaluation(
+                phi_high=float(high.per_link_cost.sum()),
+                phi_low=float(per_link_low.sum()),
+                per_link_high=high.per_link_cost,
+                per_link_low=per_link_low,
+                high_loads=high.loads,
+                low_loads=low.loads,
+                residual=high.residual,
+                utilization=utilization,
+            )
+        else:
+            result = SlaCostEvaluation(
+                penalty=high.penalty,
+                phi_low=float(per_link_low.sum()),
+                violations=high.violations,
+                pair_delays_ms=high.pair_delays,
+                link_delays=high.link_delays,
+                per_link_low=per_link_low,
+                high_loads=high.loads,
+                low_loads=low.loads,
+                residual=high.residual,
+                utilization=utilization,
+                params=self.sla_params,
+            )
+        self._full_cache.put(full_key, result)
+        return result
+
+    def evaluate_str(self, weights: np.ndarray) -> Evaluation:
+        """Evaluate single-topology routing: both classes on ``weights``."""
+        return self.evaluate(weights, weights)
+
+    def high_routing(self, high_weights: np.ndarray) -> Routing:
+        """The (cached) high-priority routing for ``high_weights``."""
+        hk = weights_key(np.asarray(high_weights, dtype=np.int64))
+        return self._high_layer(hk, high_weights).routing
+
+    def low_routing(self, low_weights: np.ndarray) -> Routing:
+        """The (cached) low-priority routing for ``low_weights``."""
+        lk = weights_key(np.asarray(low_weights, dtype=np.int64))
+        return self._low_layer(lk, low_weights).routing
+
+    def cache_stats(self) -> dict[str, int]:
+        """Hit/miss counters of the three cache layers."""
+        return {
+            "high_hits": self._high_cache.hits,
+            "high_misses": self._high_cache.misses,
+            "low_hits": self._low_cache.hits,
+            "low_misses": self._low_cache.misses,
+            "full_hits": self._full_cache.hits,
+            "full_misses": self._full_cache.misses,
+        }
+
+    # ------------------------------------------------------------------
+    # Layers
+    # ------------------------------------------------------------------
+    def _high_layer(self, key: bytes, weights: np.ndarray) -> _HighLayer:
+        layer = self._high_cache.get(key)
+        if layer is not None:
+            return layer
+        routing = Routing(self._net, weights)
+        loads = routing.link_loads(self._high_traffic)
+        capacities = self._net.capacities()
+        residual = residual_capacities(capacities, loads)
+        per_link_cost = fortz_cost_vector(loads, capacities)
+        layer = _HighLayer(
+            routing=routing, loads=loads, residual=residual, per_link_cost=per_link_cost
+        )
+        if self.mode == SLA_MODE:
+            delays = link_delays_ms(
+                self._net, loads, per_link_cost, self.sla_params.packet_size_bits
+            )
+            pair_delays: dict[tuple[int, int], float] = {}
+            penalty = 0.0
+            violations = 0
+            for s, t, _rate in self._high_traffic.pairs():
+                xi = float(routing.pair_link_fractions(s, t) @ delays)
+                pair_delays[(s, t)] = xi
+                pair_penalty = self.sla_params.pair_penalty(xi)
+                if pair_penalty > 0:
+                    violations += 1
+                    penalty += pair_penalty
+            layer.link_delays = delays
+            layer.pair_delays = pair_delays
+            layer.penalty = penalty
+            layer.violations = violations
+        self._high_cache.put(key, layer)
+        return layer
+
+    def _low_layer(self, key: bytes, weights: np.ndarray) -> _LowLayer:
+        layer = self._low_cache.get(key)
+        if layer is not None:
+            return layer
+        routing = Routing(self._net, weights)
+        layer = _LowLayer(routing=routing, loads=routing.link_loads(self._low_traffic))
+        self._low_cache.put(key, layer)
+        return layer

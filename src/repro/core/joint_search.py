@@ -1,0 +1,192 @@
+"""STR search under the joint scalar cost ``J = alpha * Phi_H + Phi_L``.
+
+Section 3.3.1 argues that collapsing the two class objectives into one
+weighted sum is fragile: too small an ``alpha`` produces priority
+inversions, too large an ``alpha`` adds nothing over the lexicographic
+formulation, and no single value works across configurations.  This
+module makes that argument quantitative at full network scale: it runs
+the same local search as :func:`repro.core.str_search.optimize_str` but
+driven by ``J``, and provides a sweep utility that measures, per alpha,
+the achieved class costs and whether a priority inversion occurred
+relative to the lexicographic solution.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.evaluator import LOAD_MODE, DualTopologyEvaluator
+from repro.core.lexicographic import LexCost
+from repro.core.neighborhood import NeighborhoodSampler
+from repro.core.perturbation import perturb_weights
+from repro.core.search_params import SearchParams
+from repro.costs.load_cost import LoadCostEvaluation
+from repro.routing.weights import random_weights
+
+
+@dataclass
+class JointResult:
+    """Outcome of a joint-cost STR search for one alpha.
+
+    Attributes:
+        alpha: The trade-off multiplier used.
+        weights: Best weight vector found.
+        joint_cost: Best ``J`` value.
+        phi_high: High-priority cost of the best weights.
+        phi_low: Low-priority cost of the best weights.
+        history: ``(iteration, J)`` at each improvement.
+    """
+
+    alpha: float
+    weights: np.ndarray
+    joint_cost: float
+    phi_high: float
+    phi_low: float
+    history: list[tuple[int, float]] = field(default_factory=list)
+
+    @property
+    def lexicographic(self) -> LexCost:
+        """The class costs viewed lexicographically."""
+        return LexCost(self.phi_high, self.phi_low)
+
+
+def optimize_joint(
+    evaluator: DualTopologyEvaluator,
+    alpha: float,
+    params: Optional[SearchParams] = None,
+    rng: Optional[random.Random] = None,
+    initial_weights: Optional[Sequence[int]] = None,
+) -> JointResult:
+    """Search a single weight vector minimizing ``J = alpha*Phi_H + Phi_L``.
+
+    Args:
+        evaluator: A *load-mode* evaluator (the joint cost is defined on
+            the load-based class costs).
+        alpha: Non-negative trade-off multiplier.
+        params: Search budgets; library defaults if omitted.
+        rng: Source of randomness; a fresh unseeded one is created if omitted.
+        initial_weights: Starting point; random weights if omitted.
+
+    Returns:
+        A :class:`JointResult`.
+
+    Raises:
+        ValueError: if the evaluator is not in load mode or alpha < 0.
+    """
+    if evaluator.mode != LOAD_MODE:
+        raise ValueError("joint-cost search requires a load-mode evaluator")
+    if alpha < 0:
+        raise ValueError(f"alpha must be non-negative, got {alpha}")
+    params = params or SearchParams()
+    rng = rng or random.Random()
+    num_links = evaluator.network.num_links
+
+    if initial_weights is None:
+        current = random_weights(num_links, rng, params.min_weight, params.max_weight)
+    else:
+        current = np.array(initial_weights, dtype=np.int64)
+
+    def joint(evaluation: LoadCostEvaluation) -> float:
+        return alpha * evaluation.phi_high + evaluation.phi_low
+
+    sampler = NeighborhoodSampler(params, rng)
+    evaluation = evaluator.evaluate_str(current)
+    best_weights = current.copy()
+    best_joint = joint(evaluation)
+    best_evaluation = evaluation
+    history = [(0, best_joint)]
+    stale = 0
+
+    for iteration in range(1, params.total_iterations() + 1):
+        per_link = alpha * evaluation.per_link_high + evaluation.per_link_low
+        order = list(np.argsort(-per_link, kind="stable"))
+        improved = False
+        for neighbor in sampler.single_change_neighbors(current, order):
+            candidate = evaluator.evaluate_str(neighbor)
+            if joint(candidate) < joint(evaluation):
+                current, evaluation = neighbor, candidate
+                improved = True
+        if improved and joint(evaluation) < best_joint:
+            best_joint = joint(evaluation)
+            best_weights = current.copy()
+            best_evaluation = evaluation
+            history.append((iteration, best_joint))
+            stale = 0
+        else:
+            stale += 1
+        if stale >= params.diversification_interval:
+            current = perturb_weights(
+                current,
+                params.perturb_high_fraction,
+                rng,
+                params.min_weight,
+                params.max_weight,
+            )
+            evaluation = evaluator.evaluate_str(current)
+            stale = 0
+
+    return JointResult(
+        alpha=alpha,
+        weights=best_weights,
+        joint_cost=best_joint,
+        phi_high=best_evaluation.phi_high,
+        phi_low=best_evaluation.phi_low,
+        history=history,
+    )
+
+
+@dataclass(frozen=True)
+class AlphaSweepPoint:
+    """One alpha of :func:`alpha_sweep`."""
+
+    alpha: float
+    phi_high: float
+    phi_low: float
+    priority_inversion: bool
+
+
+def alpha_sweep(
+    evaluator: DualTopologyEvaluator,
+    alphas: Iterable[float],
+    reference_phi_high: float,
+    params: Optional[SearchParams] = None,
+    seed: int = 1,
+    inversion_tolerance: float = 0.02,
+) -> list[AlphaSweepPoint]:
+    """Optimize ``J`` for each alpha and flag priority inversions.
+
+    A priority inversion is declared when the joint optimum's high-priority
+    cost exceeds the lexicographic reference ``reference_phi_high`` by more
+    than ``inversion_tolerance`` (relative), i.e. the joint cost traded away
+    high-priority performance that the lexicographic objective protects.
+
+    Args:
+        evaluator: Load-mode evaluator.
+        alphas: Alpha values to sweep.
+        reference_phi_high: ``Phi_H`` of the lexicographic STR solution.
+        params: Search budgets shared by all alphas.
+        seed: Base seed; alpha index ``i`` uses ``seed + i``.
+        inversion_tolerance: Relative slack before declaring inversion.
+
+    Returns:
+        One :class:`AlphaSweepPoint` per alpha, in input order.
+    """
+    points = []
+    for i, alpha in enumerate(alphas):
+        result = optimize_joint(
+            evaluator, float(alpha), params=params, rng=random.Random(seed + i)
+        )
+        inversion = result.phi_high > reference_phi_high * (1.0 + inversion_tolerance)
+        points.append(
+            AlphaSweepPoint(
+                alpha=float(alpha),
+                phi_high=result.phi_high,
+                phi_low=result.phi_low,
+                priority_inversion=inversion,
+            )
+        )
+    return points

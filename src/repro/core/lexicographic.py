@@ -1,0 +1,79 @@
+"""Lexicographically ordered cost tuples.
+
+The paper's objectives are lexicographic: ``A = <Phi_H, Phi_L>`` (Eq. 2)
+and ``S = <Lambda, Phi_L>`` (Eq. 5), where ``<x1, y1> > <x2, y2>`` iff
+``x1 > x2``, or ``x1 == x2`` and ``y1 > y2``.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import total_ordering
+from typing import Iterator
+
+
+@total_ordering
+class LexCost:
+    """An immutable, totally ordered tuple of cost components.
+
+    Comparison is exact lexicographic tuple comparison, which keeps the
+    order total and transitive (a float tolerance would break
+    transitivity).  Costs produced from identical weight vectors compare
+    equal bit-for-bit because the evaluation pipeline is deterministic.
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, *values: float) -> None:
+        if not values:
+            raise ValueError("LexCost needs at least one component")
+        self._values = tuple(float(v) for v in values)
+
+    @classmethod
+    def infinite(cls, arity: int = 2) -> "LexCost":
+        """A cost larger than any finite cost (search initialization)."""
+        return cls(*([math.inf] * arity))
+
+    @property
+    def values(self) -> tuple[float, ...]:
+        """The cost components, most significant first."""
+        return self._values
+
+    @property
+    def primary(self) -> float:
+        """The most significant component (``Phi_H`` or ``Lambda``)."""
+        return self._values[0]
+
+    @property
+    def secondary(self) -> float:
+        """The second component (``Phi_L``), or ``0.0`` for 1-tuples."""
+        return self._values[1] if len(self._values) > 1 else 0.0
+
+    def is_finite(self) -> bool:
+        """Whether every component is finite."""
+        return all(math.isfinite(v) for v in self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LexCost):
+            return NotImplemented
+        return self._values == other._values
+
+    def __lt__(self, other: "LexCost") -> bool:
+        if not isinstance(other, LexCost):
+            return NotImplemented
+        if len(self._values) != len(other._values):
+            raise ValueError("cannot compare LexCosts of different arity")
+        return self._values < other._values
+
+    def __hash__(self) -> int:
+        return hash(self._values)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{v:.6g}" for v in self._values)
+        return f"<{inner}>"

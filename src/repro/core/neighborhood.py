@@ -1,0 +1,105 @@
+"""Neighborhood construction of Algorithm 2 (FindH / FindL).
+
+Given the links sorted by decreasing cost, two candidate sets are formed:
+``A`` holds ``m`` consecutive links starting at a heavy-tailed random rank
+near the top (high cost — weight should *increase* to push traffic away),
+and ``B`` holds ``m`` consecutive links ending at a heavy-tailed random
+rank from the bottom (low cost — weight should *decrease* to attract
+traffic).  Each of the ``m`` neighbors pairs one link drawn from ``A``
+(without replacement) with one from ``B`` and moves both weights.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.rank_selection import draw_rank
+from repro.core.search_params import SearchParams
+
+
+@dataclass(frozen=True)
+class CandidateSets:
+    """The high-cost set ``A`` and low-cost set ``B`` of one neighborhood."""
+
+    high_cost_links: tuple[int, ...]
+    low_cost_links: tuple[int, ...]
+
+
+class NeighborhoodSampler:
+    """Samples Algorithm-2 neighborhoods for one weight vector at a time."""
+
+    def __init__(self, params: SearchParams, rng: random.Random) -> None:
+        self._params = params
+        self._rng = rng
+
+    def candidate_sets(self, order_desc: Sequence[int]) -> CandidateSets:
+        """Pick the sets ``A`` and ``B`` from a cost-descending link order.
+
+        Args:
+            order_desc: Link indices sorted by decreasing link cost
+                (``L_{Pi(1)} >= L_{Pi(2)} >= ...`` in the paper's notation).
+
+        Returns:
+            The two candidate sets, each of size ``min(m, n)``.
+        """
+        n = len(order_desc)
+        m = min(self._params.neighborhood_size, n)
+        max_rank = n - m + 1
+        k1 = draw_rank(max_rank, self._params.tau, self._rng)
+        k2 = draw_rank(max_rank, self._params.tau, self._rng)
+        high = tuple(order_desc[k1 - 1 : k1 - 1 + m])
+        low = tuple(order_desc[n - k2 - j] for j in range(m))
+        return CandidateSets(high_cost_links=high, low_cost_links=low)
+
+    def neighbors(
+        self, weights: np.ndarray, order_desc: Sequence[int]
+    ) -> list[np.ndarray]:
+        """Generate ``m`` neighbors of ``weights``.
+
+        Each neighbor increases the weight of one link drawn without
+        replacement from ``A`` and decreases the weight of one link drawn
+        without replacement from ``B``, clamped to the weight range.
+        """
+        sets = self.candidate_sets(order_desc)
+        ups = list(sets.high_cost_links)
+        downs = list(sets.low_cost_links)
+        self._rng.shuffle(ups)
+        self._rng.shuffle(downs)
+        params = self._params
+        out = []
+        for up_link, down_link in zip(ups, downs):
+            neighbor = np.array(weights, dtype=np.int64, copy=True)
+            step_up = self._rng.choice(params.weight_steps)
+            step_down = self._rng.choice(params.weight_steps)
+            neighbor[up_link] = min(params.max_weight, neighbor[up_link] + step_up)
+            neighbor[down_link] = max(params.min_weight, neighbor[down_link] - step_down)
+            out.append(neighbor)
+        return out
+
+    def single_change_neighbors(
+        self, weights: np.ndarray, order_desc: Sequence[int]
+    ) -> list[np.ndarray]:
+        """Neighbors differing from ``weights`` in a *single* link weight.
+
+        Used by the STR baseline ("single weight change" heuristic of
+        Fortz-Thorup): links from ``A`` get an increase, links from ``B``
+        a decrease, one change per neighbor.
+        """
+        sets = self.candidate_sets(order_desc)
+        params = self._params
+        out = []
+        for link, direction in [(l, +1) for l in sets.high_cost_links] + [
+            (l, -1) for l in sets.low_cost_links
+        ]:
+            neighbor = np.array(weights, dtype=np.int64, copy=True)
+            step = self._rng.choice(params.weight_steps) * direction
+            neighbor[link] = int(
+                np.clip(neighbor[link] + step, params.min_weight, params.max_weight)
+            )
+            if neighbor[link] != weights[link]:
+                out.append(neighbor)
+        return out

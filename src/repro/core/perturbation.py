@@ -1,0 +1,48 @@
+"""Diversification: random perturbation of a fraction of link weights.
+
+Algorithm 1 escapes local optima by randomly perturbing a small percentage
+of link weights (g1 = g2 = 5 % in the first two routines, g3 = 3 % in the
+refinement routine) whenever ``M`` iterations pass without improvement.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.routing.weights import MAX_WEIGHT, MIN_WEIGHT
+
+
+def perturb_weights(
+    weights: np.ndarray,
+    fraction: float,
+    rng: random.Random,
+    min_weight: int = MIN_WEIGHT,
+    max_weight: int = MAX_WEIGHT,
+) -> np.ndarray:
+    """Return a copy with ``fraction`` of the weights redrawn uniformly.
+
+    At least one weight is always redrawn, so diversification can never be
+    a no-op on tiny networks.
+
+    Args:
+        weights: Current integer weight vector.
+        fraction: Fraction of links to perturb, in (0, 1].
+        rng: Source of randomness.
+        min_weight: Lower bound of the redraw range.
+        max_weight: Upper bound of the redraw range.
+
+    Returns:
+        A new weight vector (the input is never modified).
+    """
+    if not 0 < fraction <= 1:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    if min_weight > max_weight:
+        raise ValueError(f"invalid weight range [{min_weight}, {max_weight}]")
+    count = max(1, round(fraction * len(weights)))
+    indices = rng.sample(range(len(weights)), count)
+    perturbed = np.array(weights, dtype=np.int64, copy=True)
+    for idx in indices:
+        perturbed[idx] = rng.randint(min_weight, max_weight)
+    return perturbed

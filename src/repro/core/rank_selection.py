@@ -1,0 +1,47 @@
+"""Heavy-tailed rank selection ``P(k) proportional to k^-tau`` (paper Algorithm 2).
+
+The FindH/FindL neighborhood picks where in the cost-sorted link list to
+take its candidate sets from, drawing a rank from a truncated power law
+[20].  With ``tau -> 0`` links are selected independently of cost; with
+``tau -> inf`` only the extreme-cost links are considered.  The paper uses
+``tau = 1.5``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from functools import lru_cache
+
+import numpy as np
+
+
+@lru_cache(maxsize=256)
+def _rank_cdf(max_rank: int, tau: float) -> tuple[float, ...]:
+    ranks = np.arange(1, max_rank + 1, dtype=float)
+    weights = ranks ** (-tau)
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    return tuple(cdf.tolist())
+
+
+def rank_probabilities(max_rank: int, tau: float) -> np.ndarray:
+    """Probability of each rank ``1 .. max_rank`` under ``P(k) ~ k^-tau``."""
+    if max_rank < 1:
+        raise ValueError(f"max_rank must be >= 1, got {max_rank}")
+    if tau < 0:
+        raise ValueError(f"tau must be non-negative, got {tau}")
+    cdf = np.asarray(_rank_cdf(max_rank, tau))
+    return np.diff(cdf, prepend=0.0)
+
+
+def draw_rank(max_rank: int, tau: float, rng: random.Random) -> int:
+    """Draw a rank from ``{1, ..., max_rank}`` with ``P(k) ~ k^-tau``."""
+    if max_rank < 1:
+        raise ValueError(f"max_rank must be >= 1, got {max_rank}")
+    if tau < 0:
+        raise ValueError(f"tau must be non-negative, got {tau}")
+    if max_rank == 1:
+        return 1
+    cdf = _rank_cdf(max_rank, tau)
+    return bisect.bisect_left(cdf, rng.random()) + 1

@@ -1,0 +1,90 @@
+"""Search hyper-parameters (paper Section 5.1.3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.routing.weights import MAX_WEIGHT, MIN_WEIGHT
+
+
+@dataclass(frozen=True)
+class SearchParams:
+    """Knobs of the STR and DTR weight-search heuristics.
+
+    Paper values (Section 5.1.3): ``N = 300000`` iterations for each of the
+    first two routines, ``K = 800000`` for the refinement routine,
+    neighborhood size ``m = 5``, diversification interval ``M = 300``,
+    diversification fractions ``g1 = g2 = 5 %`` and ``g3 = 3 %``, rank-bias
+    exponent ``tau = 1.5``, and integer weights in ``[1, 30]``.
+
+    Library defaults keep every structural constant from the paper but
+    scale the iteration budgets down so experiments run on a laptop; use
+    :meth:`paper` for the published budgets and :meth:`scaled` for
+    proportional budgets.
+    """
+
+    iterations_high: int = 300
+    iterations_low: int = 300
+    iterations_refine: int = 800
+    diversification_interval: int = 50
+    neighborhood_size: int = 5
+    perturb_high_fraction: float = 0.05
+    perturb_low_fraction: float = 0.05
+    perturb_refine_fraction: float = 0.03
+    tau: float = 1.5
+    min_weight: int = MIN_WEIGHT
+    max_weight: int = MAX_WEIGHT
+    weight_steps: tuple[int, ...] = (1, 2, 4, 8)
+
+    def __post_init__(self) -> None:
+        for name in ("iterations_high", "iterations_low", "iterations_refine"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.diversification_interval < 1:
+            raise ValueError("diversification_interval must be >= 1")
+        if self.neighborhood_size < 1:
+            raise ValueError("neighborhood_size must be >= 1")
+        for name in (
+            "perturb_high_fraction",
+            "perturb_low_fraction",
+            "perturb_refine_fraction",
+        ):
+            frac = getattr(self, name)
+            if not 0 < frac <= 1:
+                raise ValueError(f"{name} must be in (0, 1], got {frac}")
+        if self.tau < 0:
+            raise ValueError("tau must be non-negative")
+        if not MIN_WEIGHT <= self.min_weight <= self.max_weight:
+            raise ValueError(
+                f"invalid weight range [{self.min_weight}, {self.max_weight}]"
+            )
+        if not self.weight_steps or any(s < 1 for s in self.weight_steps):
+            raise ValueError("weight_steps must be positive integers")
+
+    @classmethod
+    def paper(cls) -> "SearchParams":
+        """The published budgets: N = 300000, K = 800000, M = 300."""
+        return cls(
+            iterations_high=300_000,
+            iterations_low=300_000,
+            iterations_refine=800_000,
+            diversification_interval=300,
+        )
+
+    @classmethod
+    def scaled(cls, scale: float, base: "SearchParams" = None) -> "SearchParams":
+        """Budgets proportional to the defaults by ``scale`` (> 0)."""
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        base = base or cls()
+        return replace(
+            base,
+            iterations_high=max(1, round(base.iterations_high * scale)),
+            iterations_low=max(1, round(base.iterations_low * scale)),
+            iterations_refine=max(1, round(base.iterations_refine * scale)),
+            diversification_interval=max(5, round(base.diversification_interval * scale)),
+        )
+
+    def total_iterations(self) -> int:
+        """Sum of the three routines' iteration budgets."""
+        return self.iterations_high + self.iterations_low + self.iterations_refine

@@ -1,0 +1,172 @@
+"""Single-topology (STR) weight search and its epsilon-relaxed variant.
+
+The baseline follows the "single weight change" local search of
+Fortz-Thorup [2]: candidate moves change a single link weight, links being
+chosen with the same cost-rank bias as the DTR neighborhood, and the
+search diversifies after ``M`` stale iterations.
+
+The relaxed variant (paper Sections 3.3.2 and 5.3.1) additionally records,
+for each requested ``epsilon``, the best low-priority cost among weight
+settings whose high-priority cost stays within ``(1 + epsilon)`` of the
+best high-priority cost seen so far.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.evaluator import DualTopologyEvaluator, Evaluation
+from repro.core.lexicographic import LexCost
+from repro.core.neighborhood import NeighborhoodSampler
+from repro.core.perturbation import perturb_weights
+from repro.core.search_params import SearchParams
+from repro.routing.weights import random_weights
+
+
+@dataclass(frozen=True)
+class RelaxedSolution:
+    """Best relaxed STR solution for one ``epsilon``.
+
+    Attributes:
+        epsilon: The allowed high-priority degradation.
+        weights: The recorded weight vector.
+        primary_cost: Its high-priority cost (``Phi_H`` or ``Lambda``).
+        phi_low: Its low-priority cost ``Phi_L``.
+    """
+
+    epsilon: float
+    weights: np.ndarray
+    primary_cost: float
+    phi_low: float
+
+
+@dataclass
+class StrResult:
+    """Outcome of an STR search.
+
+    Attributes:
+        weights: Best (strict lexicographic) weight vector found.
+        objective: Its lexicographic cost.
+        evaluation: Full evaluation of the best weights.
+        relaxed: Best relaxed solution per requested epsilon.
+        history: ``(iteration, objective)`` recorded at each improvement.
+        iterations: Iterations executed.
+        evaluations: Weight settings evaluated (cache misses included).
+    """
+
+    weights: np.ndarray
+    objective: LexCost
+    evaluation: Evaluation
+    relaxed: dict[float, RelaxedSolution] = field(default_factory=dict)
+    history: list[tuple[int, LexCost]] = field(default_factory=list)
+    iterations: int = 0
+    evaluations: int = 0
+
+
+def _descending_link_order(evaluation: Evaluation) -> list[int]:
+    keys = evaluation.high_link_sort_keys()
+    return sorted(range(len(keys)), key=lambda i: keys[i], reverse=True)
+
+
+def optimize_str(
+    evaluator: DualTopologyEvaluator,
+    params: Optional[SearchParams] = None,
+    rng: Optional[random.Random] = None,
+    initial_weights: Optional[Sequence[int]] = None,
+    relaxation_epsilons: Iterable[float] = (),
+) -> StrResult:
+    """Search for a single weight vector minimizing the lexicographic objective.
+
+    Args:
+        evaluator: Cost evaluator (load or SLA mode).
+        params: Search budgets; library defaults if omitted.  The STR
+            search runs for the combined budget of the three DTR routines
+            so the two schemes receive comparable computational effort.
+        rng: Source of randomness; a fresh unseeded one is created if omitted.
+        initial_weights: Starting point; random weights if omitted.
+        relaxation_epsilons: Epsilons for which relaxed solutions are tracked.
+
+    Returns:
+        A :class:`StrResult`.
+    """
+    params = params or SearchParams()
+    rng = rng or random.Random()
+    num_links = evaluator.network.num_links
+    epsilons = sorted(set(float(e) for e in relaxation_epsilons))
+    if any(e < 0 for e in epsilons):
+        raise ValueError("relaxation epsilons must be non-negative")
+
+    if initial_weights is None:
+        current = random_weights(num_links, rng, params.min_weight, params.max_weight)
+    else:
+        current = np.array(initial_weights, dtype=np.int64)
+
+    sampler = NeighborhoodSampler(params, rng)
+    start_evals = evaluator.evaluations
+
+    evaluation = evaluator.evaluate_str(current)
+    best_weights = current.copy()
+    best_objective = evaluation.objective
+    best_primary = best_objective.primary
+    history = [(0, best_objective)]
+    relaxed: dict[float, RelaxedSolution] = {}
+
+    def consider_relaxed(weights: np.ndarray, candidate: Evaluation) -> None:
+        primary = candidate.objective.primary
+        for eps in epsilons:
+            if primary > (1.0 + eps) * best_primary:
+                continue
+            incumbent = relaxed.get(eps)
+            if incumbent is None or candidate.phi_low < incumbent.phi_low:
+                relaxed[eps] = RelaxedSolution(
+                    epsilon=eps,
+                    weights=weights.copy(),
+                    primary_cost=primary,
+                    phi_low=candidate.phi_low,
+                )
+
+    consider_relaxed(current, evaluation)
+    stale = 0
+    total_iterations = params.total_iterations()
+    for iteration in range(1, total_iterations + 1):
+        order = _descending_link_order(evaluation)
+        improved = False
+        for neighbor in sampler.single_change_neighbors(current, order):
+            candidate = evaluator.evaluate_str(neighbor)
+            consider_relaxed(neighbor, candidate)
+            if candidate.objective < evaluation.objective:
+                current, evaluation = neighbor, candidate
+                improved = True
+        if improved and evaluation.objective < best_objective:
+            best_weights = current.copy()
+            best_objective = evaluation.objective
+            best_primary = min(best_primary, best_objective.primary)
+            history.append((iteration, best_objective))
+            stale = 0
+        else:
+            stale += 1
+        if stale >= params.diversification_interval:
+            current = perturb_weights(
+                current,
+                params.perturb_high_fraction,
+                rng,
+                params.min_weight,
+                params.max_weight,
+            )
+            evaluation = evaluator.evaluate_str(current)
+            consider_relaxed(current, evaluation)
+            stale = 0
+
+    return StrResult(
+        weights=best_weights,
+        objective=best_objective,
+        evaluation=evaluator.evaluate_str(best_weights),
+        relaxed=relaxed,
+        history=history,
+        iterations=total_iterations,
+        evaluations=evaluator.evaluations - start_evals,
+    )

@@ -1,0 +1,88 @@
+"""Fortz-Thorup piecewise-linear link cost (paper Eq. 1).
+
+The cost of carrying load ``x`` on a link of capacity ``C`` is the
+piecewise-linear convex function with slopes 1, 3, 10, 70, 500, 5000 on the
+utilization intervals split at 1/3, 2/3, 9/10, 1, 11/10 — the classic
+approximation of M/M/1 queueing delay from Fortz-Thorup.  Because the
+function is convex and every segment is affine in ``(x, C)``, it is
+evaluated as a maximum of affine functions, which also handles the
+zero-capacity residual links that arise when high-priority traffic consumes
+a link entirely (any positive load then costs ``5000 * x``).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+FORTZ_SEGMENTS: tuple[tuple[float, float], ...] = (
+    (1.0, 0.0),
+    (3.0, 2.0 / 3.0),
+    (10.0, 16.0 / 3.0),
+    (70.0, 178.0 / 3.0),
+    (500.0, 1468.0 / 3.0),
+    (5000.0, 16318.0 / 3.0),
+)
+"""``(slope, intercept)`` pairs: segment cost is ``slope * x - intercept * C``."""
+
+FORTZ_BREAKPOINTS: tuple[float, ...] = (1.0 / 3.0, 2.0 / 3.0, 9.0 / 10.0, 1.0, 11.0 / 10.0)
+"""Utilization values where the active segment changes."""
+
+_SLOPES = np.array([s for s, _ in FORTZ_SEGMENTS])
+_INTERCEPTS = np.array([b for _, b in FORTZ_SEGMENTS])
+
+
+def fortz_cost(load: float, capacity: float) -> float:
+    """Cost of carrying ``load`` on a link of ``capacity`` (Eq. 1).
+
+    Args:
+        load: Link load, >= 0 (Mb/s).
+        capacity: Link capacity, >= 0 (Mb/s); zero capacity is allowed and
+            prices any positive load at the steepest slope.
+
+    Returns:
+        The piecewise-linear cost; ``0.0`` for zero load.
+    """
+    if load < 0:
+        raise ValueError(f"load must be non-negative, got {load}")
+    if capacity < 0:
+        raise ValueError(f"capacity must be non-negative, got {capacity}")
+    if load == 0:
+        return 0.0
+    return float(np.max(_SLOPES * load - _INTERCEPTS * capacity))
+
+
+def fortz_cost_vector(
+    loads: Union[np.ndarray, list], capacities: Union[np.ndarray, list]
+) -> np.ndarray:
+    """Vectorized :func:`fortz_cost` over aligned load/capacity vectors."""
+    loads = np.asarray(loads, dtype=float)
+    capacities = np.asarray(capacities, dtype=float)
+    if loads.shape != capacities.shape:
+        raise ValueError(f"shape mismatch: loads {loads.shape} vs capacities {capacities.shape}")
+    if np.any(loads < 0):
+        raise ValueError("loads must be non-negative")
+    if np.any(capacities < 0):
+        raise ValueError("capacities must be non-negative")
+    costs = np.max(
+        _SLOPES[:, None] * loads[None, :] - _INTERCEPTS[:, None] * capacities[None, :],
+        axis=0,
+    )
+    costs[loads == 0] = 0.0
+    return costs
+
+
+def fortz_segment_index(load: float, capacity: float) -> int:
+    """Index (0-5) of the active cost segment for ``load`` on ``capacity``.
+
+    Segment 0 covers utilization up to 1/3, segment 5 covers utilization
+    above 11/10.  Zero-capacity links are always in segment 5.
+    """
+    if capacity <= 0:
+        return len(FORTZ_SEGMENTS) - 1
+    utilization = load / capacity
+    for idx, breakpoint in enumerate(FORTZ_BREAKPOINTS):
+        if utilization <= breakpoint:
+            return idx
+    return len(FORTZ_SEGMENTS) - 1

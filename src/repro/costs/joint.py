@@ -1,0 +1,28 @@
+"""Joint scalar cost ``J = alpha * Phi_H + Phi_L`` (paper Section 3.3.1).
+
+The paper discusses — and rejects — collapsing the two class objectives
+into a single weighted sum: no single ``alpha`` maintains priority
+precedence across configurations, as the 3-node example (Fig. 1)
+demonstrates.  The function below supports reproducing that analysis.
+"""
+
+from __future__ import annotations
+
+from repro.costs.load_cost import LoadCostEvaluation
+
+
+def joint_cost(evaluation: LoadCostEvaluation, alpha: float) -> float:
+    """The joint cost ``J = alpha * Phi_H + Phi_L`` of a load-cost evaluation.
+
+    Args:
+        evaluation: A load-based evaluation (typically of an STR routing;
+            with DTR each class routes independently and a joint cost has
+            no role, per the paper's footnote 1).
+        alpha: Non-negative trade-off multiplier on the high-priority cost.
+
+    Returns:
+        ``alpha * Phi_H + Phi_L``.
+    """
+    if alpha < 0:
+        raise ValueError(f"alpha must be non-negative, got {alpha}")
+    return alpha * evaluation.phi_high + evaluation.phi_low

@@ -1,0 +1,101 @@
+"""Load-based lexicographic objective ``A = <Phi_H, Phi_L>`` (paper Section 3.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.lexicographic import LexCost
+from repro.costs.fortz import fortz_cost_vector
+from repro.costs.residual import residual_capacities
+from repro.network.graph import Network
+from repro.routing.state import DemandsLike, Routing
+
+
+@dataclass(frozen=True)
+class LoadCostEvaluation:
+    """Everything the search and the figures need from one load-cost evaluation.
+
+    Attributes:
+        phi_high: Total high-priority cost ``Phi_H = sum_l Phi_{H,l}``.
+        phi_low: Total low-priority cost ``Phi_L`` against residual capacity.
+        per_link_high: Per-link ``Phi_{H,l}``.
+        per_link_low: Per-link ``Phi_{L,l}``.
+        high_loads: Per-link high-priority load ``H_l``.
+        low_loads: Per-link low-priority load ``L_l``.
+        residual: Per-link residual capacity ``C~_l``.
+        utilization: Per-link total utilization ``(H_l + L_l) / C_l``.
+    """
+
+    phi_high: float
+    phi_low: float
+    per_link_high: np.ndarray
+    per_link_low: np.ndarray
+    high_loads: np.ndarray
+    low_loads: np.ndarray
+    residual: np.ndarray
+    utilization: np.ndarray
+
+    @property
+    def objective(self) -> LexCost:
+        """The lexicographic objective ``A = <Phi_H, Phi_L>``."""
+        return LexCost(self.phi_high, self.phi_low)
+
+    @property
+    def average_utilization(self) -> float:
+        """Mean total link utilization (the paper's load reference ``AD``)."""
+        return float(np.mean(self.utilization))
+
+    @property
+    def max_utilization(self) -> float:
+        """Largest total link utilization."""
+        return float(np.max(self.utilization))
+
+    def high_link_sort_keys(self) -> list[LexCost]:
+        """Per-link lexicographic cost ``L_l = <Phi_{H,l}, Phi_{L,l}>`` used by FindH."""
+        return [LexCost(h, l) for h, l in zip(self.per_link_high, self.per_link_low)]
+
+    def low_link_sort_keys(self) -> np.ndarray:
+        """Per-link cost ``Phi_{L,l}`` used by FindL."""
+        return self.per_link_low
+
+
+def evaluate_load_cost(
+    net: Network,
+    high_routing: Routing,
+    low_routing: Routing,
+    high_traffic: DemandsLike,
+    low_traffic: DemandsLike,
+) -> LoadCostEvaluation:
+    """Evaluate the load-based cost of a (possibly dual) routing.
+
+    High-priority loads are priced against full link capacity; low-priority
+    loads against the residual capacity the priority queue leaves them.
+
+    Args:
+        net: The network.
+        high_routing: Routing of the high-priority class.
+        low_routing: Routing of the low-priority class (same object for STR).
+        high_traffic: High-priority traffic matrix ``T_H``.
+        low_traffic: Low-priority traffic matrix ``T_L``.
+
+    Returns:
+        A :class:`LoadCostEvaluation`.
+    """
+    capacities = net.capacities()
+    high_loads = high_routing.link_loads(high_traffic)
+    low_loads = low_routing.link_loads(low_traffic)
+    residual = residual_capacities(capacities, high_loads)
+    per_link_high = fortz_cost_vector(high_loads, capacities)
+    per_link_low = fortz_cost_vector(low_loads, residual)
+    return LoadCostEvaluation(
+        phi_high=float(per_link_high.sum()),
+        phi_low=float(per_link_low.sum()),
+        per_link_high=per_link_high,
+        per_link_low=per_link_low,
+        high_loads=high_loads,
+        low_loads=low_loads,
+        residual=residual,
+        utilization=(high_loads + low_loads) / capacities,
+    )

@@ -1,0 +1,31 @@
+"""Residual capacity under strict priority queueing.
+
+With a two-priority queueing scheme the high-priority queue is always
+served first, so the low-priority class only sees the capacity left over:
+``C~_l = max(C_l - H_l, 0)`` (paper Section 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def residual_capacities(capacities: np.ndarray, high_loads: np.ndarray) -> np.ndarray:
+    """Per-link residual capacity seen by low-priority traffic.
+
+    Args:
+        capacities: Per-link capacities (Mb/s).
+        high_loads: Per-link high-priority loads (Mb/s).
+
+    Returns:
+        ``max(capacity - high_load, 0)`` per link.
+    """
+    capacities = np.asarray(capacities, dtype=float)
+    high_loads = np.asarray(high_loads, dtype=float)
+    if capacities.shape != high_loads.shape:
+        raise ValueError(
+            f"shape mismatch: capacities {capacities.shape} vs loads {high_loads.shape}"
+        )
+    if np.any(high_loads < 0):
+        raise ValueError("high-priority loads must be non-negative")
+    return np.maximum(capacities - high_loads, 0.0)

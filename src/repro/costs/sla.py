@@ -1,0 +1,199 @@
+"""SLA-based lexicographic objective ``S = <Lambda, Phi_L>`` (paper Section 3.2).
+
+The mean link delay seen by high-priority traffic is modeled per Eq. 3 as
+
+    ``D_l = s / C_l * (Phi_{H,l} / C_l + 1) + p_l``
+
+where ``s`` is the mean packet size, ``p_l`` the propagation delay, and
+``Phi_{H,l} / C_l`` approximates the M/M/1 term ``H_l / (C_l - H_l)`` [18].
+Each high-priority pair ``(s, t)`` with mean end-to-end delay
+``xi(s, t)`` above the SLA bound ``theta`` contributes a penalty
+``a + b * (xi - theta)`` (Eq. 4, with a = 100, b = 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.lexicographic import LexCost
+from repro.costs.fortz import fortz_cost_vector
+from repro.costs.residual import residual_capacities
+from repro.network.graph import Network
+from repro.routing.state import Routing
+from repro.traffic.matrix import TrafficMatrix
+
+PACKET_SIZE_BITS = 12000.0
+"""Mean packet size ``s``: 1500 bytes."""
+
+
+@dataclass(frozen=True)
+class SlaParams:
+    """SLA penalty parameters (paper defaults: theta=25 ms, a=100, b=1)."""
+
+    theta_ms: float = 25.0
+    penalty_const: float = 100.0
+    penalty_per_ms: float = 1.0
+    packet_size_bits: float = PACKET_SIZE_BITS
+
+    def __post_init__(self) -> None:
+        if self.theta_ms <= 0:
+            raise ValueError(f"SLA bound theta must be positive, got {self.theta_ms}")
+        if self.penalty_const < 0 or self.penalty_per_ms < 0:
+            raise ValueError("penalty parameters must be non-negative")
+        if self.packet_size_bits <= 0:
+            raise ValueError("packet size must be positive")
+
+    def relaxed(self, epsilon: float) -> "SlaParams":
+        """A copy with the delay bound loosened to ``(1 + epsilon) * theta``."""
+        if epsilon < 0:
+            raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+        return SlaParams(
+            theta_ms=self.theta_ms * (1.0 + epsilon),
+            penalty_const=self.penalty_const,
+            penalty_per_ms=self.penalty_per_ms,
+            packet_size_bits=self.packet_size_bits,
+        )
+
+    def pair_penalty(self, delay_ms: float) -> float:
+        """Penalty ``Lambda_(s,t)`` for one pair with end-to-end delay ``delay_ms``."""
+        if delay_ms <= self.theta_ms:
+            return 0.0
+        return self.penalty_const + self.penalty_per_ms * (delay_ms - self.theta_ms)
+
+
+def link_delays_ms(
+    net: Network,
+    high_loads: np.ndarray,
+    per_link_high_cost: np.ndarray,
+    packet_size_bits: float = PACKET_SIZE_BITS,
+) -> np.ndarray:
+    """Per-link mean delay for high-priority packets (Eq. 3), in ms.
+
+    Capacities are in Mb/s, so transmission time of one packet is
+    ``packet_size_bits / (capacity * 1e6)`` seconds, converted to ms.
+    """
+    capacities = net.capacities()
+    transmission_ms = packet_size_bits / (capacities * 1e6) * 1e3
+    queueing_factor = per_link_high_cost / capacities + 1.0
+    return transmission_ms * queueing_factor + net.prop_delays()
+
+
+@dataclass(frozen=True)
+class SlaCostEvaluation:
+    """Result of one SLA-cost evaluation.
+
+    Attributes:
+        penalty: Total SLA penalty ``Lambda``.
+        phi_low: Low-priority load cost ``Phi_L`` against residual capacity.
+        violations: Number of high-priority pairs exceeding the bound.
+        pair_delays_ms: Mean end-to-end delay ``xi(s, t)`` per high-priority
+            pair, keyed by ``(s, t)``.
+        link_delays: Per-link high-priority delay ``D_l`` in ms.
+        per_link_low: Per-link ``Phi_{L,l}``.
+        high_loads: Per-link high-priority load.
+        low_loads: Per-link low-priority load.
+        residual: Per-link residual capacity.
+        utilization: Per-link total utilization.
+        params: The SLA parameters used.
+    """
+
+    penalty: float
+    phi_low: float
+    violations: int
+    pair_delays_ms: dict[tuple[int, int], float]
+    link_delays: np.ndarray
+    per_link_low: np.ndarray
+    high_loads: np.ndarray
+    low_loads: np.ndarray
+    residual: np.ndarray
+    utilization: np.ndarray
+    params: SlaParams
+
+    @property
+    def objective(self) -> LexCost:
+        """The lexicographic objective ``S = <Lambda, Phi_L>``."""
+        return LexCost(self.penalty, self.phi_low)
+
+    @property
+    def average_utilization(self) -> float:
+        """Mean total link utilization."""
+        return float(np.mean(self.utilization))
+
+    @property
+    def max_utilization(self) -> float:
+        """Largest total link utilization."""
+        return float(np.max(self.utilization))
+
+    @property
+    def worst_delay_ms(self) -> float:
+        """Largest mean end-to-end delay over high-priority pairs."""
+        return max(self.pair_delays_ms.values()) if self.pair_delays_ms else 0.0
+
+    def high_link_sort_keys(self) -> list[LexCost]:
+        """Per-link lexicographic cost ``L_l = <D_l, Phi_{L,l}>`` used by FindH."""
+        return [LexCost(d, l) for d, l in zip(self.link_delays, self.per_link_low)]
+
+    def low_link_sort_keys(self) -> np.ndarray:
+        """Per-link cost ``Phi_{L,l}`` used by FindL."""
+        return self.per_link_low
+
+
+def evaluate_sla_cost(
+    net: Network,
+    high_routing: Routing,
+    low_routing: Routing,
+    high_traffic: TrafficMatrix,
+    low_traffic: TrafficMatrix,
+    params: SlaParams = SlaParams(),
+) -> SlaCostEvaluation:
+    """Evaluate the SLA-based cost of a (possibly dual) routing.
+
+    End-to-end delay of a pair is the flow-fraction-weighted sum of link
+    delays over its ECMP paths in the high-priority topology.
+
+    Args:
+        net: The network.
+        high_routing: Routing of the high-priority class.
+        low_routing: Routing of the low-priority class (same object for STR).
+        high_traffic: High-priority traffic matrix ``T_H``.
+        low_traffic: Low-priority traffic matrix ``T_L``.
+        params: SLA bound and penalty parameters.
+
+    Returns:
+        A :class:`SlaCostEvaluation`.
+    """
+    capacities = net.capacities()
+    high_loads = high_routing.link_loads(high_traffic)
+    low_loads = low_routing.link_loads(low_traffic)
+    residual = residual_capacities(capacities, high_loads)
+    per_link_high = fortz_cost_vector(high_loads, capacities)
+    per_link_low = fortz_cost_vector(low_loads, residual)
+    delays = link_delays_ms(net, high_loads, per_link_high, params.packet_size_bits)
+
+    pair_delays: dict[tuple[int, int], float] = {}
+    penalty = 0.0
+    violations = 0
+    for s, t, _rate in high_traffic.pairs():
+        fractions = high_routing.pair_link_fractions(s, t)
+        xi = float(fractions @ delays)
+        pair_delays[(s, t)] = xi
+        pair_penalty = params.pair_penalty(xi)
+        if pair_penalty > 0:
+            violations += 1
+            penalty += pair_penalty
+
+    return SlaCostEvaluation(
+        penalty=penalty,
+        phi_low=float(per_link_low.sum()),
+        violations=violations,
+        pair_delays_ms=pair_delays,
+        link_delays=delays,
+        per_link_low=per_link_low,
+        high_loads=high_loads,
+        low_loads=low_loads,
+        residual=residual,
+        utilization=(high_loads + low_loads) / capacities,
+        params=params,
+    )

@@ -1,0 +1,15 @@
+"""Deployment artifacts: MT-OSPF router configuration generation."""
+
+from repro.deploy.config_gen import (
+    RouterConfig,
+    generate_router_configs,
+    parse_router_config,
+    render_router_config,
+)
+
+__all__ = [
+    "RouterConfig",
+    "generate_router_configs",
+    "render_router_config",
+    "parse_router_config",
+]

@@ -1,0 +1,153 @@
+"""MT-OSPF router configuration generation from optimized weight vectors.
+
+Turns a multi-topology weight assignment into per-router configuration
+stanzas in an IOS-like syntax (RFC 4915 multi-topology OSPF: one cost per
+interface per topology).  The renderer and parser round-trip, so the
+configs double as a portable serialization of a deployment.
+
+Example output for one router::
+
+    router ospf 1
+     node 3
+     topology high tid 32
+     topology low tid 33
+    !
+    interface link-3-7
+     description to node 7
+     topology high cost 12
+     topology low cost 4
+    !
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.network.graph import Network
+
+BASE_TOPOLOGY_ID = 32
+"""First RFC 4915 multi-topology ID assigned to a traffic class."""
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Configuration of one router.
+
+    Attributes:
+        node: Node id this router implements.
+        topology_ids: Class label -> MT-ID mapping.
+        interface_costs: ``(neighbor, class label) -> cost``.
+    """
+
+    node: int
+    topology_ids: Mapping[str, int]
+    interface_costs: Mapping[tuple[int, str], int]
+
+    def neighbors(self) -> list[int]:
+        """Neighbors with configured interfaces, sorted."""
+        return sorted({neighbor for neighbor, _ in self.interface_costs})
+
+
+def generate_router_configs(
+    net: Network, weights_by_class: Mapping[str, Sequence[int]]
+) -> list[RouterConfig]:
+    """Build one :class:`RouterConfig` per node from class weight vectors.
+
+    Args:
+        net: The network; each directed link becomes an interface on its
+            source router.
+        weights_by_class: Class label -> per-link weight vector.
+
+    Returns:
+        Configs for nodes ``0 .. num_nodes - 1`` in order.
+
+    Raises:
+        ValueError: if any weight vector has the wrong length.
+    """
+    if not weights_by_class:
+        raise ValueError("at least one traffic class is required")
+    arrays = {}
+    for label, weights in weights_by_class.items():
+        arr = np.asarray(weights)
+        if arr.shape != (net.num_links,):
+            raise ValueError(
+                f"class {label!r}: expected {net.num_links} weights, got {arr.shape}"
+            )
+        arrays[label] = arr
+    topology_ids = {
+        label: BASE_TOPOLOGY_ID + i for i, label in enumerate(sorted(arrays))
+    }
+    configs = []
+    for node in net.nodes():
+        costs = {}
+        for link in net.out_links(node):
+            for label, arr in arrays.items():
+                costs[(link.dst, label)] = int(arr[link.index])
+        configs.append(
+            RouterConfig(node=node, topology_ids=topology_ids, interface_costs=costs)
+        )
+    return configs
+
+
+def render_router_config(config: RouterConfig) -> str:
+    """Render one router's configuration as IOS-like text."""
+    lines = ["router ospf 1", f" node {config.node}"]
+    for label in sorted(config.topology_ids):
+        lines.append(f" topology {label} tid {config.topology_ids[label]}")
+    lines.append("!")
+    for neighbor in config.neighbors():
+        lines.append(f"interface link-{config.node}-{neighbor}")
+        lines.append(f" description to node {neighbor}")
+        for label in sorted(config.topology_ids):
+            cost = config.interface_costs[(neighbor, label)]
+            lines.append(f" topology {label} cost {cost}")
+        lines.append("!")
+    return "\n".join(lines) + "\n"
+
+
+def parse_router_config(text: str) -> RouterConfig:
+    """Parse the output of :func:`render_router_config` back.
+
+    Raises:
+        ValueError: on malformed input.
+    """
+    node = None
+    topology_ids: dict[str, int] = {}
+    interface_costs: dict[tuple[int, str], int] = {}
+    current_neighbor = None
+    in_router_block = False
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line == "router ospf 1":
+            in_router_block = True
+        elif line == "!":
+            in_router_block = False
+            current_neighbor = None
+        elif line.startswith("node ") and in_router_block:
+            node = int(line.split()[1])
+        elif line.startswith("topology ") and " tid " in line:
+            parts = line.split()
+            topology_ids[parts[1]] = int(parts[3])
+        elif line.startswith("interface link-"):
+            _, _, endpoints = line.partition("link-")
+            src, _, dst = endpoints.partition("-")
+            current_neighbor = int(dst)
+        elif line.startswith("topology ") and " cost " in line:
+            if current_neighbor is None:
+                raise ValueError(f"cost outside an interface block: {line!r}")
+            parts = line.split()
+            interface_costs[(current_neighbor, parts[1])] = int(parts[3])
+        elif line.startswith("description"):
+            continue
+        else:
+            raise ValueError(f"unrecognized config line: {line!r}")
+    if node is None:
+        raise ValueError("missing 'node' statement")
+    return RouterConfig(
+        node=node, topology_ids=topology_ids, interface_costs=interface_costs
+    )

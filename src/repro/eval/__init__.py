@@ -1,0 +1,35 @@
+"""Evaluation harness: STR-vs-DTR experiments and figure/table reproduction."""
+
+from repro.eval.experiment import (
+    ComparisonResult,
+    ExperimentConfig,
+    build_network,
+    build_traffic,
+    run_comparison,
+)
+from repro.eval.metrics import (
+    safe_ratio,
+    sorted_high_utilization,
+    utilization_histogram,
+)
+from repro.eval.convergence import ConvergenceTrace, relative_gap, trace_from_history
+from repro.eval.drift import DriftReport, drift_sweep
+from repro.eval.robustness import RobustnessReport, failure_sweep
+
+__all__ = [
+    "ExperimentConfig",
+    "ComparisonResult",
+    "build_network",
+    "build_traffic",
+    "run_comparison",
+    "safe_ratio",
+    "utilization_histogram",
+    "sorted_high_utilization",
+    "ConvergenceTrace",
+    "trace_from_history",
+    "relative_gap",
+    "DriftReport",
+    "drift_sweep",
+    "RobustnessReport",
+    "failure_sweep",
+]

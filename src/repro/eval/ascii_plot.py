@@ -1,0 +1,58 @@
+"""Plain-text rendering of series, tables, and histograms for the benches."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as a fixed-width text table with a header rule."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells, expected {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines.extend(
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)) for row in str_rows
+    )
+    return "\n".join(lines)
+
+
+def format_histogram(
+    edges: np.ndarray, counts: np.ndarray, label: str = "", width: int = 40
+) -> str:
+    """Render a histogram as horizontal ASCII bars."""
+    counts = np.asarray(counts)
+    if len(edges) != len(counts) + 1:
+        raise ValueError("edges must have exactly one more entry than counts")
+    peak = max(int(counts.max()), 1)
+    lines = [label] if label else []
+    for i, count in enumerate(counts):
+        bar = "#" * round(width * int(count) / peak)
+        lines.append(f"[{edges[i]:4.2f},{edges[i + 1]:4.2f}) {int(count):4d} {bar}")
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str, y_labels: Sequence[str], points: Sequence[Sequence[float]]
+) -> str:
+    """Render aligned (x, y1, y2, ...) series rows."""
+    return format_table([x_label, *y_labels], points)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == float("inf"):
+            return "inf"
+        if abs(cell) >= 1000 or (0 < abs(cell) < 0.01):
+            return f"{cell:.3e}"
+        return f"{cell:.3f}"
+    return str(cell)

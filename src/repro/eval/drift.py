@@ -1,0 +1,113 @@
+"""Robustness of weight settings to traffic drift.
+
+The paper notes DTR's extra configuration/recomputation overhead on
+network changes (Section 1).  A practical mitigation is *not*
+re-optimizing on every traffic shift — so it matters how well weights
+tuned at one load level hold up when traffic drifts.  This module
+evaluates fixed STR/DTR weight settings across scaled versions of the
+traffic they were optimized for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.costs.load_cost import evaluate_load_cost
+from repro.network.graph import Network
+from repro.routing.state import Routing
+from repro.traffic.matrix import TrafficMatrix
+
+
+@dataclass(frozen=True)
+class DriftPoint:
+    """Cost of a fixed weight setting at one drifted traffic level."""
+
+    scale: float
+    phi_high: float
+    phi_low: float
+    max_utilization: float
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Costs of one weight setting across a traffic-scale sweep.
+
+    ``points[i]`` corresponds to traffic multiplied by ``scales[i]``;
+    scale 1.0 is the load the weights were optimized for.
+    """
+
+    points: tuple[DriftPoint, ...]
+
+    def point_at(self, scale: float) -> DriftPoint:
+        """The drift point for an exact scale value.
+
+        Raises:
+            KeyError: if the scale was not part of the sweep.
+        """
+        for point in self.points:
+            if point.scale == scale:
+                return point
+        raise KeyError(f"scale {scale} not in sweep")
+
+    def low_cost_growth(self) -> float:
+        """Ratio of the largest to the smallest Phi_L across the sweep."""
+        values = [p.phi_low for p in self.points if p.phi_low > 0]
+        if not values:
+            return 1.0
+        return max(values) / min(values)
+
+
+def drift_sweep(
+    net: Network,
+    high_weights: Sequence[int],
+    low_weights: Sequence[int],
+    high_traffic: TrafficMatrix,
+    low_traffic: TrafficMatrix,
+    scales: Sequence[float] = (0.8, 0.9, 1.0, 1.1, 1.2),
+) -> DriftReport:
+    """Evaluate fixed weights across jointly scaled traffic matrices.
+
+    Args:
+        net: The network.
+        high_weights: High-priority topology weights (fixed).
+        low_weights: Low-priority topology weights (fixed).
+        high_traffic: High-priority matrix at scale 1.0.
+        low_traffic: Low-priority matrix at scale 1.0.
+        scales: Multipliers applied to both matrices.
+
+    Returns:
+        A :class:`DriftReport` with one point per scale, in input order.
+
+    Raises:
+        ValueError: on an empty or non-positive scale list.
+    """
+    if not scales:
+        raise ValueError("need at least one scale")
+    if any(s <= 0 for s in scales):
+        raise ValueError("scales must be positive")
+    wh = np.asarray(high_weights)
+    wl = np.asarray(low_weights)
+    high_routing = Routing(net, wh)
+    low_routing = high_routing if np.array_equal(wh, wl) else Routing(net, wl)
+
+    points = []
+    for scale in scales:
+        evaluation = evaluate_load_cost(
+            net,
+            high_routing,
+            low_routing,
+            high_traffic.scaled(float(scale)),
+            low_traffic.scaled(float(scale)),
+        )
+        points.append(
+            DriftPoint(
+                scale=float(scale),
+                phi_high=evaluation.phi_high,
+                phi_low=evaluation.phi_low,
+                max_utilization=evaluation.max_utilization,
+            )
+        )
+    return DriftReport(points=tuple(points))

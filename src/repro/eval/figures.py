@@ -1,0 +1,570 @@
+"""Reproduction entry points for every figure and table in the paper.
+
+Each ``figN`` function runs the underlying experiments and returns a result
+dataclass carrying the same series the paper plots; each result renders to
+text via ``format()``.  A ``scale`` argument proportionally shrinks the
+search budgets (1.0 = library defaults; the paper's budgets are
+``SearchParams.paper()``), and ``seed`` fixes all randomness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.evaluator import LOAD_MODE, SLA_MODE
+from repro.costs.sla import SlaParams
+from repro.eval.ascii_plot import format_histogram, format_series, format_table
+from repro.eval.experiment import (
+    ComparisonResult,
+    ExperimentConfig,
+    run_comparison,
+    scaled_config,
+    sweep_utilization,
+)
+from repro.eval.metrics import sorted_high_utilization, utilization_histogram
+
+DEFAULT_TARGETS: tuple[float, ...] = (0.4, 0.5, 0.6, 0.7, 0.8)
+"""Default utilization sweep, covering the x-ranges of Figs. 2, 4, 5 and 8."""
+
+
+# ----------------------------------------------------------------------
+# Shared result shapes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RatioPoint:
+    """One sweep point: cost ratios at a network load level."""
+
+    target_utilization: float
+    measured_utilization: float
+    ratio_high: float
+    ratio_low: float
+
+
+@dataclass(frozen=True)
+class RatioSeries:
+    """A labeled series of :class:`RatioPoint` (one curve of a figure)."""
+
+    label: str
+    points: tuple[RatioPoint, ...]
+
+    def rows(self) -> list[tuple[float, float, float, float]]:
+        """``(target, measured AD, R_H, R_L)`` per point."""
+        return [
+            (
+                p.target_utilization,
+                p.measured_utilization,
+                p.ratio_high,
+                p.ratio_low,
+            )
+            for p in self.points
+        ]
+
+
+def _series_from_results(label: str, results: Sequence[ComparisonResult]) -> RatioSeries:
+    return RatioSeries(
+        label=label,
+        points=tuple(
+            RatioPoint(
+                target_utilization=r.config.target_utilization,
+                measured_utilization=r.average_utilization,
+                ratio_high=r.ratio_high,
+                ratio_low=r.ratio_low,
+            )
+            for r in results
+        ),
+    )
+
+
+def _base_config(scale: float, seed: int, **overrides) -> ExperimentConfig:
+    return scaled_config(ExperimentConfig(seed=seed, **overrides), scale)
+
+
+# ----------------------------------------------------------------------
+# Figure 2 — cost ratios vs average link utilization
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Fig2Result:
+    """One panel of Fig. 2: R_H and R_L across network loads."""
+
+    topology: str
+    mode: str
+    series: RatioSeries
+
+    def format(self) -> str:
+        header = f"Fig.2 [{self.topology}, {self.mode}-based cost] f=30% k=10%"
+        body = format_series(
+            "target_util", ["measured_AD", "R_H", "R_L"], self.series.rows()
+        )
+        return f"{header}\n{body}"
+
+
+def fig2(
+    topology: str,
+    mode: str,
+    targets: Sequence[float] = DEFAULT_TARGETS,
+    scale: float = 1.0,
+    seed: int = 1,
+) -> Fig2Result:
+    """Reproduce one panel of Fig. 2 (a-c load-based, d-f SLA-based)."""
+    config = _base_config(scale, seed, topology=topology, mode=mode)
+    results = sweep_utilization(config, targets)
+    return Fig2Result(
+        topology=topology, mode=mode, series=_series_from_results(topology, results)
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 3 — link-utilization histograms
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Fig3Result:
+    """One panel of Fig. 3: utilization histograms under STR and DTR."""
+
+    mode: str
+    high_density: float
+    bin_edges: np.ndarray
+    str_counts: np.ndarray
+    dtr_counts: np.ndarray
+
+    def format(self) -> str:
+        header = (
+            f"Fig.3 [{self.mode}-based cost, k={self.high_density:.0%}] "
+            "link-utilization histogram"
+        )
+        str_part = format_histogram(self.bin_edges, self.str_counts, "STR (single routing)")
+        dtr_part = format_histogram(self.bin_edges, self.dtr_counts, "DTR (dual routing)")
+        return f"{header}\n{str_part}\n{dtr_part}"
+
+
+def fig3(
+    panel: str,
+    target_utilization: float = 0.65,
+    scale: float = 1.0,
+    seed: int = 1,
+) -> Fig3Result:
+    """Reproduce one panel of Fig. 3.
+
+    Panels: ``"a"`` = load cost / k=10 %, ``"b"`` = SLA cost / k=10 %,
+    ``"c"`` = SLA cost / k=30 %; all on the 30-node random topology, f=30 %.
+    """
+    settings = {
+        "a": (LOAD_MODE, 0.10),
+        "b": (SLA_MODE, 0.10),
+        "c": (SLA_MODE, 0.30),
+    }
+    if panel not in settings:
+        raise ValueError(f"panel must be one of {sorted(settings)}, got {panel!r}")
+    mode, density = settings[panel]
+    config = _base_config(
+        scale,
+        seed,
+        topology="random",
+        mode=mode,
+        high_density=density,
+        target_utilization=target_utilization,
+    )
+    result = run_comparison(config)
+    top = max(
+        1.0,
+        float(result.str_evaluation.utilization.max()),
+        float(result.dtr_evaluation.utilization.max()),
+    )
+    edges, str_counts = utilization_histogram(
+        result.str_evaluation.utilization, max_utilization=top
+    )
+    _, dtr_counts = utilization_histogram(
+        result.dtr_evaluation.utilization, max_utilization=top
+    )
+    return Fig3Result(
+        mode=mode,
+        high_density=density,
+        bin_edges=edges,
+        str_counts=str_counts,
+        dtr_counts=dtr_counts,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 4 — impact of the high-priority volume fraction f
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Fig4Result:
+    """Fig. 4: R_L vs load for f = 20 % and f = 40 % (load cost, k = 10 %)."""
+
+    series: tuple[RatioSeries, ...]
+
+    def format(self) -> str:
+        blocks = ["Fig.4 [random, load-based cost] impact of f, k=10%"]
+        for s in self.series:
+            blocks.append(f"-- {s.label}")
+            blocks.append(
+                format_series("target_util", ["measured_AD", "R_H", "R_L"], s.rows())
+            )
+        return "\n".join(blocks)
+
+
+def fig4(
+    fractions: Sequence[float] = (0.20, 0.40),
+    targets: Sequence[float] = DEFAULT_TARGETS,
+    scale: float = 1.0,
+    seed: int = 1,
+) -> Fig4Result:
+    """Reproduce Fig. 4: higher f makes DTR's advantage larger."""
+    series = []
+    for f in fractions:
+        config = _base_config(
+            scale, seed, topology="random", mode=LOAD_MODE, high_fraction=f
+        )
+        results = sweep_utilization(config, targets)
+        series.append(_series_from_results(f"f={f:.0%}", results))
+    return Fig4Result(series=tuple(series))
+
+
+# ----------------------------------------------------------------------
+# Figure 5 — impact of the high-priority SD-pair density k
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Fig5Result:
+    """Fig. 5: R_L vs load for k = 10 % and 30 %, one cost mode per panel."""
+
+    mode: str
+    series: tuple[RatioSeries, ...]
+
+    def format(self) -> str:
+        blocks = [f"Fig.5 [random, {self.mode}-based cost] impact of k, f=30%"]
+        for s in self.series:
+            blocks.append(f"-- {s.label}")
+            blocks.append(
+                format_series("target_util", ["measured_AD", "R_H", "R_L"], s.rows())
+            )
+        return "\n".join(blocks)
+
+
+def fig5(
+    mode: str,
+    densities: Sequence[float] = (0.10, 0.30),
+    targets: Sequence[float] = DEFAULT_TARGETS,
+    scale: float = 1.0,
+    seed: int = 1,
+) -> Fig5Result:
+    """Reproduce Fig. 5(a) (``mode="load"``) or 5(b) (``mode="sla"``)."""
+    series = []
+    for k in densities:
+        config = _base_config(
+            scale, seed, topology="random", mode=mode, high_density=k
+        )
+        results = sweep_utilization(config, targets)
+        series.append(_series_from_results(f"k={k:.0%}", results))
+    return Fig5Result(mode=mode, series=tuple(series))
+
+
+# ----------------------------------------------------------------------
+# Figure 6 — sorted high-priority link utilization under STR
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Fig6Result:
+    """Fig. 6: descending per-link H-utilization under STR for two densities."""
+
+    curves: dict[float, np.ndarray]
+
+    def format(self) -> str:
+        lines = ["Fig.6 [random, load-based cost] sorted link H-utilization under STR"]
+        for k, curve in sorted(self.curves.items()):
+            head = ", ".join(f"{u:.3f}" for u in curve[:10])
+            lines.append(
+                f"k={k:.0%}: top10=[{head}] max={curve[0]:.3f} mean={curve.mean():.3f}"
+            )
+        return "\n".join(lines)
+
+
+def fig6(
+    densities: Sequence[float] = (0.10, 0.30),
+    target_utilization: float = 0.65,
+    scale: float = 1.0,
+    seed: int = 1,
+) -> Fig6Result:
+    """Reproduce Fig. 6: higher k flattens the H-utilization curve."""
+    curves = {}
+    for k in densities:
+        config = _base_config(
+            scale,
+            seed,
+            topology="random",
+            mode=LOAD_MODE,
+            high_density=k,
+            target_utilization=target_utilization,
+        )
+        result = run_comparison(config)
+        curves[k] = sorted_high_utilization(
+            result.str_evaluation.high_loads, _capacities_of(result)
+        )
+    return Fig6Result(curves=curves)
+
+
+def _capacities_of(result: ComparisonResult) -> np.ndarray:
+    from repro.eval.experiment import build_network
+
+    return build_network(result.config.topology, result.config.seed).capacities()
+
+
+# ----------------------------------------------------------------------
+# Figure 7 — link load vs propagation delay (SLA cost)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Fig7Result:
+    """Fig. 7: per-link (propagation delay, utilization) under STR and DTR."""
+
+    prop_delays_ms: np.ndarray
+    str_utilization: np.ndarray
+    dtr_utilization: np.ndarray
+
+    def correlation(self, scheme: str) -> float:
+        """Pearson correlation between link delay and link utilization."""
+        util = self.str_utilization if scheme == "str" else self.dtr_utilization
+        return float(np.corrcoef(self.prop_delays_ms, util)[0, 1])
+
+    def format(self) -> str:
+        lines = [
+            "Fig.7 [random, SLA-based cost] link load vs propagation delay",
+            f"corr(delay, util) STR={self.correlation('str'):+.3f} "
+            f"DTR={self.correlation('dtr'):+.3f}",
+        ]
+        order = np.argsort(self.prop_delays_ms)
+        rows = [
+            (
+                float(self.prop_delays_ms[i]),
+                float(self.str_utilization[i]),
+                float(self.dtr_utilization[i]),
+            )
+            for i in order[:: max(1, len(order) // 15)]
+        ]
+        lines.append(format_table(["delay_ms", "STR_util", "DTR_util"], rows))
+        return "\n".join(lines)
+
+
+def fig7(
+    target_utilization: float = 0.6,
+    high_density: float = 0.30,
+    scale: float = 1.0,
+    seed: int = 1,
+) -> Fig7Result:
+    """Reproduce Fig. 7: under STR, short links attract disproportionate load."""
+    config = _base_config(
+        scale,
+        seed,
+        topology="random",
+        mode=SLA_MODE,
+        high_density=high_density,
+        target_utilization=target_utilization,
+    )
+    result = run_comparison(config)
+    from repro.eval.experiment import build_network
+
+    net = build_network(config.topology, config.seed)
+    return Fig7Result(
+        prop_delays_ms=net.prop_delays(),
+        str_utilization=result.str_evaluation.utilization,
+        dtr_utilization=result.dtr_evaluation.utilization,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 8 — sink communication pattern, uniform vs local clients
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Fig8Result:
+    """Fig. 8: R_L vs load for uniformly vs locally placed sink clients."""
+
+    mode: str
+    series: tuple[RatioSeries, ...]
+
+    def format(self) -> str:
+        blocks = [
+            f"Fig.8 [powerlaw, {self.mode}-based cost] sink model, f=20% k=10%"
+        ]
+        for s in self.series:
+            blocks.append(f"-- {s.label}")
+            blocks.append(
+                format_series("target_util", ["measured_AD", "R_H", "R_L"], s.rows())
+            )
+        return "\n".join(blocks)
+
+
+def fig8(
+    mode: str,
+    targets: Sequence[float] = DEFAULT_TARGETS,
+    scale: float = 1.0,
+    seed: int = 1,
+) -> Fig8Result:
+    """Reproduce Fig. 8(a) (``mode="load"``) or 8(b) (``mode="sla"``)."""
+    series = []
+    for placement in ("uniform", "local"):
+        config = _base_config(
+            scale,
+            seed,
+            topology="powerlaw",
+            mode=mode,
+            high_model="sink",
+            sink_placement=placement,
+            high_fraction=0.20,
+        )
+        results = sweep_utilization(config, targets)
+        series.append(_series_from_results(placement.capitalize(), results))
+    return Fig8Result(mode=mode, series=tuple(series))
+
+
+# ----------------------------------------------------------------------
+# Figure 9 — impact of the SLA delay bound
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Fig9Point:
+    """One SLA-bound setting of Fig. 9, STR vs DTR side by side."""
+
+    theta_ms: float
+    str_violations: int
+    dtr_violations: int
+    str_phi_low: float
+    dtr_phi_low: float
+    str_max_utilization: float
+    dtr_max_utilization: float
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    """Fig. 9(a-c): SLA violations, low-priority cost, and max utilization."""
+
+    points: tuple[Fig9Point, ...]
+
+    def format(self) -> str:
+        rows = [
+            (
+                p.theta_ms,
+                p.str_violations,
+                p.dtr_violations,
+                p.str_phi_low,
+                p.dtr_phi_low,
+                p.str_max_utilization,
+                p.dtr_max_utilization,
+            )
+            for p in self.points
+        ]
+        header = "Fig.9 [random, SLA sweep] f=30% k=30% AD~0.5"
+        body = format_table(
+            [
+                "theta_ms",
+                "STR_viol",
+                "DTR_viol",
+                "STR_PhiL",
+                "DTR_PhiL",
+                "STR_maxU",
+                "DTR_maxU",
+            ],
+            rows,
+        )
+        return f"{header}\n{body}"
+
+
+def fig9(
+    thetas_ms: Sequence[float] = (25.0, 27.5, 30.0, 32.5, 35.0),
+    target_utilization: float = 0.5,
+    scale: float = 1.0,
+    seed: int = 1,
+) -> Fig9Result:
+    """Reproduce Fig. 9: loosening theta closes most of the STR-DTR gap."""
+    points = []
+    for theta in thetas_ms:
+        config = _base_config(
+            scale,
+            seed,
+            topology="random",
+            mode=SLA_MODE,
+            high_density=0.30,
+            target_utilization=target_utilization,
+        )
+        config = replace(config, sla_params=SlaParams(theta_ms=float(theta)))
+        result = run_comparison(config)
+        points.append(
+            Fig9Point(
+                theta_ms=float(theta),
+                str_violations=result.str_evaluation.violations,
+                dtr_violations=result.dtr_evaluation.violations,
+                str_phi_low=result.str_evaluation.phi_low,
+                dtr_phi_low=result.dtr_evaluation.phi_low,
+                str_max_utilization=result.str_evaluation.max_utilization,
+                dtr_max_utilization=result.dtr_evaluation.max_utilization,
+            )
+        )
+    return Fig9Result(points=tuple(points))
+
+
+# ----------------------------------------------------------------------
+# Table 1 — relaxed STR vs DTR
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Table1Row:
+    """One load level of Table 1 for one topology."""
+
+    average_utilization: float
+    ratio_low: float
+    ratio_low_5pct: float
+    ratio_low_30pct: float
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """Table 1: low-priority performance of epsilon-relaxed STR vs DTR."""
+
+    rows_by_topology: dict[str, tuple[Table1Row, ...]]
+
+    def format(self) -> str:
+        blocks = ["Table 1 [load-based cost] relaxed STR vs DTR, f=30% k=10%"]
+        for topology, rows in self.rows_by_topology.items():
+            blocks.append(f"-- {topology} topology")
+            blocks.append(
+                format_table(
+                    ["AD", "R_L", "R_L,5%", "R_L,30%"],
+                    [
+                        (
+                            r.average_utilization,
+                            r.ratio_low,
+                            r.ratio_low_5pct,
+                            r.ratio_low_30pct,
+                        )
+                        for r in rows
+                    ],
+                )
+            )
+        return "\n".join(blocks)
+
+
+def table1(
+    topologies: Sequence[str] = ("random", "powerlaw", "isp"),
+    targets: Sequence[float] = (0.45, 0.55, 0.65, 0.75, 0.85),
+    scale: float = 1.0,
+    seed: int = 1,
+) -> Table1Result:
+    """Reproduce Table 1: relaxation narrows but never closes the gap."""
+    rows_by_topology = {}
+    for topology in topologies:
+        config = _base_config(
+            scale,
+            seed,
+            topology=topology,
+            mode=LOAD_MODE,
+            relaxation_epsilons=(0.05, 0.30),
+        )
+        rows = []
+        for result in sweep_utilization(config, targets):
+            rows.append(
+                Table1Row(
+                    average_utilization=result.average_utilization,
+                    ratio_low=result.ratio_low,
+                    ratio_low_5pct=result.relaxed_ratio_low(0.05),
+                    ratio_low_30pct=result.relaxed_ratio_low(0.30),
+                )
+            )
+        rows_by_topology[topology] = tuple(rows)
+    return Table1Result(rows_by_topology=rows_by_topology)

@@ -1,0 +1,52 @@
+"""Metrics shared by the figure reproductions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+_TINY = 1e-9
+
+
+def safe_ratio(numerator: float, denominator: float) -> float:
+    """Ratio that treats 0/0 as 1 (both schemes met the objective perfectly).
+
+    The paper's H-cost ratio under the SLA objective is frequently 0/0 —
+    neither STR nor DTR violates any SLA — which it reports as ≈ 1.
+    """
+    if abs(denominator) <= _TINY:
+        return 1.0 if abs(numerator) <= _TINY else float("inf")
+    return numerator / denominator
+
+
+def utilization_histogram(
+    utilization: np.ndarray, bin_width: float = 0.1, max_utilization: float = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of per-link utilization (the paper's Fig. 3 panels).
+
+    Args:
+        utilization: Per-link utilization values.
+        bin_width: Histogram bin width (paper uses ~0.1 wide bars).
+        max_utilization: Upper edge of the last bin; defaults to covering
+            the data (at least 1.0).
+
+    Returns:
+        ``(bin_edges, counts)`` where ``bin_edges`` has one more entry than
+        ``counts``.
+    """
+    utilization = np.asarray(utilization, dtype=float)
+    if bin_width <= 0:
+        raise ValueError(f"bin_width must be positive, got {bin_width}")
+    top = max_utilization if max_utilization is not None else max(1.0, float(utilization.max()))
+    num_bins = int(np.ceil(top / bin_width + _TINY)) or 1
+    edges = np.arange(num_bins + 1) * bin_width
+    counts, _ = np.histogram(utilization, bins=edges)
+    return edges, counts
+
+
+def sorted_high_utilization(high_loads: np.ndarray, capacities: np.ndarray) -> np.ndarray:
+    """Per-link high-priority utilization sorted descending (Fig. 6)."""
+    high_loads = np.asarray(high_loads, dtype=float)
+    capacities = np.asarray(capacities, dtype=float)
+    if high_loads.shape != capacities.shape:
+        raise ValueError("loads and capacities must have matching shapes")
+    return np.sort(high_loads / capacities)[::-1]

@@ -1,0 +1,47 @@
+"""JSON serialization of experiment results."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Union
+
+import numpy as np
+
+from repro.core.lexicographic import LexCost
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert results (dataclasses, numpy, LexCost) to JSON types."""
+    if isinstance(value, LexCost):
+        return list(value.values)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: to_jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {_key(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [to_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def save_result(result: Any, path: Union[str, Path]) -> None:
+    """Write any result dataclass to ``path`` as pretty-printed JSON."""
+    Path(path).write_text(json.dumps(to_jsonable(result), indent=2))
+
+
+def _key(key: Any) -> str:
+    if isinstance(key, tuple):
+        return ",".join(str(k) for k in key)
+    return str(key)

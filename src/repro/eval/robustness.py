@@ -1,0 +1,160 @@
+"""Failure robustness of weight settings (single-adjacency failure sweep).
+
+A weight setting tuned for the intact network keeps being used after a
+link failure — OSPF simply recomputes shortest paths over the survivors.
+This module evaluates how STR and DTR weight settings degrade across all
+single-adjacency failures, the robustness criterion of Nucci et al. [5]
+and a natural companion to the paper's MTR deployment argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.lexicographic import LexCost
+from repro.costs.load_cost import evaluate_load_cost
+from repro.network.failures import FailureScenario, single_failure_scenarios
+from repro.network.graph import Network
+from repro.routing.spf import RoutingError
+from repro.routing.state import Routing
+from repro.traffic.matrix import TrafficMatrix
+
+
+@dataclass(frozen=True)
+class FailureOutcome:
+    """Cost of one weight setting under one failure scenario."""
+
+    failed_pair: tuple[int, int]
+    phi_high: float
+    phi_low: float
+    max_utilization: float
+
+    @property
+    def objective(self) -> LexCost:
+        """Lexicographic cost under this failure."""
+        return LexCost(self.phi_high, self.phi_low)
+
+
+@dataclass(frozen=True)
+class RobustnessReport:
+    """Aggregate of a full single-failure sweep for one weight setting.
+
+    Attributes:
+        baseline: Cost on the intact network.
+        outcomes: Per-failure costs (connected scenarios only).
+        skipped_disconnecting: Adjacencies whose failure disconnects the
+            network and were therefore skipped.
+    """
+
+    baseline: FailureOutcome
+    outcomes: tuple[FailureOutcome, ...]
+    skipped_disconnecting: int
+
+    @property
+    def worst_phi_low(self) -> float:
+        """Worst low-priority cost across failures."""
+        values = [o.phi_low for o in self.outcomes]
+        return max(values) if values else self.baseline.phi_low
+
+    @property
+    def worst_phi_high(self) -> float:
+        """Worst high-priority cost across failures."""
+        values = [o.phi_high for o in self.outcomes]
+        return max(values) if values else self.baseline.phi_high
+
+    @property
+    def mean_phi_low(self) -> float:
+        """Mean low-priority cost across failures."""
+        values = [o.phi_low for o in self.outcomes]
+        return float(np.mean(values)) if values else self.baseline.phi_low
+
+    @property
+    def mean_phi_high(self) -> float:
+        """Mean high-priority cost across failures."""
+        values = [o.phi_high for o in self.outcomes]
+        return float(np.mean(values)) if values else self.baseline.phi_high
+
+    def degradation_factor(self) -> float:
+        """Worst-case over baseline low-priority cost ratio."""
+        if self.baseline.phi_low <= 0:
+            return 1.0
+        return self.worst_phi_low / self.baseline.phi_low
+
+
+def _evaluate_scenario(
+    net: Network,
+    scenario: Optional[FailureScenario],
+    high_weights: Sequence[int],
+    low_weights: Sequence[int],
+    high_traffic: TrafficMatrix,
+    low_traffic: TrafficMatrix,
+) -> FailureOutcome:
+    if scenario is None:
+        target_net = net
+        wh = np.asarray(high_weights)
+        wl = np.asarray(low_weights)
+        failed_pair = (-1, -1)
+    else:
+        target_net = scenario.network
+        wh = scenario.project_weights(high_weights)
+        wl = scenario.project_weights(low_weights)
+        failed_pair = scenario.failed_pair
+    high_routing = Routing(target_net, wh)
+    low_routing = high_routing if np.array_equal(wh, wl) else Routing(target_net, wl)
+    evaluation = evaluate_load_cost(
+        target_net, high_routing, low_routing, high_traffic, low_traffic
+    )
+    return FailureOutcome(
+        failed_pair=failed_pair,
+        phi_high=evaluation.phi_high,
+        phi_low=evaluation.phi_low,
+        max_utilization=evaluation.max_utilization,
+    )
+
+
+def failure_sweep(
+    net: Network,
+    high_weights: Sequence[int],
+    low_weights: Sequence[int],
+    high_traffic: TrafficMatrix,
+    low_traffic: TrafficMatrix,
+) -> RobustnessReport:
+    """Evaluate a weight setting under every single-adjacency failure.
+
+    Weight vectors are *not* re-optimized per failure: survivors keep
+    their weights, exactly as deployed OSPF/MT-OSPF would.
+
+    Args:
+        net: The intact network.
+        high_weights: Weights of the high-priority topology.
+        low_weights: Weights of the low-priority topology (same vector
+            object or equal array for STR).
+        high_traffic: High-priority traffic matrix.
+        low_traffic: Low-priority traffic matrix.
+
+    Returns:
+        A :class:`RobustnessReport` with the baseline and all connected
+        failure outcomes, ordered by failed adjacency.
+    """
+    baseline = _evaluate_scenario(
+        net, None, high_weights, low_weights, high_traffic, low_traffic
+    )
+    outcomes = []
+    total_pairs = len(net.duplex_pairs())
+    for scenario in single_failure_scenarios(net, require_connected=True):
+        try:
+            outcomes.append(
+                _evaluate_scenario(
+                    net, scenario, high_weights, low_weights, high_traffic, low_traffic
+                )
+            )
+        except RoutingError:
+            continue
+    return RobustnessReport(
+        baseline=baseline,
+        outcomes=tuple(outcomes),
+        skipped_disconnecting=total_pairs - len(outcomes),
+    )

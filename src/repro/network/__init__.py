@@ -1,0 +1,44 @@
+"""Network model substrate: directed graphs, links, and topology generators.
+
+The paper models the network as a directed graph ``G = (V, E)`` where every
+link has a capacity ``C_ij`` (Mb/s) and, for the SLA-based cost function, a
+propagation delay ``p_l`` (ms).  This package provides the graph container
+(:class:`~repro.network.graph.Network`), the three topology families used in
+the evaluation (random, power-law, ISP backbone), JSON persistence, and
+structural validation helpers.
+"""
+
+from repro.network.graph import Network
+from repro.network.link import Link
+from repro.network.topology_isp import isp_topology
+from repro.network.topology_powerlaw import powerlaw_topology
+from repro.network.topology_random import random_topology
+from repro.network.io import network_from_dict, network_to_dict, load_network, save_network
+from repro.network.validation import validate_network
+from repro.network.failures import (
+    FailureScenario,
+    count_critical_adjacencies,
+    remove_adjacency,
+    single_failure_scenarios,
+)
+from repro.network.stats import TopologyStats, degree_assortativity, topology_stats
+
+__all__ = [
+    "FailureScenario",
+    "remove_adjacency",
+    "single_failure_scenarios",
+    "count_critical_adjacencies",
+    "TopologyStats",
+    "topology_stats",
+    "degree_assortativity",
+    "Network",
+    "Link",
+    "random_topology",
+    "powerlaw_topology",
+    "isp_topology",
+    "network_to_dict",
+    "network_from_dict",
+    "save_network",
+    "load_network",
+    "validate_network",
+]

@@ -1,0 +1,249 @@
+"""Directed network graph used by routing, traffic, and cost modules."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.network.link import DEFAULT_CAPACITY_MBPS, Link
+
+
+class Network:
+    """A directed multigraph-free network ``G = (V, E)``.
+
+    Nodes are integers ``0 .. num_nodes - 1``.  Links are directed and at
+    most one link may exist per ordered node pair.  Duplex (bidirectional)
+    connections are represented by two directed links, which is how the
+    paper counts links (e.g. the ISP topology has 16 nodes and 70 directed
+    links = 35 duplex adjacencies).
+
+    The class exposes numpy views (capacities, delays, endpoint arrays) that
+    the routing and cost engines consume; these views are cached and the
+    cache is invalidated whenever a link is added.
+    """
+
+    def __init__(self, num_nodes: int, name: str = "network") -> None:
+        if num_nodes < 2:
+            raise ValueError(f"a network needs at least 2 nodes, got {num_nodes}")
+        self._num_nodes = int(num_nodes)
+        self.name = name
+        self._links: list[Link] = []
+        self._out: list[list[int]] = [[] for _ in range(num_nodes)]
+        self._in: list[list[int]] = [[] for _ in range(num_nodes)]
+        self._by_endpoints: dict[tuple[int, int], int] = {}
+        self._cache: dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_link(
+        self,
+        src: int,
+        dst: int,
+        capacity_mbps: float = DEFAULT_CAPACITY_MBPS,
+        prop_delay_ms: float = 1.0,
+    ) -> Link:
+        """Add a directed link and return it.
+
+        Raises:
+            ValueError: if either endpoint is out of range or a link between
+                ``src`` and ``dst`` already exists.
+        """
+        self._check_node(src)
+        self._check_node(dst)
+        if (src, dst) in self._by_endpoints:
+            raise ValueError(f"link {src}->{dst} already exists")
+        link = Link(
+            index=len(self._links),
+            src=src,
+            dst=dst,
+            capacity_mbps=capacity_mbps,
+            prop_delay_ms=prop_delay_ms,
+        )
+        self._links.append(link)
+        self._out[src].append(link.index)
+        self._in[dst].append(link.index)
+        self._by_endpoints[(src, dst)] = link.index
+        self._cache.clear()
+        return link
+
+    def add_duplex_link(
+        self,
+        u: int,
+        v: int,
+        capacity_mbps: float = DEFAULT_CAPACITY_MBPS,
+        prop_delay_ms: float = 1.0,
+    ) -> tuple[Link, Link]:
+        """Add both directions between ``u`` and ``v`` with identical attributes."""
+        forward = self.add_link(u, v, capacity_mbps, prop_delay_ms)
+        backward = self.add_link(v, u, capacity_mbps, prop_delay_ms)
+        return forward, backward
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``|V|``."""
+        return self._num_nodes
+
+    @property
+    def num_links(self) -> int:
+        """Number of directed links ``|E|``."""
+        return len(self._links)
+
+    @property
+    def links(self) -> tuple[Link, ...]:
+        """All links, ordered by index."""
+        return tuple(self._links)
+
+    def nodes(self) -> range:
+        """Iterate node identifiers ``0 .. num_nodes - 1``."""
+        return range(self._num_nodes)
+
+    def link(self, index: int) -> Link:
+        """Return the link with the given index."""
+        return self._links[index]
+
+    def out_links(self, node: int) -> list[Link]:
+        """Links whose source is ``node``."""
+        self._check_node(node)
+        return [self._links[i] for i in self._out[node]]
+
+    def in_links(self, node: int) -> list[Link]:
+        """Links whose destination is ``node``."""
+        self._check_node(node)
+        return [self._links[i] for i in self._in[node]]
+
+    def out_link_indices(self, node: int) -> list[int]:
+        """Indices of links whose source is ``node`` (no copy of Link objects)."""
+        return self._out[node]
+
+    def in_link_indices(self, node: int) -> list[int]:
+        """Indices of links whose destination is ``node``."""
+        return self._in[node]
+
+    def link_between(self, src: int, dst: int) -> Optional[Link]:
+        """The directed link ``src -> dst`` or ``None`` if absent."""
+        idx = self._by_endpoints.get((src, dst))
+        return None if idx is None else self._links[idx]
+
+    def has_link(self, src: int, dst: int) -> bool:
+        """Whether the directed link ``src -> dst`` exists."""
+        return (src, dst) in self._by_endpoints
+
+    def degree(self, node: int) -> int:
+        """Out-degree of ``node``; equals in-degree for duplex-built topologies."""
+        self._check_node(node)
+        return len(self._out[node])
+
+    def undirected_degree(self, node: int) -> int:
+        """Number of distinct neighbors of ``node`` in either direction."""
+        self._check_node(node)
+        neighbors = {self._links[i].dst for i in self._out[node]}
+        neighbors.update(self._links[i].src for i in self._in[node])
+        return len(neighbors)
+
+    def neighbors(self, node: int) -> list[int]:
+        """Out-neighbors of ``node``, in link-insertion order."""
+        self._check_node(node)
+        return [self._links[i].dst for i in self._out[node]]
+
+    def duplex_pairs(self) -> list[tuple[int, int]]:
+        """Unordered node pairs ``(u, v)`` with ``u < v`` connected in both directions."""
+        pairs = []
+        for (src, dst) in self._by_endpoints:
+            if src < dst and (dst, src) in self._by_endpoints:
+                pairs.append((src, dst))
+        return sorted(pairs)
+
+    # ------------------------------------------------------------------
+    # Numpy views (cached)
+    # ------------------------------------------------------------------
+    def capacities(self) -> np.ndarray:
+        """Per-link capacity vector (Mb/s), indexed by link index."""
+        return self._cached("capacities", lambda: np.array([l.capacity_mbps for l in self._links], dtype=float))
+
+    def prop_delays(self) -> np.ndarray:
+        """Per-link propagation delay vector (ms), indexed by link index."""
+        return self._cached("prop_delays", lambda: np.array([l.prop_delay_ms for l in self._links], dtype=float))
+
+    def link_sources(self) -> np.ndarray:
+        """Per-link source-node vector, indexed by link index."""
+        return self._cached("srcs", lambda: np.array([l.src for l in self._links], dtype=np.int64))
+
+    def link_destinations(self) -> np.ndarray:
+        """Per-link destination-node vector, indexed by link index."""
+        return self._cached("dsts", lambda: np.array([l.dst for l in self._links], dtype=np.int64))
+
+    def weight_matrix(self, weights: Iterable[float]) -> np.ndarray:
+        """Dense ``num_nodes x num_nodes`` matrix of link weights.
+
+        Missing links hold ``inf``.  Used to feed scipy's Dijkstra.
+        """
+        w = np.asarray(list(weights) if not isinstance(weights, np.ndarray) else weights, dtype=float)
+        if w.shape != (self.num_links,):
+            raise ValueError(f"expected {self.num_links} weights, got shape {w.shape}")
+        if np.any(w <= 0):
+            raise ValueError("link weights must be positive")
+        mat = np.full((self._num_nodes, self._num_nodes), np.inf)
+        mat[self.link_sources(), self.link_destinations()] = w
+        return mat
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    def is_strongly_connected(self) -> bool:
+        """Whether every node can reach every other node along directed links."""
+        if self.num_links == 0:
+            return False
+        return self._reaches_all(self._out) and self._reaches_all(self._in)
+
+    def copy(self) -> "Network":
+        """Deep copy of the network."""
+        dup = Network(self._num_nodes, name=self.name)
+        for link in self._links:
+            dup.add_link(link.src, link.dst, link.capacity_mbps, link.prop_delay_ms)
+        return dup
+
+    def __repr__(self) -> str:
+        return f"Network(name={self.name!r}, nodes={self._num_nodes}, links={self.num_links})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Network):
+            return NotImplemented
+        return (
+            self._num_nodes == other._num_nodes
+            and [l.endpoints for l in self._links] == [l.endpoints for l in other._links]
+            and np.allclose(self.capacities(), other.capacities())
+            and np.allclose(self.prop_delays(), other.prop_delays())
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self._num_nodes:
+            raise ValueError(f"node {node} outside range [0, {self._num_nodes})")
+
+    def _reaches_all(self, adjacency: list[list[int]]) -> bool:
+        seen = [False] * self._num_nodes
+        stack = [0]
+        seen[0] = True
+        count = 1
+        attr = "dst" if adjacency is self._out else "src"
+        while stack:
+            node = stack.pop()
+            for link_idx in adjacency[node]:
+                nxt = getattr(self._links[link_idx], attr)
+                if not seen[nxt]:
+                    seen[nxt] = True
+                    count += 1
+                    stack.append(nxt)
+        return count == self._num_nodes
+
+    def _cached(self, key: str, build) -> np.ndarray:
+        if key not in self._cache:
+            self._cache[key] = build()
+        return self._cache[key]

@@ -1,0 +1,59 @@
+"""JSON persistence for :class:`~repro.network.graph.Network`."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Union
+
+from repro.network.graph import Network
+
+FORMAT_VERSION = 1
+
+
+def network_to_dict(net: Network) -> dict[str, Any]:
+    """Serialize a network to a JSON-compatible dictionary."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": net.name,
+        "num_nodes": net.num_nodes,
+        "links": [
+            {
+                "src": link.src,
+                "dst": link.dst,
+                "capacity_mbps": link.capacity_mbps,
+                "prop_delay_ms": link.prop_delay_ms,
+            }
+            for link in net.links
+        ],
+    }
+
+
+def network_from_dict(data: dict[str, Any]) -> Network:
+    """Rebuild a network from :func:`network_to_dict` output.
+
+    Raises:
+        ValueError: on unknown format version or malformed payloads.
+    """
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported network format version: {version!r}")
+    net = Network(int(data["num_nodes"]), name=str(data.get("name", "network")))
+    for entry in data["links"]:
+        net.add_link(
+            int(entry["src"]),
+            int(entry["dst"]),
+            capacity_mbps=float(entry["capacity_mbps"]),
+            prop_delay_ms=float(entry["prop_delay_ms"]),
+        )
+    return net
+
+
+def save_network(net: Network, path: Union[str, Path]) -> None:
+    """Write a network to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(network_to_dict(net), indent=2))
+
+
+def load_network(path: Union[str, Path]) -> Network:
+    """Read a network previously written by :func:`save_network`."""
+    return network_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,56 @@
+"""Directed link with capacity and propagation delay."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+DEFAULT_CAPACITY_MBPS = 500.0
+"""All link capacities in the paper's evaluation are 500 Mb/s (Section 5.1.1)."""
+
+
+@dataclass(frozen=True)
+class Link:
+    """A unidirectional network link.
+
+    Attributes:
+        index: Position of this link in the owning network's link list.
+            Link-indexed vectors (weights, loads, costs) use this index.
+        src: Source node identifier (0-based).
+        dst: Destination node identifier (0-based).
+        capacity_mbps: Link capacity in Mb/s; must be positive.
+        prop_delay_ms: One-way propagation delay in milliseconds; must be
+            non-negative.
+    """
+
+    index: int
+    src: int
+    dst: int
+    capacity_mbps: float = DEFAULT_CAPACITY_MBPS
+    prop_delay_ms: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"link index must be non-negative, got {self.index}")
+        if self.src == self.dst:
+            raise ValueError(f"self-loop at node {self.src} is not allowed")
+        if self.src < 0 or self.dst < 0:
+            raise ValueError(f"node ids must be non-negative, got ({self.src}, {self.dst})")
+        if self.capacity_mbps <= 0:
+            raise ValueError(f"capacity must be positive, got {self.capacity_mbps}")
+        if self.prop_delay_ms < 0:
+            raise ValueError(f"propagation delay must be non-negative, got {self.prop_delay_ms}")
+
+    @property
+    def endpoints(self) -> tuple[int, int]:
+        """Return the ``(src, dst)`` pair."""
+        return (self.src, self.dst)
+
+    def reversed_endpoints(self) -> tuple[int, int]:
+        """Return the ``(dst, src)`` pair of the opposite direction."""
+        return (self.dst, self.src)
+
+    def __str__(self) -> str:
+        return (
+            f"Link#{self.index} {self.src}->{self.dst} "
+            f"{self.capacity_mbps:g}Mbps {self.prop_delay_ms:g}ms"
+        )

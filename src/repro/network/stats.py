@@ -1,0 +1,92 @@
+"""Topology statistics used to characterize experiment instances."""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.network.graph import Network
+
+
+@dataclass(frozen=True)
+class TopologyStats:
+    """Structural summary of a network.
+
+    Attributes:
+        num_nodes: Node count.
+        num_links: Directed link count.
+        min_degree: Smallest out-degree.
+        max_degree: Largest out-degree.
+        mean_degree: Mean out-degree.
+        diameter_hops: Longest shortest hop path between any pair.
+        mean_path_hops: Mean shortest hop distance over all ordered pairs.
+        degree_histogram: ``{degree: node count}``.
+    """
+
+    num_nodes: int
+    num_links: int
+    min_degree: int
+    max_degree: int
+    mean_degree: float
+    diameter_hops: int
+    mean_path_hops: float
+    degree_histogram: dict[int, int]
+
+
+def hop_distances_from(net: Network, source: int) -> list[int]:
+    """BFS hop distance from ``source`` to every node (-1 if unreachable)."""
+    dist = [-1] * net.num_nodes
+    dist[source] = 0
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for nxt in net.neighbors(node):
+            if dist[nxt] < 0:
+                dist[nxt] = dist[node] + 1
+                queue.append(nxt)
+    return dist
+
+
+def topology_stats(net: Network) -> TopologyStats:
+    """Compute a :class:`TopologyStats` summary.
+
+    Raises:
+        ValueError: if the network is not strongly connected (diameter and
+            mean path length would be undefined).
+    """
+    if not net.is_strongly_connected():
+        raise ValueError("topology statistics require a strongly connected network")
+    degrees = [net.degree(v) for v in net.nodes()]
+    all_dists = []
+    diameter = 0
+    for source in net.nodes():
+        dist = hop_distances_from(net, source)
+        for target, d in enumerate(dist):
+            if target != source:
+                all_dists.append(d)
+                diameter = max(diameter, d)
+    return TopologyStats(
+        num_nodes=net.num_nodes,
+        num_links=net.num_links,
+        min_degree=min(degrees),
+        max_degree=max(degrees),
+        mean_degree=float(np.mean(degrees)),
+        diameter_hops=diameter,
+        mean_path_hops=float(np.mean(all_dists)),
+        degree_histogram=dict(sorted(Counter(degrees).items())),
+    )
+
+
+def degree_assortativity(net: Network) -> float:
+    """Pearson correlation of endpoint degrees over directed links.
+
+    Negative values are typical of preferential-attachment (hub-and-spoke)
+    topologies; near zero of degree-balanced random graphs.
+    """
+    src_deg = [net.degree(link.src) for link in net.links]
+    dst_deg = [net.degree(link.dst) for link in net.links]
+    if len(set(src_deg)) == 1 or len(set(dst_deg)) == 1:
+        return 0.0
+    return float(np.corrcoef(src_deg, dst_deg)[0, 1])

@@ -1,0 +1,76 @@
+"""Power-law topology generator (Barabási–Albert preferential attachment).
+
+The paper uses "the preferential attachment model [21] to emulate the
+power-law degree distribution observed in the Internet topology"
+(Section 5.1.1).  Its power-law instance has 30 nodes and 162 directed
+links, matching Barabási–Albert with attachment parameter ``m = 3`` over
+``m`` initially isolated seed nodes: ``(30 - 3) * 3 = 81`` duplex edges.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.network.graph import Network
+from repro.network.link import DEFAULT_CAPACITY_MBPS
+from repro.network.topology_random import DEFAULT_DELAY_RANGE_MS
+
+
+def powerlaw_topology(
+    num_nodes: int = 30,
+    attachment: int = 3,
+    rng: Optional[random.Random] = None,
+    capacity_mbps: float = DEFAULT_CAPACITY_MBPS,
+    delay_range_ms: tuple[float, float] = DEFAULT_DELAY_RANGE_MS,
+    name: str = "powerlaw",
+) -> Network:
+    """Generate a preferential-attachment topology.
+
+    Each arriving node connects to ``attachment`` distinct existing nodes
+    chosen with probability proportional to their current degree (uniformly
+    while all seeds still have degree zero).  Every attachment is a duplex
+    adjacency, so the result has ``(num_nodes - attachment) * attachment``
+    duplex edges — 81 for the paper's 30-node, 162-link instance.
+
+    Args:
+        num_nodes: Total node count (paper: 30).
+        attachment: Links added per arriving node, ``m`` in [21] (paper: 3).
+        rng: Source of randomness; a fresh unseeded one is created if omitted.
+        capacity_mbps: Capacity assigned to every link (paper: 500 Mb/s).
+        delay_range_ms: Uniform range for per-adjacency propagation delay.
+        name: Name recorded on the returned network.
+
+    Returns:
+        A strongly connected :class:`Network` with heavy-tailed degrees.
+    """
+    if attachment < 1:
+        raise ValueError(f"attachment must be >= 1, got {attachment}")
+    if num_nodes <= attachment:
+        raise ValueError(
+            f"num_nodes ({num_nodes}) must exceed attachment ({attachment})"
+        )
+    rng = rng or random.Random()
+    lo, hi = delay_range_ms
+    if lo < 0 or hi < lo:
+        raise ValueError(f"invalid delay range {delay_range_ms}")
+
+    net = Network(num_nodes, name=name)
+    repeated: list[int] = []
+    targets = list(range(attachment))
+    for new_node in range(attachment, num_nodes):
+        for t in targets:
+            delay = rng.uniform(lo, hi)
+            net.add_duplex_link(new_node, t, capacity_mbps=capacity_mbps, prop_delay_ms=delay)
+        repeated.extend(targets)
+        repeated.extend([new_node] * attachment)
+        targets = _sample_distinct(repeated, attachment, rng)
+    return net
+
+
+def _sample_distinct(pool: list[int], count: int, rng: random.Random) -> list[int]:
+    """Sample ``count`` distinct values from ``pool`` (degree-weighted)."""
+    chosen: set[int] = set()
+    while len(chosen) < count:
+        chosen.add(pool[rng.randrange(len(pool))])
+    return list(chosen)

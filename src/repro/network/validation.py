@@ -1,0 +1,41 @@
+"""Structural validation for networks used in experiments."""
+
+from __future__ import annotations
+
+from repro.network.graph import Network
+
+
+class NetworkValidationError(ValueError):
+    """Raised when a network fails a structural sanity check."""
+
+
+def validate_network(
+    net: Network,
+    require_strongly_connected: bool = True,
+    require_duplex: bool = True,
+) -> None:
+    """Check a network is usable by the routing and cost engines.
+
+    Args:
+        net: Network to validate.
+        require_strongly_connected: Every demand must be routable, which in
+            destination-based SPF routing needs strong connectivity.
+        require_duplex: The paper's topologies are all duplex; forwarding
+            and reverse-direction sink traffic assume it.
+
+    Raises:
+        NetworkValidationError: describing the first violated property.
+    """
+    if net.num_links == 0:
+        raise NetworkValidationError("network has no links")
+    if require_strongly_connected and not net.is_strongly_connected():
+        raise NetworkValidationError("network is not strongly connected")
+    if require_duplex:
+        for link in net.links:
+            if not net.has_link(link.dst, link.src):
+                raise NetworkValidationError(
+                    f"link {link.src}->{link.dst} has no reverse direction"
+                )
+    for node in net.nodes():
+        if net.degree(node) == 0:
+            raise NetworkValidationError(f"node {node} has no outgoing links")

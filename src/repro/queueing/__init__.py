@@ -1,0 +1,38 @@
+"""Priority-queueing substrate.
+
+The paper's contention-resolution model is a strict two-priority queue per
+link whose classes it approximates with M/M/1 formulas (Eq. 1's piecewise
+cost and Eq. 3's delay).  This package provides the analytic two-class
+M/M/1 priority formulas and a discrete-event simulator of the same system,
+used to validate the modeling assumptions (residual capacity, the
+``Phi_H/C`` approximation of ``H/(C-H)``).
+"""
+
+from repro.queueing.mm1 import (
+    mm1_mean_response_time,
+    mm1_utilization,
+    nonpreemptive_priority_response_times,
+    preemptive_priority_response_times,
+)
+from repro.queueing.simulator import PrioritySimResult, simulate_two_class_queue
+from repro.queueing.network_delay import (
+    ClassDelays,
+    NetworkDelayReport,
+    link_class_delays,
+    network_delay_report,
+    pair_delay_ms,
+)
+
+__all__ = [
+    "ClassDelays",
+    "link_class_delays",
+    "pair_delay_ms",
+    "NetworkDelayReport",
+    "network_delay_report",
+    "mm1_utilization",
+    "mm1_mean_response_time",
+    "preemptive_priority_response_times",
+    "nonpreemptive_priority_response_times",
+    "simulate_two_class_queue",
+    "PrioritySimResult",
+]

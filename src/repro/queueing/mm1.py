@@ -1,0 +1,86 @@
+"""Analytic M/M/1 and two-class priority-queue formulas.
+
+All formulas assume Poisson arrivals and exponential service with a common
+rate ``mu`` for both classes (the paper's links serve fixed-capacity
+traffic where both classes share the packet-size distribution).
+"""
+
+from __future__ import annotations
+
+
+def mm1_utilization(arrival_rate: float, service_rate: float) -> float:
+    """Utilization ``rho = lambda / mu``."""
+    _check_rates(arrival_rate, service_rate)
+    return arrival_rate / service_rate
+
+
+def mm1_mean_response_time(arrival_rate: float, service_rate: float) -> float:
+    """Mean sojourn time ``1 / (mu - lambda)`` of a stable M/M/1 queue.
+
+    Raises:
+        ValueError: if the queue is unstable (``lambda >= mu``).
+    """
+    _check_rates(arrival_rate, service_rate)
+    if arrival_rate >= service_rate:
+        raise ValueError(f"unstable queue: lambda={arrival_rate} >= mu={service_rate}")
+    return 1.0 / (service_rate - arrival_rate)
+
+
+def preemptive_priority_response_times(
+    high_rate: float, low_rate: float, service_rate: float
+) -> tuple[float, float]:
+    """Mean response times (high, low) under preemptive-resume priority.
+
+    The high-priority class sees a private M/M/1 queue,
+    ``T_H = 1 / (mu - lambda_H)``.  The low-priority class sees
+    ``T_L = (1/mu) / ((1 - rho_H) (1 - rho_H - rho_L))`` — it is served
+    only in the *residual* capacity the high class leaves, which is the
+    queueing-theoretic basis of the paper's ``C~ = max(C - H, 0)`` model.
+
+    Raises:
+        ValueError: if either class (cumulatively) saturates the server.
+    """
+    _check_rates(high_rate, service_rate)
+    _check_rates(low_rate, service_rate)
+    rho_h = high_rate / service_rate
+    rho_l = low_rate / service_rate
+    if rho_h >= 1.0:
+        raise ValueError(f"high class saturates the server: rho_H={rho_h}")
+    if rho_h + rho_l >= 1.0:
+        raise ValueError(f"total load saturates the server: rho={rho_h + rho_l}")
+    t_high = 1.0 / (service_rate - high_rate)
+    t_low = (1.0 / service_rate) / ((1.0 - rho_h) * (1.0 - rho_h - rho_l))
+    return t_high, t_low
+
+
+def nonpreemptive_priority_response_times(
+    high_rate: float, low_rate: float, service_rate: float
+) -> tuple[float, float]:
+    """Mean response times (high, low) under non-preemptive (head-of-line) priority.
+
+    With exponential service the mean residual work an arrival finds is
+    ``R = rho / mu``; the classic head-of-line formulas give waiting times
+    ``W_H = R / (1 - rho_H)`` and ``W_L = R / ((1 - rho_H)(1 - rho_H - rho_L))``.
+
+    Raises:
+        ValueError: if the total load saturates the server.
+    """
+    _check_rates(high_rate, service_rate)
+    _check_rates(low_rate, service_rate)
+    rho_h = high_rate / service_rate
+    rho_l = low_rate / service_rate
+    rho = rho_h + rho_l
+    if rho >= 1.0:
+        raise ValueError(f"total load saturates the server: rho={rho}")
+    residual = rho / service_rate
+    wait_high = residual / (1.0 - rho_h)
+    wait_low = residual / ((1.0 - rho_h) * (1.0 - rho_h - rho_l))
+    service = 1.0 / service_rate
+    return wait_high + service, wait_low + service
+
+
+def _check_rates(arrival_rate: float, service_rate: float) -> None:
+    if arrival_rate < 0:
+        raise ValueError(f"arrival rate must be non-negative, got {arrival_rate}")
+    if service_rate <= 0:
+        raise ValueError(f"service rate must be positive, got {service_rate}")

@@ -1,0 +1,163 @@
+"""Discrete-event simulator of a two-class strict-priority M/M/1 queue.
+
+Simulates the per-link contention-resolution mechanism the paper assumes:
+a single server, two FIFO queues, the high-priority queue always served
+first, optionally preempting a low-priority packet in service
+(preemptive-resume).  Exponential service is memoryless, so resuming a
+preempted packet is statistically equivalent to redrawing its remaining
+service time; the simulator tracks remaining work explicitly anyway, which
+keeps it valid for future non-exponential service extensions.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+HIGH = 0
+LOW = 1
+
+
+@dataclass(frozen=True)
+class PrioritySimResult:
+    """Per-class sojourn statistics of one simulation run.
+
+    Attributes:
+        mean_response: Mean sojourn (wait + service) per class, ``(high, low)``.
+        completed: Packets counted per class, ``(high, low)``.
+        sim_time: Simulated time span after warm-up.
+    """
+
+    mean_response: tuple[float, float]
+    completed: tuple[int, int]
+    sim_time: float
+
+
+@dataclass
+class _Packet:
+    arrival: float
+    remaining: float
+
+
+class _ClassState:
+    def __init__(self, rate: float, rng: random.Random) -> None:
+        self.rate = rate
+        self.rng = rng
+        self.queue: deque[_Packet] = deque()
+        self.next_arrival = self._draw() if rate > 0 else math.inf
+        self.total_sojourn = 0.0
+        self.completed = 0
+
+    def _draw(self) -> float:
+        return self.rng.expovariate(self.rate)
+
+    def schedule_next(self, now: float) -> None:
+        self.next_arrival = now + self._draw() if self.rate > 0 else math.inf
+
+
+def simulate_two_class_queue(
+    high_rate: float,
+    low_rate: float,
+    service_rate: float,
+    num_packets: int = 50_000,
+    preemptive: bool = True,
+    warmup_fraction: float = 0.1,
+    rng: Optional[random.Random] = None,
+) -> PrioritySimResult:
+    """Simulate a strict-priority two-class M/M/1 queue.
+
+    Args:
+        high_rate: Poisson arrival rate of the high-priority class.
+        low_rate: Poisson arrival rate of the low-priority class.
+        service_rate: Exponential service rate ``mu`` (shared by both classes).
+        num_packets: Total packets to complete (both classes, incl. warm-up).
+        preemptive: Whether a high-priority arrival preempts a low-priority
+            packet in service (preemptive-resume); otherwise head-of-line.
+        warmup_fraction: Fraction of completions discarded before measuring.
+        rng: Source of randomness; a fresh unseeded one is created if omitted.
+
+    Returns:
+        A :class:`PrioritySimResult` with per-class mean sojourn times.
+
+    Raises:
+        ValueError: on non-positive service rate, negative arrival rates,
+            or an unstable total load.
+    """
+    if service_rate <= 0:
+        raise ValueError(f"service rate must be positive, got {service_rate}")
+    if high_rate < 0 or low_rate < 0:
+        raise ValueError("arrival rates must be non-negative")
+    if high_rate + low_rate <= 0:
+        raise ValueError("at least one class must have a positive arrival rate")
+    if (high_rate + low_rate) / service_rate >= 1.0:
+        raise ValueError("total utilization must be < 1 for a steady state")
+    if num_packets < 1:
+        raise ValueError("num_packets must be >= 1")
+    if not 0 <= warmup_fraction < 1:
+        raise ValueError("warmup_fraction must be in [0, 1)")
+
+    rng = rng or random.Random()
+    classes = (_ClassState(high_rate, rng), _ClassState(low_rate, rng))
+    warmup_count = int(num_packets * warmup_fraction)
+    now = 0.0
+    in_service: Optional[tuple[int, _Packet]] = None
+    service_ends = math.inf
+    measure_start: Optional[float] = None
+    total_completed = 0
+
+    def start_service(cls_idx: int) -> None:
+        nonlocal in_service, service_ends
+        packet = classes[cls_idx].queue.popleft()
+        in_service = (cls_idx, packet)
+        service_ends = now + packet.remaining
+
+    while total_completed < num_packets:
+        next_event = min(classes[HIGH].next_arrival, classes[LOW].next_arrival, service_ends)
+        if in_service is not None and next_event < service_ends:
+            in_service[1].remaining = service_ends - next_event
+        now = next_event
+
+        if now == service_ends and in_service is not None:
+            cls_idx, packet = in_service
+            state = classes[cls_idx]
+            total_completed += 1
+            if total_completed == warmup_count + 1:
+                measure_start = now
+            if total_completed > warmup_count:
+                state.total_sojourn += now - packet.arrival
+                state.completed += 1
+            in_service = None
+            service_ends = math.inf
+        else:
+            cls_idx = HIGH if now == classes[HIGH].next_arrival else LOW
+            state = classes[cls_idx]
+            state.queue.append(_Packet(arrival=now, remaining=rng.expovariate(service_rate)))
+            state.schedule_next(now)
+            if (
+                preemptive
+                and cls_idx == HIGH
+                and in_service is not None
+                and in_service[0] == LOW
+            ):
+                classes[LOW].queue.appendleft(in_service[1])
+                in_service = None
+                service_ends = math.inf
+
+        if in_service is None:
+            if classes[HIGH].queue:
+                start_service(HIGH)
+            elif classes[LOW].queue:
+                start_service(LOW)
+
+    means = tuple(
+        state.total_sojourn / state.completed if state.completed else float("nan")
+        for state in classes
+    )
+    return PrioritySimResult(
+        mean_response=(means[0], means[1]),
+        completed=(classes[HIGH].completed, classes[LOW].completed),
+        sim_time=now - (measure_start or 0.0),
+    )

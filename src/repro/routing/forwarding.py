@@ -1,0 +1,146 @@
+"""Hop-by-hop packet forwarding over multi-topology routing.
+
+Routers forward per destination and per topology: a packet marked with a
+traffic class is matched against that class's FIB at every hop, with ECMP
+choosing among equal-cost next hops (hash-based in real routers, random
+here).  This module builds FIBs from a :class:`MultiTopology` and walks
+packets through them — the executable counterpart of the flow-level load
+model, used to check forwarding consistency and loop-freedom.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.routing.multi_topology import MultiTopology
+from repro.routing.spf import RoutingError
+
+
+@dataclass(frozen=True)
+class ForwardingTable:
+    """A per-class FIB: ``next_hops[node][dst]`` lists ECMP next hops."""
+
+    class_label: str
+    next_hops: tuple[tuple[tuple[int, ...], ...], ...]
+
+    def lookup(self, node: int, dst: int) -> tuple[int, ...]:
+        """ECMP next-hop set at ``node`` for destination ``dst``."""
+        return self.next_hops[node][dst]
+
+
+def build_forwarding_table(mtr: MultiTopology, class_label: str) -> ForwardingTable:
+    """Materialize the FIB of one traffic class from its routing."""
+    routing = mtr.routing(class_label)
+    n = mtr.network.num_nodes
+    table = tuple(
+        tuple(
+            tuple(routing.next_hops(node, dst)) if node != dst else ()
+            for dst in range(n)
+        )
+        for node in range(n)
+    )
+    return ForwardingTable(class_label=class_label, next_hops=table)
+
+
+@dataclass(frozen=True)
+class PacketTrace:
+    """The path one packet took through the network.
+
+    Attributes:
+        class_label: Traffic class the packet was marked with.
+        path: Node sequence from source to destination.
+        links: Link indices traversed, aligned with ``path`` transitions.
+    """
+
+    class_label: str
+    path: tuple[int, ...]
+    links: tuple[int, ...]
+
+    @property
+    def hop_count(self) -> int:
+        """Number of links traversed."""
+        return len(self.links)
+
+
+def trace_packet(
+    mtr: MultiTopology,
+    class_label: str,
+    src: int,
+    dst: int,
+    rng: Optional[random.Random] = None,
+    max_hops: Optional[int] = None,
+) -> PacketTrace:
+    """Forward one packet hop by hop and return its path.
+
+    At each hop a uniformly random ECMP next hop is taken, emulating
+    per-flow hashing across the shortest-path DAG.
+
+    Args:
+        mtr: The multi-topology routing state.
+        class_label: Which class (topology) the packet belongs to.
+        src: Ingress node.
+        dst: Egress node.
+        rng: Source of randomness; a fresh unseeded one is created if omitted.
+        max_hops: Abort threshold (defaults to ``num_nodes``); exceeded
+            only if forwarding loops, which shortest-path DAGs forbid.
+
+    Returns:
+        A :class:`PacketTrace`.
+
+    Raises:
+        RoutingError: if the destination is unreachable or the hop budget
+            is exceeded (would indicate a forwarding loop).
+    """
+    rng = rng or random.Random()
+    net = mtr.network
+    routing = mtr.routing(class_label)
+    limit = max_hops if max_hops is not None else net.num_nodes
+    path = [src]
+    links = []
+    node = src
+    while node != dst:
+        if len(links) >= limit:
+            raise RoutingError(
+                f"packet exceeded {limit} hops from {src} to {dst} (loop?)"
+            )
+        next_hops = routing.next_hops(node, dst)
+        if not next_hops:
+            raise RoutingError(f"node {dst} unreachable from node {node}")
+        nxt = next_hops[rng.randrange(len(next_hops))]
+        links.append(net.link_between(node, nxt).index)
+        path.append(nxt)
+        node = nxt
+    return PacketTrace(class_label=class_label, path=tuple(path), links=tuple(links))
+
+
+def trace_many(
+    mtr: MultiTopology,
+    class_label: str,
+    src: int,
+    dst: int,
+    count: int,
+    rng: Optional[random.Random] = None,
+) -> list[PacketTrace]:
+    """Trace ``count`` packets of one class between the same pair."""
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    rng = rng or random.Random()
+    return [trace_packet(mtr, class_label, src, dst, rng) for _ in range(count)]
+
+
+def empirical_link_usage(traces: list[PacketTrace], num_links: int) -> list[float]:
+    """Fraction of traced packets crossing each link.
+
+    With many traces this converges to the flow-level
+    :meth:`~repro.routing.state.Routing.pair_link_fractions` — the check
+    that the analytic load model and hop-by-hop forwarding agree.
+    """
+    if not traces:
+        raise ValueError("need at least one trace")
+    counts = [0] * num_links
+    for trace in traces:
+        for link in trace.links:
+            counts[link] += 1
+    return [c / len(traces) for c in counts]

@@ -1,0 +1,108 @@
+"""Multi-topology routing (MTR) substrate and its dual-topology special case.
+
+RFC 4915-style MTR assigns each traffic class its own per-link weight
+vector and therefore its own routing.  The paper's scheme — dual-topology
+routing (DTR) — is the two-topology case: one topology for high-priority
+traffic, one for low-priority traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.network.graph import Network
+from repro.routing.state import DemandsLike, Routing
+
+HIGH_CLASS = "high"
+LOW_CLASS = "low"
+
+
+class MultiTopology:
+    """A set of named routing topologies over one physical network.
+
+    Each class label maps to its own link-weight vector; routings are
+    computed lazily and cached.  Forwarding a packet of class ``c`` uses
+    the next hops of topology ``c`` only — classes never mix topologies.
+    """
+
+    def __init__(self, net: Network, weights_by_class: Mapping[str, Iterable[float]]) -> None:
+        if not weights_by_class:
+            raise ValueError("at least one topology is required")
+        self._net = net
+        self._weights = {label: np.asarray(w) for label, w in weights_by_class.items()}
+        self._routings: dict[str, Routing] = {}
+
+    @property
+    def network(self) -> Network:
+        """The shared physical network."""
+        return self._net
+
+    @property
+    def class_labels(self) -> tuple[str, ...]:
+        """All configured traffic-class labels."""
+        return tuple(self._weights)
+
+    def weights(self, label: str) -> np.ndarray:
+        """Link weights of topology ``label``."""
+        self._check_label(label)
+        return self._weights[label]
+
+    def routing(self, label: str) -> Routing:
+        """The (cached) routing of topology ``label``."""
+        self._check_label(label)
+        if label not in self._routings:
+            self._routings[label] = Routing(self._net, self._weights[label])
+        return self._routings[label]
+
+    def link_loads(self, label: str, traffic: DemandsLike) -> np.ndarray:
+        """Per-link loads of class ``label`` carrying ``traffic``."""
+        return self.routing(label).link_loads(traffic)
+
+    def total_loads(self, traffic_by_class: Mapping[str, DemandsLike]) -> np.ndarray:
+        """Aggregate per-link loads across classes, each on its own topology."""
+        loads = np.zeros(self._net.num_links)
+        for label, traffic in traffic_by_class.items():
+            loads += self.link_loads(label, traffic)
+        return loads
+
+    def next_hops(self, label: str, src: int, dst: int) -> list[int]:
+        """ECMP next hops for class ``label`` from ``src`` toward ``dst``."""
+        return self.routing(label).next_hops(src, dst)
+
+    def _check_label(self, label: str) -> None:
+        if label not in self._weights:
+            raise KeyError(f"unknown traffic class {label!r}; have {sorted(self._weights)}")
+
+
+class DualRouting(MultiTopology):
+    """Dual-topology routing: high- and low-priority weight vectors.
+
+    ``DualRouting(net, wh, wl)`` routes the high-priority class on ``wh``
+    and the low-priority class on ``wl``.  Use :meth:`str_routing` for the
+    degenerate single-topology (STR) case where both classes share weights.
+    """
+
+    def __init__(self, net: Network, high_weights: Iterable[float], low_weights: Iterable[float]) -> None:
+        super().__init__(net, {HIGH_CLASS: high_weights, LOW_CLASS: low_weights})
+
+    @classmethod
+    def str_routing(cls, net: Network, weights: Iterable[float]) -> "DualRouting":
+        """Single-topology routing: both classes routed on the same weights."""
+        w = np.asarray(weights)
+        return cls(net, w, w)
+
+    @property
+    def high(self) -> Routing:
+        """Routing of the high-priority class."""
+        return self.routing(HIGH_CLASS)
+
+    @property
+    def low(self) -> Routing:
+        """Routing of the low-priority class."""
+        return self.routing(LOW_CLASS)
+
+    def is_single_topology(self) -> bool:
+        """Whether both classes use identical weights (STR)."""
+        return bool(np.array_equal(self.weights(HIGH_CLASS), self.weights(LOW_CLASS)))

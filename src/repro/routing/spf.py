@@ -1,0 +1,74 @@
+"""Shortest-path first computations (all-destination Dijkstra, SP DAGs)."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra
+
+from repro.network.graph import Network
+
+_DISTANCE_ATOL = 1e-9
+
+
+class RoutingError(RuntimeError):
+    """Raised when traffic cannot be routed (e.g. unreachable destination)."""
+
+
+def distances_to_all(net: Network, weights: np.ndarray) -> np.ndarray:
+    """Shortest-path distance to every destination under ``weights``.
+
+    Args:
+        net: The network.
+        weights: Per-link positive weights, indexed by link index.
+
+    Returns:
+        Matrix ``D`` of shape ``(num_nodes, num_nodes)`` where ``D[t, u]``
+        is the shortest-path distance from node ``u`` to node ``t``;
+        ``inf`` where no path exists.
+    """
+    w = np.asarray(weights, dtype=float)
+    if w.shape != (net.num_links,):
+        raise ValueError(f"expected {net.num_links} weights, got shape {w.shape}")
+    if np.any(w <= 0):
+        raise ValueError("link weights must be positive")
+    n = net.num_nodes
+    graph = csr_matrix(
+        (w, (net.link_sources(), net.link_destinations())), shape=(n, n)
+    )
+    return dijkstra(graph.T, directed=True)
+
+
+def shortest_path_dag_mask(
+    net: Network, weights: np.ndarray, dist_to_t: np.ndarray
+) -> np.ndarray:
+    """Boolean mask over links on the shortest-path DAG toward one destination.
+
+    Link ``(u, v)`` lies on a shortest path to ``t`` iff
+    ``dist(u, t) == w(u, v) + dist(v, t)`` and both distances are finite.
+
+    Args:
+        net: The network.
+        weights: Per-link weights used to compute ``dist_to_t``.
+        dist_to_t: Row ``D[t]`` from :func:`distances_to_all`.
+
+    Returns:
+        Boolean vector over link indices.
+    """
+    w = np.asarray(weights, dtype=float)
+    src_dist = dist_to_t[net.link_sources()]
+    dst_dist = dist_to_t[net.link_destinations()]
+    finite = np.isfinite(src_dist) & np.isfinite(dst_dist)
+    on_dag = np.abs(src_dist - (w + dst_dist)) <= _DISTANCE_ATOL
+    return finite & on_dag
+
+
+def descending_distance_order(dist_to_t: np.ndarray) -> np.ndarray:
+    """Node indices with finite distance, sorted by decreasing distance to ``t``.
+
+    Processing nodes in this order guarantees that when a node is visited,
+    all upstream contributions to its transit flow have been accumulated
+    (the SP DAG is acyclic with distance strictly decreasing along links).
+    """
+    finite = np.flatnonzero(np.isfinite(dist_to_t))
+    return finite[np.argsort(-dist_to_t[finite], kind="stable")]

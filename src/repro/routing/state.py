@@ -1,0 +1,200 @@
+"""Routing snapshot: one weight setting, its SP DAGs, and ECMP link loads."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+import numpy as np
+
+from repro.network.graph import Network
+from repro.routing.spf import (
+    RoutingError,
+    descending_distance_order,
+    distances_to_all,
+    shortest_path_dag_mask,
+)
+from repro.routing.weights import as_weight_array
+from repro.traffic.matrix import TrafficMatrix
+
+DemandsLike = Union[TrafficMatrix, np.ndarray]
+
+
+class Routing:
+    """Immutable routing state for a single link-weight vector.
+
+    Computes (and caches) all-destination shortest-path distances, the
+    per-destination shortest-path DAGs, ECMP link loads for any traffic
+    matrix, and per-pair link flow fractions — the primitives every cost
+    function in the paper needs.
+    """
+
+    def __init__(self, net: Network, weights: Iterable[float]) -> None:
+        self._net = net
+        self._weights = as_weight_array(weights, net.num_links)
+        self._dist = distances_to_all(net, self._weights)
+        self._dag_out: dict[int, list[list[int]]] = {}
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def network(self) -> Network:
+        """The network this routing is computed over."""
+        return self._net
+
+    @property
+    def weights(self) -> np.ndarray:
+        """The (read-only) link weight vector."""
+        return self._weights
+
+    def distance(self, src: int, dst: int) -> float:
+        """Shortest-path distance from ``src`` to ``dst`` (``inf`` if unreachable)."""
+        return float(self._dist[dst, src])
+
+    def distances_to(self, dst: int) -> np.ndarray:
+        """Vector of shortest-path distances from every node to ``dst``."""
+        return self._dist[dst]
+
+    def dag_out_links(self, dst: int) -> list[list[int]]:
+        """Per-node outgoing link indices on the shortest-path DAG toward ``dst``."""
+        cached = self._dag_out.get(dst)
+        if cached is not None:
+            return cached
+        mask = shortest_path_dag_mask(self._net, self._weights, self._dist[dst])
+        out: list[list[int]] = [[] for _ in range(self._net.num_nodes)]
+        for link_idx in np.flatnonzero(mask):
+            out[self._net.link(int(link_idx)).src].append(int(link_idx))
+        self._dag_out[dst] = out
+        return out
+
+    def next_hops(self, src: int, dst: int) -> list[int]:
+        """ECMP next hops from ``src`` toward ``dst`` (empty if unreachable or src==dst)."""
+        if src == dst:
+            return []
+        return [self._net.link(l).dst for l in self.dag_out_links(dst)[src]]
+
+    # ------------------------------------------------------------------
+    # Load model
+    # ------------------------------------------------------------------
+    def link_loads(self, traffic: DemandsLike) -> np.ndarray:
+        """Per-link loads under even ECMP splitting of ``traffic``.
+
+        For each destination ``t``, nodes are processed in order of
+        decreasing distance to ``t``; each node's accumulated flow toward
+        ``t`` (locally originated plus transit) splits evenly over its
+        shortest-path DAG out-links.
+
+        Args:
+            traffic: Traffic matrix (or raw ``n x n`` demand array) in Mb/s.
+
+        Returns:
+            Vector of link loads (Mb/s), indexed by link index.
+
+        Raises:
+            RoutingError: if any positive demand has no path to its
+                destination.
+        """
+        demands = self._demand_array(traffic)
+        loads = np.zeros(self._net.num_links)
+        link_dst = self._net.link_destinations()
+        for t in np.flatnonzero(demands.sum(axis=0) > 0):
+            self._accumulate_destination(int(t), demands[:, t], loads, link_dst)
+        return loads
+
+    def pair_link_fractions(self, src: int, dst: int) -> np.ndarray:
+        """Fraction of the ``(src, dst)`` flow crossing each link.
+
+        The fractions of the links out of any traversed node sum to the
+        fraction entering that node, so path delay can be averaged as
+        ``sum_l fraction(l) * delay(l)`` (delay is additive along paths and
+        splitting is flow-proportional).
+
+        Raises:
+            RoutingError: if ``dst`` is unreachable from ``src``.
+        """
+        if src == dst:
+            raise ValueError("src and dst must differ")
+        dist = self._dist[dst]
+        if not np.isfinite(dist[src]):
+            raise RoutingError(f"node {dst} unreachable from node {src}")
+        dag_out = self.dag_out_links(dst)
+        node_frac = np.zeros(self._net.num_nodes)
+        node_frac[src] = 1.0
+        fractions = np.zeros(self._net.num_links)
+        for u in descending_distance_order(dist):
+            u = int(u)
+            if node_frac[u] <= 0.0 or u == dst or dist[u] > dist[src]:
+                continue
+            out = dag_out[u]
+            share = node_frac[u] / len(out)
+            for link_idx in out:
+                fractions[link_idx] += share
+                node_frac[self._net.link(link_idx).dst] += share
+        return fractions
+
+    def average_hop_count(self, src: int, dst: int) -> float:
+        """Mean number of hops of the ECMP flow from ``src`` to ``dst``."""
+        return float(self.pair_link_fractions(src, dst).sum())
+
+    def all_shortest_paths(self, src: int, dst: int, limit: int = 1000) -> list[list[int]]:
+        """Enumerate shortest paths as node sequences (capped at ``limit``).
+
+        Raises:
+            RoutingError: if ``dst`` is unreachable from ``src``, or more
+                than ``limit`` shortest paths exist.
+        """
+        if src == dst:
+            return [[src]]
+        if not np.isfinite(self._dist[dst, src]):
+            raise RoutingError(f"node {dst} unreachable from node {src}")
+        dag_out = self.dag_out_links(dst)
+        paths: list[list[int]] = []
+        stack: list[list[int]] = [[src]]
+        while stack:
+            path = stack.pop()
+            node = path[-1]
+            if node == dst:
+                paths.append(path)
+                if len(paths) > limit:
+                    raise RoutingError(f"more than {limit} shortest paths for ({src}, {dst})")
+                continue
+            for link_idx in dag_out[node]:
+                stack.append(path + [self._net.link(link_idx).dst])
+        return sorted(paths)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _demand_array(self, traffic: DemandsLike) -> np.ndarray:
+        demands = traffic.demands if isinstance(traffic, TrafficMatrix) else np.asarray(traffic, dtype=float)
+        n = self._net.num_nodes
+        if demands.shape != (n, n):
+            raise ValueError(f"expected demands of shape ({n}, {n}), got {demands.shape}")
+        return demands
+
+    def _accumulate_destination(
+        self,
+        t: int,
+        injections: np.ndarray,
+        loads: np.ndarray,
+        link_dst: np.ndarray,
+    ) -> None:
+        dist = self._dist[t]
+        unreachable = ~np.isfinite(dist) & (injections > 0)
+        if np.any(unreachable):
+            bad = int(np.flatnonzero(unreachable)[0])
+            raise RoutingError(f"node {t} unreachable from node {bad}")
+        dag_out = self.dag_out_links(t)
+        flow = injections.astype(float).copy()
+        for u in descending_distance_order(dist):
+            u = int(u)
+            if u == t or flow[u] <= 0.0:
+                continue
+            out = dag_out[u]
+            share = flow[u] / len(out)
+            for link_idx in out:
+                loads[link_idx] += share
+                flow[link_dst[link_idx]] += share
+
+    def __repr__(self) -> str:
+        return f"Routing(net={self._net.name!r}, links={self._net.num_links})"

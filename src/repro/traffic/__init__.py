@@ -1,0 +1,34 @@
+"""Traffic-matrix substrate: gravity model and high-priority traffic models.
+
+Implements the paper's traffic generation (Section 5.1.2): a gravity model
+with a three-level heterogeneous per-node demand for the low-priority class
+(Eqs. 6-7), plus two high-priority models — a *random* model that picks a
+fraction ``k`` of source-destination pairs, and a *sink* model emulating
+popular servers with uniformly or locally placed clients.  The high-priority
+volume is normalized so that it makes up a fraction ``f`` of total traffic.
+"""
+
+from repro.traffic.matrix import TrafficMatrix
+from repro.traffic.gravity import GravityParams, gravity_traffic_matrix
+from repro.traffic.highpriority import (
+    HighPriorityTraffic,
+    random_high_priority,
+    sink_high_priority,
+)
+from repro.traffic.scaling import average_utilization, scale_to_utilization
+from repro.traffic.stats import TrafficStats, class_mix, gini_coefficient, traffic_stats
+
+__all__ = [
+    "TrafficStats",
+    "traffic_stats",
+    "gini_coefficient",
+    "class_mix",
+    "TrafficMatrix",
+    "GravityParams",
+    "gravity_traffic_matrix",
+    "HighPriorityTraffic",
+    "random_high_priority",
+    "sink_high_priority",
+    "average_utilization",
+    "scale_to_utilization",
+]

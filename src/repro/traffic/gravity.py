@@ -1,0 +1,109 @@
+"""Gravity model for the low-priority traffic matrix (paper Eqs. 6-7)."""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.traffic.matrix import TrafficMatrix
+
+
+@dataclass(frozen=True)
+class GravityParams:
+    """Parameters of the heterogeneous gravity model.
+
+    The per-node originated volume ``d_s`` follows the paper's three-level
+    mixture (Eq. 7): low-volume nodes with probability 0.6 drawing from
+    Uniform(10, 50), medium with probability 0.35 from Uniform(80, 130),
+    and "hot spot" nodes with probability 0.05 from Uniform(150, 200).
+    Node mass ``V_t`` is Uniform(1, 1.5); destination attraction is
+    proportional to ``exp(V_t)`` (Eq. 6).
+    """
+
+    low_range: tuple[float, float] = (10.0, 50.0)
+    medium_range: tuple[float, float] = (80.0, 130.0)
+    high_range: tuple[float, float] = (150.0, 200.0)
+    low_prob: float = 0.60
+    medium_prob: float = 0.35
+    mass_range: tuple[float, float] = (1.0, 1.5)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.low_prob <= 1 or not 0 <= self.medium_prob <= 1:
+            raise ValueError("mixture probabilities must lie in [0, 1]")
+        if self.low_prob + self.medium_prob > 1:
+            raise ValueError("low_prob + medium_prob must not exceed 1")
+        for name in ("low_range", "medium_range", "high_range", "mass_range"):
+            lo, hi = getattr(self, name)
+            if hi < lo:
+                raise ValueError(f"{name} must be (lo, hi) with hi >= lo")
+
+    @property
+    def high_prob(self) -> float:
+        """Probability of a hot-spot node (0.05 with paper defaults)."""
+        return 1.0 - self.low_prob - self.medium_prob
+
+
+def node_volumes(
+    num_nodes: int, rng: random.Random, params: Optional[GravityParams] = None
+) -> np.ndarray:
+    """Draw the per-node originated volumes ``d_s`` (Eq. 7)."""
+    params = params or GravityParams()
+    volumes = np.empty(num_nodes)
+    for node in range(num_nodes):
+        u = rng.random()
+        if u < params.low_prob:
+            lo, hi = params.low_range
+        elif u < params.low_prob + params.medium_prob:
+            lo, hi = params.medium_range
+        else:
+            lo, hi = params.high_range
+        volumes[node] = rng.uniform(lo, hi)
+    return volumes
+
+
+def node_masses(
+    num_nodes: int, rng: random.Random, params: Optional[GravityParams] = None
+) -> np.ndarray:
+    """Draw the per-node masses ``V_t`` (Uniform(1, 1.5) with paper defaults)."""
+    params = params or GravityParams()
+    lo, hi = params.mass_range
+    return np.array([rng.uniform(lo, hi) for _ in range(num_nodes)])
+
+
+def gravity_traffic_matrix(
+    num_nodes: int,
+    rng: Optional[random.Random] = None,
+    params: Optional[GravityParams] = None,
+) -> TrafficMatrix:
+    """Generate a low-priority traffic matrix with the paper's gravity model.
+
+    Implements Eq. 6: ``r_L(s, t) = d_s * exp(V_t) / sum_{i != s} exp(V_i)``,
+    so each source's originated volume ``d_s`` is split across destinations
+    proportionally to their attraction ``exp(V_t)``.
+
+    Args:
+        num_nodes: Number of nodes.
+        rng: Source of randomness; a fresh unseeded one is created if omitted.
+        params: Model parameters; paper defaults if omitted.
+
+    Returns:
+        A :class:`TrafficMatrix` with every off-diagonal entry positive and
+        each row summing to its node's ``d_s``.
+    """
+    if num_nodes < 2:
+        raise ValueError(f"gravity model needs at least 2 nodes, got {num_nodes}")
+    rng = rng or random.Random()
+    volumes = node_volumes(num_nodes, rng, params)
+    masses = node_masses(num_nodes, rng, params)
+    attraction = np.array([math.exp(v) for v in masses])
+
+    demands = np.zeros((num_nodes, num_nodes))
+    for s in range(num_nodes):
+        denom = attraction.sum() - attraction[s]
+        demands[s, :] = volumes[s] * attraction / denom
+        demands[s, s] = 0.0
+    return TrafficMatrix(demands)

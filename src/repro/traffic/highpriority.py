@@ -1,0 +1,190 @@
+"""High-priority traffic models: random-pair and sink (paper Section 5.1.2).
+
+Both models normalize the high-priority volume so that it represents a
+fraction ``f`` of the total network traffic: with low-priority volume
+``eta_L``, the high-priority volume is ``eta_L * f / (1 - f)``, distributed
+across the selected pairs proportionally to per-pair multipliers
+``m(s, t) ~ Uniform(1, 4)``.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.network.graph import Network
+from repro.traffic.matrix import TrafficMatrix
+
+MULTIPLIER_RANGE = (1.0, 4.0)
+"""Range of the per-pair heterogeneity multiplier ``m(s, t)``."""
+
+
+@dataclass(frozen=True)
+class HighPriorityTraffic:
+    """A generated high-priority demand set.
+
+    Attributes:
+        matrix: The high-priority traffic matrix ``T_H``.
+        pairs: The selected source-destination pairs.
+        fraction: The volume fraction ``f`` the matrix was normalized to.
+        sinks: Sink nodes (empty for the random model).
+        clients: Client nodes (empty for the random model).
+    """
+
+    matrix: TrafficMatrix
+    pairs: tuple[tuple[int, int], ...]
+    fraction: float
+    sinks: tuple[int, ...] = field(default=())
+    clients: tuple[int, ...] = field(default=())
+
+    @property
+    def density(self) -> float:
+        """Fraction ``k`` of the ordered node pairs carrying high-priority traffic."""
+        n = self.matrix.num_nodes
+        return len(self.pairs) / (n * (n - 1))
+
+
+def _normalized_matrix(
+    num_nodes: int,
+    pairs: list[tuple[int, int]],
+    low_total: float,
+    fraction: float,
+    rng: random.Random,
+) -> TrafficMatrix:
+    """Spread ``eta_L * f / (1 - f)`` over ``pairs`` with Uniform(1, 4) multipliers."""
+    if not pairs:
+        return TrafficMatrix.zeros(num_nodes)
+    lo, hi = MULTIPLIER_RANGE
+    multipliers = np.array([rng.uniform(lo, hi) for _ in pairs])
+    volume = low_total * fraction / (1.0 - fraction)
+    rates = volume * multipliers / multipliers.sum()
+    demands = np.zeros((num_nodes, num_nodes))
+    for (s, t), rate in zip(pairs, rates):
+        demands[s, t] = rate
+    return TrafficMatrix(demands)
+
+
+def _check_fraction(fraction: float) -> None:
+    if not 0.0 < fraction < 1.0:
+        raise ValueError(f"high-priority fraction f must be in (0, 1), got {fraction}")
+
+
+def random_high_priority(
+    low_matrix: TrafficMatrix,
+    density: float,
+    fraction: float,
+    rng: Optional[random.Random] = None,
+) -> HighPriorityTraffic:
+    """Generate high-priority traffic with the *random* model.
+
+    A fraction ``density`` (the paper's ``k``) of the ``n(n-1)`` ordered
+    pairs is selected uniformly at random to carry high-priority traffic.
+
+    Args:
+        low_matrix: The low-priority matrix ``T_L`` (sets ``eta_L``).
+        density: Fraction ``k`` of SD pairs that carry high-priority traffic.
+        fraction: Volume fraction ``f`` of total traffic that is high priority.
+        rng: Source of randomness; a fresh unseeded one is created if omitted.
+
+    Returns:
+        A :class:`HighPriorityTraffic` whose matrix volume satisfies
+        ``eta_H / (eta_H + eta_L) == fraction``.
+    """
+    _check_fraction(fraction)
+    if not 0.0 < density <= 1.0:
+        raise ValueError(f"SD-pair density k must be in (0, 1], got {density}")
+    rng = rng or random.Random()
+    n = low_matrix.num_nodes
+    all_pairs = [(s, t) for s in range(n) for t in range(n) if s != t]
+    count = max(1, round(density * len(all_pairs)))
+    pairs = rng.sample(all_pairs, count)
+    matrix = _normalized_matrix(n, pairs, low_matrix.total(), fraction, rng)
+    return HighPriorityTraffic(matrix=matrix, pairs=tuple(sorted(pairs)), fraction=fraction)
+
+
+def sink_high_priority(
+    net: Network,
+    low_matrix: TrafficMatrix,
+    fraction: float,
+    num_sinks: int = 3,
+    num_clients: int = 9,
+    placement: str = "uniform",
+    rng: Optional[random.Random] = None,
+) -> HighPriorityTraffic:
+    """Generate high-priority traffic with the *sink* model.
+
+    Emulates popular servers (e.g. data centers): ``num_sinks`` nodes with
+    the highest degree are sinks, ``num_clients`` client nodes exchange
+    bidirectional high-priority traffic with every sink.  Clients are drawn
+    uniformly at random (``placement="uniform"``) or from the nodes closest
+    to the sinks in hop count (``placement="local"``), the two scenarios of
+    the paper's Fig. 8.
+
+    Args:
+        net: Topology; degrees and hop distances are read from it.
+        low_matrix: The low-priority matrix ``T_L`` (sets ``eta_L``).
+        fraction: Volume fraction ``f`` of total traffic that is high priority.
+        num_sinks: Number of sink nodes (paper: 3).
+        num_clients: Number of client nodes.
+        placement: ``"uniform"`` or ``"local"``.
+        rng: Source of randomness; a fresh unseeded one is created if omitted.
+
+    Returns:
+        A :class:`HighPriorityTraffic` with ``2 * num_sinks * num_clients``
+        demand pairs.
+    """
+    _check_fraction(fraction)
+    if placement not in ("uniform", "local"):
+        raise ValueError(f"placement must be 'uniform' or 'local', got {placement!r}")
+    n = net.num_nodes
+    if low_matrix.num_nodes != n:
+        raise ValueError("low-priority matrix size does not match the network")
+    if num_sinks < 1 or num_clients < 1:
+        raise ValueError("need at least one sink and one client")
+    if num_sinks + num_clients > n:
+        raise ValueError(
+            f"{num_sinks} sinks + {num_clients} clients exceed {n} nodes"
+        )
+    rng = rng or random.Random()
+
+    by_degree = sorted(net.nodes(), key=lambda v: (-net.degree(v), v))
+    sinks = by_degree[:num_sinks]
+    candidates = [v for v in net.nodes() if v not in sinks]
+    if placement == "uniform":
+        clients = rng.sample(candidates, num_clients)
+    else:
+        hop_to_sinks = {v: min(_hop_distances(net, s)[v] for s in sinks) for v in candidates}
+        candidates.sort(key=lambda v: (hop_to_sinks[v], rng.random()))
+        clients = candidates[:num_clients]
+
+    pairs = []
+    for sink in sinks:
+        for client in clients:
+            pairs.append((client, sink))
+            pairs.append((sink, client))
+    matrix = _normalized_matrix(n, pairs, low_matrix.total(), fraction, rng)
+    return HighPriorityTraffic(
+        matrix=matrix,
+        pairs=tuple(sorted(pairs)),
+        fraction=fraction,
+        sinks=tuple(sinks),
+        clients=tuple(sorted(clients)),
+    )
+
+
+def _hop_distances(net: Network, source: int) -> list[int]:
+    """BFS hop count from ``source`` to every node (directed links)."""
+    dist = [-1] * net.num_nodes
+    dist[source] = 0
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for nxt in net.neighbors(node):
+            if dist[nxt] < 0:
+                dist[nxt] = dist[node] + 1
+                queue.append(nxt)
+    return dist

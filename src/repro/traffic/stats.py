@@ -1,0 +1,73 @@
+"""Traffic-matrix statistics used to characterize experiment workloads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.traffic.matrix import TrafficMatrix
+
+
+@dataclass(frozen=True)
+class TrafficStats:
+    """Summary of one traffic matrix.
+
+    Attributes:
+        total_mbps: Total demand volume (the paper's eta).
+        pair_count: Source-destination pairs with demand.
+        density: Fraction of ordered pairs with demand (the paper's k for
+            high-priority matrices).
+        max_pair_mbps: Largest single demand.
+        mean_pair_mbps: Mean non-zero demand.
+        hotspot_share: Fraction of volume originated by the top 5 % of nodes.
+        gini: Gini coefficient of per-pair volumes (0 = uniform).
+    """
+
+    total_mbps: float
+    pair_count: int
+    density: float
+    max_pair_mbps: float
+    mean_pair_mbps: float
+    hotspot_share: float
+    gini: float
+
+
+def gini_coefficient(values: np.ndarray) -> float:
+    """Gini coefficient of non-negative values (0 = equal, -> 1 = concentrated)."""
+    values = np.asarray(values, dtype=float)
+    if np.any(values < 0):
+        raise ValueError("gini coefficient requires non-negative values")
+    values = np.sort(values)
+    if len(values) == 0 or values.sum() == 0:
+        return 0.0
+    n = len(values)
+    ranks = np.arange(1, n + 1)
+    return float((2 * ranks - n - 1) @ values / (n * values.sum()))
+
+
+def traffic_stats(tm: TrafficMatrix) -> TrafficStats:
+    """Compute a :class:`TrafficStats` summary of one matrix."""
+    rates = np.array([rate for _, _, rate in tm.pairs()])
+    per_source = tm.demands.sum(axis=1)
+    top = max(1, round(0.05 * tm.num_nodes))
+    hotspot = float(np.sort(per_source)[::-1][:top].sum())
+    total = tm.total()
+    return TrafficStats(
+        total_mbps=total,
+        pair_count=tm.pair_count(),
+        density=tm.density(),
+        max_pair_mbps=float(rates.max()) if len(rates) else 0.0,
+        mean_pair_mbps=float(rates.mean()) if len(rates) else 0.0,
+        hotspot_share=hotspot / total if total > 0 else 0.0,
+        gini=gini_coefficient(rates) if len(rates) else 0.0,
+    )
+
+
+def class_mix(high: TrafficMatrix, low: TrafficMatrix) -> float:
+    """The volume fraction f = eta_H / (eta_H + eta_L) of a class pair."""
+    eta_h = high.total()
+    eta_l = low.total()
+    if eta_h + eta_l == 0:
+        raise ValueError("both matrices are empty")
+    return eta_h / (eta_h + eta_l)

@@ -1,0 +1,83 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.network.graph import Network
+from repro.network.topology_isp import isp_topology
+from repro.network.topology_powerlaw import powerlaw_topology
+from repro.network.topology_random import random_topology
+from repro.traffic.gravity import gravity_traffic_matrix
+from repro.traffic.highpriority import random_high_priority
+from repro.traffic.matrix import TrafficMatrix
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG."""
+    return random.Random(12345)
+
+
+@pytest.fixture
+def triangle() -> Network:
+    """The paper's Fig. 1 network: 3 nodes, full duplex mesh, capacity 1."""
+    net = Network(3, name="triangle")
+    for u, v in ((0, 1), (1, 2), (0, 2)):
+        net.add_duplex_link(u, v, capacity_mbps=1.0, prop_delay_ms=1.0)
+    return net
+
+
+@pytest.fixture
+def line4() -> Network:
+    """A 4-node duplex chain 0-1-2-3."""
+    net = Network(4, name="line4")
+    for u, v in ((0, 1), (1, 2), (2, 3)):
+        net.add_duplex_link(u, v, capacity_mbps=100.0, prop_delay_ms=2.0)
+    return net
+
+
+@pytest.fixture
+def diamond() -> Network:
+    """4 nodes: two equal-length paths 0-1-3 and 0-2-3 (ECMP testbed)."""
+    net = Network(4, name="diamond")
+    for u, v in ((0, 1), (0, 2), (1, 3), (2, 3)):
+        net.add_duplex_link(u, v, capacity_mbps=10.0, prop_delay_ms=1.0)
+    return net
+
+
+@pytest.fixture
+def isp_net() -> Network:
+    """The 16-node, 70-link ISP backbone."""
+    return isp_topology()
+
+
+@pytest.fixture
+def random_net() -> Network:
+    """A seeded 30-node, 150-link random topology."""
+    return random_topology(rng=random.Random(99))
+
+
+@pytest.fixture
+def powerlaw_net() -> Network:
+    """A seeded 30-node, 162-link power-law topology."""
+    return powerlaw_topology(rng=random.Random(99))
+
+
+@pytest.fixture
+def small_traffic(isp_net, rng) -> tuple[TrafficMatrix, TrafficMatrix]:
+    """A (high, low) traffic pair on the ISP backbone, moderately loaded."""
+    from repro.traffic.scaling import scale_to_utilization
+
+    low = gravity_traffic_matrix(isp_net.num_nodes, rng)
+    high = random_high_priority(low, density=0.1, fraction=0.3, rng=rng)
+    return scale_to_utilization(isp_net, high.matrix, low, 0.6)
+
+
+def assert_valid_loads(net: Network, loads: np.ndarray) -> None:
+    """Loads must be a non-negative vector over link indices."""
+    assert loads.shape == (net.num_links,)
+    assert np.all(loads >= 0)

@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.network.io import load_network
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_topology_command(tmp_path, capsys):
+    out = tmp_path / "net.json"
+    assert main(["topology", "--family", "isp", "--out", str(out)]) == 0
+    net = load_network(out)
+    assert net.num_nodes == 16
+    assert "wrote" in capsys.readouterr().out
+
+
+def test_topology_command_random_seeded(tmp_path):
+    out1 = tmp_path / "a.json"
+    out2 = tmp_path / "b.json"
+    main(["topology", "--family", "random", "--seed", "4", "--out", str(out1)])
+    main(["topology", "--family", "random", "--seed", "4", "--out", str(out2)])
+    assert load_network(out1) == load_network(out2)
+
+
+def test_figure_command(tmp_path, capsys):
+    json_out = tmp_path / "fig.json"
+    code = main(
+        ["figure", "--id", "fig6", "--scale", "0.02", "--seed", "2", "--json", str(json_out)]
+    )
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "Fig.6" in printed
+    data = json.loads(json_out.read_text())
+    assert "curves" in data
+
+
+def test_figure_command_unknown_id():
+    with pytest.raises(SystemExit):
+        main(["figure", "--id", "fig99"])
+
+
+def test_compare_command(capsys):
+    code = main(
+        [
+            "compare",
+            "--topology",
+            "isp",
+            "--utilization",
+            "0.5",
+            "--scale",
+            "0.02",
+            "--seed",
+            "2",
+        ]
+    )
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "R_H=" in printed
+    assert "STR objective" in printed

@@ -1,0 +1,150 @@
+"""Tests for the Fortz-Thorup piecewise-linear cost (paper Eq. 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costs.fortz import (
+    FORTZ_BREAKPOINTS,
+    FORTZ_SEGMENTS,
+    fortz_cost,
+    fortz_cost_vector,
+    fortz_segment_index,
+)
+
+
+def test_zero_load_zero_cost():
+    assert fortz_cost(0.0, 100.0) == 0.0
+    assert fortz_cost(0.0, 0.0) == 0.0
+
+
+def test_segment_values_match_eq1():
+    """Spot-check every branch of Eq. 1 on a unit-capacity link."""
+    cap = 1.0
+    assert fortz_cost(0.2, cap) == pytest.approx(0.2)
+    assert fortz_cost(0.5, cap) == pytest.approx(3 * 0.5 - 2 / 3)
+    assert fortz_cost(0.8, cap) == pytest.approx(10 * 0.8 - 16 / 3)
+    assert fortz_cost(0.95, cap) == pytest.approx(70 * 0.95 - 178 / 3)
+    assert fortz_cost(1.05, cap) == pytest.approx(500 * 1.05 - 1468 / 3)
+    assert fortz_cost(1.5, cap) == pytest.approx(5000 * 1.5 - 16318 / 3)
+
+
+def test_continuity_at_breakpoints():
+    """The max-of-affine form must be continuous at every breakpoint."""
+    cap = 7.0
+    for u in FORTZ_BREAKPOINTS:
+        below = fortz_cost(u * cap - 1e-9 * cap, cap)
+        above = fortz_cost(u * cap + 1e-9 * cap, cap)
+        assert below == pytest.approx(above, rel=1e-6)
+
+
+def test_paper_triangle_values():
+    """Exact values from the paper's Section 3.3.1 example."""
+    assert fortz_cost(1 / 3, 1.0) == pytest.approx(1 / 3)
+    assert fortz_cost(2 / 3, 2 / 3) == pytest.approx(64 / 9)
+    assert fortz_cost(1 / 3, 5 / 6) == pytest.approx(4 / 9)
+
+
+def test_zero_capacity_prices_steepest_slope():
+    assert fortz_cost(2.0, 0.0) == pytest.approx(10000.0)
+
+
+def test_negative_inputs_rejected():
+    with pytest.raises(ValueError):
+        fortz_cost(-1.0, 1.0)
+    with pytest.raises(ValueError):
+        fortz_cost(1.0, -1.0)
+
+
+def test_vector_matches_scalar():
+    loads = np.array([0.0, 0.2, 0.5, 0.8, 0.95, 1.05, 1.5, 3.0])
+    caps = np.ones_like(loads)
+    vector = fortz_cost_vector(loads, caps)
+    scalars = [fortz_cost(l, c) for l, c in zip(loads, caps)]
+    np.testing.assert_allclose(vector, scalars)
+
+
+def test_vector_shape_mismatch():
+    with pytest.raises(ValueError, match="shape mismatch"):
+        fortz_cost_vector(np.ones(3), np.ones(4))
+
+
+def test_vector_negative_rejected():
+    with pytest.raises(ValueError):
+        fortz_cost_vector(np.array([-1.0]), np.array([1.0]))
+    with pytest.raises(ValueError):
+        fortz_cost_vector(np.array([1.0]), np.array([-1.0]))
+
+
+def test_segment_index():
+    assert fortz_segment_index(0.1, 1.0) == 0
+    assert fortz_segment_index(0.5, 1.0) == 1
+    assert fortz_segment_index(0.8, 1.0) == 2
+    assert fortz_segment_index(0.95, 1.0) == 3
+    assert fortz_segment_index(1.05, 1.0) == 4
+    assert fortz_segment_index(2.0, 1.0) == 5
+    assert fortz_segment_index(1.0, 0.0) == 5
+
+
+def test_segments_constant_count():
+    assert len(FORTZ_SEGMENTS) == 6
+    assert len(FORTZ_BREAKPOINTS) == 5
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    load=st.floats(0.0, 1e4, allow_nan=False),
+    cap=st.floats(0.0, 1e4, allow_nan=False),
+)
+def test_non_negative(load, cap):
+    assert fortz_cost(load, cap) >= 0.0
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    l1=st.floats(0.0, 1e4, allow_nan=False),
+    l2=st.floats(0.0, 1e4, allow_nan=False),
+    cap=st.floats(0.01, 1e4, allow_nan=False),
+)
+def test_monotone_in_load(l1, l2, cap):
+    lo, hi = sorted((l1, l2))
+    assert fortz_cost(lo, cap) <= fortz_cost(hi, cap) + 1e-12
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    l1=st.floats(0.0, 1e4, allow_nan=False),
+    l2=st.floats(0.0, 1e4, allow_nan=False),
+    cap=st.floats(0.01, 1e4, allow_nan=False),
+    lam=st.floats(0.0, 1.0, allow_nan=False),
+)
+def test_convex_in_load(l1, l2, cap, lam):
+    mid = lam * l1 + (1 - lam) * l2
+    chord = lam * fortz_cost(l1, cap) + (1 - lam) * fortz_cost(l2, cap)
+    assert fortz_cost(mid, cap) <= chord + 1e-6 * max(1.0, abs(chord))
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    load=st.floats(0.0, 100.0, allow_nan=False),
+    cap=st.floats(0.01, 100.0, allow_nan=False),
+    scale=st.floats(0.01, 100.0, allow_nan=False),
+)
+def test_positively_homogeneous(load, cap, scale):
+    """Eq. 1 is affine per segment in (load, cap): f(ax, aC) = a f(x, C)."""
+    assert fortz_cost(load * scale, cap * scale) == pytest.approx(
+        scale * fortz_cost(load, cap), rel=1e-9, abs=1e-9
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    load=st.floats(0.0, 100.0, allow_nan=False),
+    c1=st.floats(0.01, 100.0, allow_nan=False),
+    c2=st.floats(0.01, 100.0, allow_nan=False),
+)
+def test_monotone_decreasing_in_capacity(load, c1, c2):
+    """More capacity can never make the same load costlier."""
+    lo, hi = sorted((c1, c2))
+    assert fortz_cost(load, hi) <= fortz_cost(load, lo) + 1e-9

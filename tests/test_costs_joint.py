@@ -1,0 +1,66 @@
+"""Tests for the joint cost J = alpha*Phi_H + Phi_L (paper Section 3.3.1).
+
+Reproduces the paper's 3-node illustration: with alpha = 35 the joint
+optimum routes everything on the direct link (lexicographic behavior),
+while alpha = 30 flips the optimum to the ECMP split - improving Phi_L by
+81 % but degrading Phi_H by 50 %, the "priority inversion".
+"""
+
+import pytest
+
+from repro.costs.joint import joint_cost
+from repro.costs.load_cost import evaluate_load_cost
+from repro.routing.state import Routing
+from repro.routing.weights import unit_weights
+from repro.traffic.matrix import TrafficMatrix
+
+
+@pytest.fixture
+def evaluations(triangle):
+    high = TrafficMatrix.from_pairs(3, [(0, 2, 1 / 3)])
+    low = TrafficMatrix.from_pairs(3, [(0, 2, 2 / 3)])
+    direct = Routing(triangle, unit_weights(triangle.num_links))
+    split_w = unit_weights(triangle.num_links).copy()
+    split_w[triangle.link_between(0, 2).index] = 2
+    split = Routing(triangle, split_w)
+    return (
+        evaluate_load_cost(triangle, direct, direct, high, low),
+        evaluate_load_cost(triangle, split, split, high, low),
+    )
+
+
+def test_alpha_35_prefers_direct(evaluations):
+    direct, split = evaluations
+    assert joint_cost(direct, 35.0) < joint_cost(split, 35.0)
+
+
+def test_alpha_30_prefers_split_priority_inversion(evaluations):
+    direct, split = evaluations
+    assert joint_cost(split, 30.0) < joint_cost(direct, 30.0)
+    assert split.phi_high > direct.phi_high
+
+
+def test_paper_deltas(evaluations):
+    """Phi_L improves by 81 %, Phi_H degrades by 50 % (paper numbers)."""
+    direct, split = evaluations
+    improvement = 1.0 - split.phi_low / direct.phi_low
+    degradation = split.phi_high / direct.phi_high - 1.0
+    assert improvement == pytest.approx(0.8125, abs=0.001)
+    assert degradation == pytest.approx(0.50, abs=1e-9)
+
+
+def test_joint_cost_values(evaluations):
+    direct, split = evaluations
+    assert joint_cost(direct, 35.0) == pytest.approx(35 / 3 + 64 / 9)
+    assert joint_cost(split, 35.0) == pytest.approx(35 / 2 + 4 / 3)
+
+
+def test_alpha_zero_is_phi_low(evaluations):
+    direct, _ = evaluations
+    assert joint_cost(direct, 0.0) == pytest.approx(direct.phi_low)
+
+
+def test_negative_alpha_rejected(evaluations):
+    direct, _ = evaluations
+    with pytest.raises(ValueError, match="non-negative"):
+        joint_cost(direct, -1.0)

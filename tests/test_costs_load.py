@@ -1,0 +1,114 @@
+"""Tests for the load-based objective, anchored on the paper's 3-node example."""
+
+import numpy as np
+import pytest
+
+from repro.costs.load_cost import evaluate_load_cost
+from repro.core.lexicographic import LexCost
+from repro.routing.state import Routing
+from repro.routing.weights import unit_weights
+from repro.traffic.matrix import TrafficMatrix
+
+
+@pytest.fixture
+def triangle_traffic():
+    """Paper Section 3.3.1: 1/3 high and 2/3 low priority from A=0 to C=2."""
+    high = TrafficMatrix.from_pairs(3, [(0, 2, 1 / 3)])
+    low = TrafficMatrix.from_pairs(3, [(0, 2, 2 / 3)])
+    return high, low
+
+
+def direct_weights(triangle):
+    """Weights that route A->C on the direct link only."""
+    return unit_weights(triangle.num_links)
+
+
+def split_weights(triangle):
+    """Weights that split A->C evenly over A-C and A-B-C."""
+    weights = unit_weights(triangle.num_links).copy()
+    weights[triangle.link_between(0, 2).index] = 2
+    return weights
+
+
+def test_paper_example_direct_routing(triangle, triangle_traffic):
+    """Direct STR routing: Phi_H = 1/3, Phi_L = 64/9 (paper values)."""
+    high, low = triangle_traffic
+    routing = Routing(triangle, direct_weights(triangle))
+    result = evaluate_load_cost(triangle, routing, routing, high, low)
+    assert result.phi_high == pytest.approx(1 / 3)
+    assert result.phi_low == pytest.approx(64 / 9)
+
+
+def test_paper_example_split_routing(triangle, triangle_traffic):
+    """ECMP-split STR routing: Phi_H = 1/2, Phi_L = 4/3 (paper values)."""
+    high, low = triangle_traffic
+    routing = Routing(triangle, split_weights(triangle))
+    result = evaluate_load_cost(triangle, routing, routing, high, low)
+    assert result.phi_high == pytest.approx(1 / 2)
+    assert result.phi_low == pytest.approx(4 / 3)
+
+
+def test_paper_example_dtr_dominates(triangle, triangle_traffic):
+    """DTR: high on the direct link, low split - beats both STR options."""
+    high, low = triangle_traffic
+    high_routing = Routing(triangle, direct_weights(triangle))
+    low_routing = Routing(triangle, split_weights(triangle))
+    result = evaluate_load_cost(triangle, high_routing, low_routing, high, low)
+    assert result.phi_high == pytest.approx(1 / 3)
+    assert result.phi_low < 64 / 9
+
+
+def test_objective_is_lexicographic(triangle, triangle_traffic):
+    high, low = triangle_traffic
+    routing = Routing(triangle, direct_weights(triangle))
+    result = evaluate_load_cost(triangle, routing, routing, high, low)
+    assert result.objective == LexCost(result.phi_high, result.phi_low)
+
+
+def test_per_link_costs_sum_to_totals(triangle, triangle_traffic):
+    high, low = triangle_traffic
+    routing = Routing(triangle, split_weights(triangle))
+    result = evaluate_load_cost(triangle, routing, routing, high, low)
+    assert result.per_link_high.sum() == pytest.approx(result.phi_high)
+    assert result.per_link_low.sum() == pytest.approx(result.phi_low)
+
+
+def test_residual_reflects_high_load(triangle, triangle_traffic):
+    high, low = triangle_traffic
+    routing = Routing(triangle, direct_weights(triangle))
+    result = evaluate_load_cost(triangle, routing, routing, high, low)
+    direct = triangle.link_between(0, 2).index
+    assert result.residual[direct] == pytest.approx(2 / 3)
+    assert result.high_loads[direct] == pytest.approx(1 / 3)
+    assert result.low_loads[direct] == pytest.approx(2 / 3)
+
+
+def test_utilization_stats(triangle, triangle_traffic):
+    high, low = triangle_traffic
+    routing = Routing(triangle, direct_weights(triangle))
+    result = evaluate_load_cost(triangle, routing, routing, high, low)
+    direct = triangle.link_between(0, 2).index
+    assert result.utilization[direct] == pytest.approx(1.0)
+    assert result.max_utilization == pytest.approx(1.0)
+    assert result.average_utilization == pytest.approx(1.0 / 6)
+
+
+def test_sort_keys(triangle, triangle_traffic):
+    high, low = triangle_traffic
+    routing = Routing(triangle, direct_weights(triangle))
+    result = evaluate_load_cost(triangle, routing, routing, high, low)
+    keys = result.high_link_sort_keys()
+    assert len(keys) == triangle.num_links
+    direct = triangle.link_between(0, 2).index
+    assert max(range(len(keys)), key=lambda i: keys[i]) == direct
+    low_keys = result.low_link_sort_keys()
+    assert np.argmax(low_keys) == direct
+
+
+def test_empty_traffic_zero_cost(triangle):
+    zeros = TrafficMatrix.zeros(3)
+    routing = Routing(triangle, unit_weights(triangle.num_links))
+    result = evaluate_load_cost(triangle, routing, routing, zeros, zeros)
+    assert result.phi_high == 0.0
+    assert result.phi_low == 0.0
+    assert result.objective == LexCost(0.0, 0.0)

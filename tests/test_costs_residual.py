@@ -1,0 +1,43 @@
+"""Tests for the residual-capacity model (priority queueing)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costs.residual import residual_capacities
+
+
+def test_basic_subtraction():
+    caps = np.array([10.0, 10.0, 10.0])
+    high = np.array([0.0, 4.0, 12.0])
+    np.testing.assert_allclose(residual_capacities(caps, high), [10.0, 6.0, 0.0])
+
+
+def test_never_negative():
+    caps = np.array([5.0])
+    high = np.array([100.0])
+    assert residual_capacities(caps, high)[0] == 0.0
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(ValueError, match="shape mismatch"):
+        residual_capacities(np.ones(2), np.ones(3))
+
+
+def test_negative_load_rejected():
+    with pytest.raises(ValueError, match="non-negative"):
+        residual_capacities(np.ones(2), np.array([1.0, -0.5]))
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    caps=st.lists(st.floats(0.0, 1e6, allow_nan=False), min_size=1, max_size=20),
+    scale=st.floats(0.0, 2.0, allow_nan=False),
+)
+def test_bounds_property(caps, scale):
+    caps = np.asarray(caps)
+    high = caps * scale
+    residual = residual_capacities(caps, high)
+    assert np.all(residual >= 0)
+    assert np.all(residual <= caps)

@@ -1,0 +1,89 @@
+"""Tests for MT-OSPF config generation."""
+
+import random
+
+import pytest
+
+from repro.deploy.config_gen import (
+    BASE_TOPOLOGY_ID,
+    generate_router_configs,
+    parse_router_config,
+    render_router_config,
+)
+from repro.routing.weights import random_weights, unit_weights
+
+
+@pytest.fixture
+def configs(diamond):
+    rng = random.Random(1)
+    weights = {
+        "high": random_weights(diamond.num_links, rng),
+        "low": random_weights(diamond.num_links, rng),
+    }
+    return weights, generate_router_configs(diamond, weights)
+
+
+def test_one_config_per_node(diamond, configs):
+    _, cfgs = configs
+    assert [c.node for c in cfgs] == list(diamond.nodes())
+
+
+def test_topology_ids_stable_and_sorted(configs):
+    _, cfgs = configs
+    for cfg in cfgs:
+        assert cfg.topology_ids == {"high": BASE_TOPOLOGY_ID, "low": BASE_TOPOLOGY_ID + 1}
+
+
+def test_interface_costs_match_weights(diamond, configs):
+    weights, cfgs = configs
+    for cfg in cfgs:
+        for link in diamond.out_links(cfg.node):
+            for label in ("high", "low"):
+                assert cfg.interface_costs[(link.dst, label)] == weights[label][link.index]
+
+
+def test_neighbors_listed(diamond, configs):
+    _, cfgs = configs
+    assert cfgs[0].neighbors() == sorted(diamond.neighbors(0))
+
+
+def test_weight_length_validated(diamond):
+    with pytest.raises(ValueError, match="expected"):
+        generate_router_configs(diamond, {"high": [1, 2, 3]})
+
+
+def test_empty_classes_rejected(diamond):
+    with pytest.raises(ValueError, match="at least one"):
+        generate_router_configs(diamond, {})
+
+
+def test_render_contains_all_stanzas(diamond, configs):
+    _, cfgs = configs
+    text = render_router_config(cfgs[0])
+    assert "router ospf 1" in text
+    assert f"topology high tid {BASE_TOPOLOGY_ID}" in text
+    for neighbor in diamond.neighbors(0):
+        assert f"interface link-0-{neighbor}" in text
+
+
+def test_round_trip(configs):
+    _, cfgs = configs
+    for cfg in cfgs:
+        parsed = parse_router_config(render_router_config(cfg))
+        assert parsed.node == cfg.node
+        assert dict(parsed.topology_ids) == dict(cfg.topology_ids)
+        assert dict(parsed.interface_costs) == dict(cfg.interface_costs)
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(ValueError, match="unrecognized"):
+        parse_router_config("router ospf 1\n nonsense here\n")
+    with pytest.raises(ValueError, match="missing 'node'"):
+        parse_router_config("router ospf 1\n!\n")
+
+
+def test_single_topology_config(triangle):
+    cfgs = generate_router_configs(triangle, {"default": unit_weights(triangle.num_links)})
+    assert cfgs[0].topology_ids == {"default": BASE_TOPOLOGY_ID}
+    text = render_router_config(cfgs[0])
+    assert parse_router_config(text).interface_costs[(1, "default")] == 1

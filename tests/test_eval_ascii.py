@@ -1,0 +1,48 @@
+"""Tests for plain-text rendering helpers."""
+
+import numpy as np
+import pytest
+
+from repro.eval.ascii_plot import format_histogram, format_series, format_table
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "value"], [["a", 1.0], ["longer", 2.5]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("name")
+    assert "-" in lines[1]
+    assert "longer" in lines[2] or "longer" in lines[3]
+
+
+def test_format_table_cell_count_validated():
+    with pytest.raises(ValueError, match="cells"):
+        format_table(["a", "b"], [["only-one"]])
+
+
+def test_format_table_float_formats():
+    text = format_table(["x"], [[123456.0], [0.0001], [float("inf")]])
+    assert "e+" in text or "E+" in text
+    assert "inf" in text
+
+
+def test_format_histogram():
+    edges = np.array([0.0, 0.5, 1.0])
+    counts = np.array([3, 1])
+    text = format_histogram(edges, counts, label="demo")
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert "[0.00,0.50)" in lines[1]
+    assert lines[1].count("#") > lines[2].count("#")
+
+
+def test_format_histogram_shape_validated():
+    with pytest.raises(ValueError, match="one more"):
+        format_histogram(np.array([0.0, 1.0]), np.array([1, 2]))
+
+
+def test_format_series():
+    text = format_series("x", ["y"], [(1.0, 2.0), (3.0, 4.0)])
+    assert "x" in text
+    assert "y" in text
+    assert "3.000" in text

@@ -1,0 +1,77 @@
+"""Tests for traffic-drift robustness."""
+
+import random
+
+import pytest
+
+from repro.eval.drift import drift_sweep
+from repro.routing.weights import random_weights, unit_weights
+from repro.traffic.gravity import gravity_traffic_matrix
+from repro.traffic.highpriority import random_high_priority
+from repro.traffic.scaling import scale_to_utilization
+
+
+@pytest.fixture(scope="module")
+def setup():
+    from repro.network.topology_isp import isp_topology
+
+    net = isp_topology()
+    rng = random.Random(17)
+    low = gravity_traffic_matrix(net.num_nodes, rng)
+    high = random_high_priority(low, density=0.1, fraction=0.3, rng=rng)
+    high_tm, low_tm = scale_to_utilization(net, high.matrix, low, 0.6)
+    return net, high_tm, low_tm
+
+
+def test_sweep_points_in_order(setup):
+    net, high_tm, low_tm = setup
+    w = unit_weights(net.num_links)
+    report = drift_sweep(net, w, w, high_tm, low_tm, scales=(0.8, 1.0, 1.2))
+    assert [p.scale for p in report.points] == [0.8, 1.0, 1.2]
+
+
+def test_costs_monotone_in_scale(setup):
+    """More traffic on fixed weights can only cost more."""
+    net, high_tm, low_tm = setup
+    w = random_weights(net.num_links, random.Random(1))
+    report = drift_sweep(net, w, w, high_tm, low_tm, scales=(0.7, 1.0, 1.3))
+    phi_lows = [p.phi_low for p in report.points]
+    phi_highs = [p.phi_high for p in report.points]
+    assert phi_lows == sorted(phi_lows)
+    assert phi_highs == sorted(phi_highs)
+    utils = [p.max_utilization for p in report.points]
+    assert utils == sorted(utils)
+
+
+def test_point_at(setup):
+    net, high_tm, low_tm = setup
+    w = unit_weights(net.num_links)
+    report = drift_sweep(net, w, w, high_tm, low_tm, scales=(1.0, 1.1))
+    assert report.point_at(1.1).scale == 1.1
+    with pytest.raises(KeyError):
+        report.point_at(0.5)
+
+
+def test_low_cost_growth(setup):
+    net, high_tm, low_tm = setup
+    w = unit_weights(net.num_links)
+    report = drift_sweep(net, w, w, high_tm, low_tm, scales=(0.8, 1.2))
+    assert report.low_cost_growth() >= 1.0
+
+
+def test_dual_weights(setup):
+    net, high_tm, low_tm = setup
+    rng = random.Random(2)
+    wh = random_weights(net.num_links, rng)
+    wl = random_weights(net.num_links, rng)
+    report = drift_sweep(net, wh, wl, high_tm, low_tm, scales=(1.0,))
+    assert report.points[0].phi_low > 0
+
+
+def test_validation(setup):
+    net, high_tm, low_tm = setup
+    w = unit_weights(net.num_links)
+    with pytest.raises(ValueError, match="at least one"):
+        drift_sweep(net, w, w, high_tm, low_tm, scales=())
+    with pytest.raises(ValueError, match="positive"):
+        drift_sweep(net, w, w, high_tm, low_tm, scales=(0.0,))

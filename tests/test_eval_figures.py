@@ -1,0 +1,125 @@
+"""Smoke + shape tests for every figure/table reproduction entry point.
+
+These use minuscule search budgets (scale ~ 0.03) so the whole module runs
+in tens of seconds; the benchmark suite exercises realistic budgets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval import figures
+
+SCALE = 0.03
+TARGETS = (0.5, 0.7)
+
+
+@pytest.fixture(scope="module")
+def fig2_result():
+    return figures.fig2("isp", "load", targets=TARGETS, scale=SCALE, seed=3)
+
+
+class TestFig2:
+    def test_points(self, fig2_result):
+        assert len(fig2_result.series.points) == 2
+        for point in fig2_result.series.points:
+            assert point.ratio_high >= 1.0 - 1e-9
+            assert point.ratio_low >= 1.0 - 1e-9
+
+    def test_format(self, fig2_result):
+        text = fig2_result.format()
+        assert "Fig.2" in text
+        assert "R_L" in text
+
+    def test_rows(self, fig2_result):
+        rows = fig2_result.series.rows()
+        assert len(rows) == 2
+        assert rows[0][0] == 0.5
+
+
+class TestFig3:
+    def test_panel_a(self):
+        result = figures.fig3("a", scale=SCALE, seed=3)
+        assert result.mode == "load"
+        assert result.high_density == 0.10
+        assert result.str_counts.sum() == result.dtr_counts.sum()
+        assert "histogram" in result.format()
+
+    def test_bad_panel(self):
+        with pytest.raises(ValueError, match="panel"):
+            figures.fig3("z", scale=SCALE)
+
+
+class TestFig4:
+    def test_two_series(self):
+        result = figures.fig4(targets=(0.6,), scale=SCALE, seed=3)
+        assert len(result.series) == 2
+        assert result.series[0].label == "f=20%"
+        assert result.series[1].label == "f=40%"
+        assert "Fig.4" in result.format()
+
+
+class TestFig5:
+    def test_densities(self):
+        result = figures.fig5("load", targets=(0.6,), scale=SCALE, seed=3)
+        assert [s.label for s in result.series] == ["k=10%", "k=30%"]
+        assert "Fig.5" in result.format()
+
+
+class TestFig6:
+    def test_curves(self):
+        result = figures.fig6(target_utilization=0.6, scale=SCALE, seed=3)
+        assert set(result.curves) == {0.10, 0.30}
+        for curve in result.curves.values():
+            assert np.all(np.diff(curve) <= 1e-12)
+        assert "Fig.6" in result.format()
+
+    def test_higher_density_flattens_curve(self):
+        """The paper's Fig. 6 finding: k=30% spreads high-priority load."""
+        result = figures.fig6(target_utilization=0.6, scale=SCALE, seed=3)
+        spread10 = result.curves[0.10]
+        spread30 = result.curves[0.30]
+        assert np.count_nonzero(spread30 > 1e-12) > np.count_nonzero(spread10 > 1e-12)
+
+
+class TestFig7:
+    def test_shapes_and_correlation(self):
+        result = figures.fig7(scale=SCALE, seed=3)
+        n = len(result.prop_delays_ms)
+        assert result.str_utilization.shape == (n,)
+        assert result.dtr_utilization.shape == (n,)
+        assert -1.0 <= result.correlation("str") <= 1.0
+        assert "Fig.7" in result.format()
+
+
+class TestFig8:
+    def test_placements(self):
+        result = figures.fig8("load", targets=(0.6,), scale=SCALE, seed=3)
+        assert [s.label for s in result.series] == ["Uniform", "Local"]
+        assert "Fig.8" in result.format()
+
+
+class TestFig9:
+    def test_points(self):
+        result = figures.fig9(thetas_ms=(25.0, 35.0), scale=SCALE, seed=3)
+        assert [p.theta_ms for p in result.points] == [25.0, 35.0]
+        for point in result.points:
+            assert point.dtr_phi_low <= point.str_phi_low + 1e-9
+            assert point.str_violations >= 0
+        assert "Fig.9" in result.format()
+
+    def test_looser_bound_fewer_or_equal_violations(self):
+        result = figures.fig9(thetas_ms=(25.0, 35.0), scale=SCALE, seed=3)
+        assert result.points[1].str_violations <= result.points[0].str_violations
+
+
+class TestTable1:
+    def test_structure(self):
+        result = figures.table1(
+            topologies=("isp",), targets=(0.6,), scale=SCALE, seed=3
+        )
+        rows = result.rows_by_topology["isp"]
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.ratio_low_30pct <= row.ratio_low_5pct + 1e-9
+        assert row.ratio_low_5pct <= row.ratio_low + 1e-9
+        assert "Table 1" in result.format()

@@ -1,0 +1,56 @@
+"""Tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import safe_ratio, sorted_high_utilization, utilization_histogram
+
+
+class TestSafeRatio:
+    def test_normal(self):
+        assert safe_ratio(6.0, 2.0) == 3.0
+
+    def test_zero_over_zero_is_one(self):
+        assert safe_ratio(0.0, 0.0) == 1.0
+
+    def test_positive_over_zero_is_inf(self):
+        assert safe_ratio(5.0, 0.0) == float("inf")
+
+    def test_tiny_values_treated_as_zero(self):
+        assert safe_ratio(1e-12, 1e-13) == 1.0
+
+
+class TestUtilizationHistogram:
+    def test_counts_sum_to_links(self):
+        util = np.array([0.05, 0.15, 0.15, 0.95, 1.25])
+        edges, counts = utilization_histogram(util, bin_width=0.1)
+        assert counts.sum() == 5
+        assert len(edges) == len(counts) + 1
+
+    def test_bin_placement(self):
+        util = np.array([0.05, 0.15, 0.15])
+        edges, counts = utilization_histogram(util, bin_width=0.1, max_utilization=0.3)
+        assert counts[0] == 1
+        assert counts[1] == 2
+
+    def test_covers_overload(self):
+        util = np.array([2.4])
+        edges, counts = utilization_histogram(util, bin_width=0.5)
+        assert edges[-1] >= 2.4
+        assert counts[-1] == 1
+
+    def test_invalid_bin_width(self):
+        with pytest.raises(ValueError):
+            utilization_histogram(np.array([0.5]), bin_width=0.0)
+
+
+class TestSortedHighUtilization:
+    def test_descending(self):
+        loads = np.array([10.0, 50.0, 30.0])
+        caps = np.array([100.0, 100.0, 100.0])
+        curve = sorted_high_utilization(loads, caps)
+        np.testing.assert_allclose(curve, [0.5, 0.3, 0.1])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            sorted_high_utilization(np.ones(2), np.ones(3))

@@ -1,0 +1,40 @@
+"""Tests for the Markdown experiment-report generator."""
+
+import pytest
+
+from repro.eval.report import EXPECTED_SHAPES, RUNNERS, generate_report, main
+
+
+def test_registry_complete():
+    """Every experiment has both a runner and an expected-shape note."""
+    assert set(RUNNERS) == set(EXPECTED_SHAPES)
+    assert len(RUNNERS) == 18
+
+
+def test_generate_subset(capsys):
+    report = generate_report(scale=0.02, seed=2, only=["fig6"], echo=True)
+    assert "# EXPERIMENTS" in report
+    assert "## fig6" in report
+    assert "Paper shape:" in report
+    assert "```text" in report
+    assert "Fig.6" in capsys.readouterr().out
+
+
+def test_unknown_id_rejected():
+    with pytest.raises(KeyError, match="unknown experiment"):
+        generate_report(scale=0.02, seed=1, only=["fig99"])
+
+
+def test_main_writes_file(tmp_path, capsys):
+    out = tmp_path / "report.md"
+    code = main(["--scale", "0.02", "--seed", "2", "--only", "fig6", "--out", str(out)])
+    assert code == 0
+    text = out.read_text()
+    assert "## fig6" in text
+    assert "wrote" in capsys.readouterr().out
+
+
+def test_main_prints_without_out(capsys):
+    code = main(["--scale", "0.02", "--seed", "2", "--only", "fig6"])
+    assert code == 0
+    assert "## fig6" in capsys.readouterr().out

@@ -1,0 +1,56 @@
+"""Tests for JSON result serialization."""
+
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.lexicographic import LexCost
+from repro.eval.results import save_result, to_jsonable
+
+
+@dataclass
+class Demo:
+    name: str
+    cost: LexCost
+    loads: np.ndarray
+    mapping: dict
+
+
+def test_to_jsonable_handles_all_types():
+    demo = Demo(
+        name="x",
+        cost=LexCost(1.0, 2.0),
+        loads=np.array([1.0, 2.0]),
+        mapping={(0, 1): np.float64(3.5), "k": np.int64(4)},
+    )
+    data = to_jsonable(demo)
+    assert data["name"] == "x"
+    assert data["cost"] == [1.0, 2.0]
+    assert data["loads"] == [1.0, 2.0]
+    assert data["mapping"]["0,1"] == 3.5
+    assert data["mapping"]["k"] == 4
+
+
+def test_to_jsonable_scalars():
+    assert to_jsonable(5) == 5
+    assert to_jsonable("s") == "s"
+    assert to_jsonable(None) is None
+    assert to_jsonable([1, (2, 3)]) == [1, [2, 3]]
+
+
+def test_to_jsonable_fallback_repr():
+    class Opaque:
+        def __repr__(self):
+            return "<opaque>"
+
+    assert to_jsonable(Opaque()) == "<opaque>"
+
+
+def test_save_result_round_trip(tmp_path):
+    demo = Demo("y", LexCost(0.0, 1.0), np.zeros(2), {})
+    path = tmp_path / "result.json"
+    save_result(demo, path)
+    loaded = json.loads(path.read_text())
+    assert loaded["name"] == "y"
+    assert loaded["cost"] == [0.0, 1.0]

@@ -1,0 +1,82 @@
+"""Tests for the single-failure robustness sweep."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.eval.robustness import failure_sweep
+from repro.routing.weights import random_weights, unit_weights
+from repro.traffic.gravity import gravity_traffic_matrix
+from repro.traffic.highpriority import random_high_priority
+from repro.traffic.scaling import scale_to_utilization
+
+
+@pytest.fixture(scope="module")
+def setup():
+    from repro.network.topology_isp import isp_topology
+
+    net = isp_topology()
+    rng = random.Random(31)
+    low = gravity_traffic_matrix(net.num_nodes, rng)
+    high = random_high_priority(low, density=0.1, fraction=0.3, rng=rng)
+    high_tm, low_tm = scale_to_utilization(net, high.matrix, low, 0.5)
+    return net, high_tm, low_tm
+
+
+def test_sweep_covers_all_adjacencies(setup):
+    net, high_tm, low_tm = setup
+    w = unit_weights(net.num_links)
+    report = failure_sweep(net, w, w, high_tm, low_tm)
+    assert len(report.outcomes) == 35
+    assert report.skipped_disconnecting == 0
+    assert report.baseline.failed_pair == (-1, -1)
+
+
+def test_failures_never_improve_worst_case(setup):
+    """Losing capacity cannot reduce the worst-case cost below baseline."""
+    net, high_tm, low_tm = setup
+    w = unit_weights(net.num_links)
+    report = failure_sweep(net, w, w, high_tm, low_tm)
+    assert report.worst_phi_low >= report.baseline.phi_low - 1e-9
+    assert report.worst_phi_high >= report.baseline.phi_high - 1e-9
+    assert report.degradation_factor() >= 1.0 - 1e-12
+
+
+def test_mean_bounded_by_worst(setup):
+    net, high_tm, low_tm = setup
+    w = random_weights(net.num_links, random.Random(1))
+    report = failure_sweep(net, w, w, high_tm, low_tm)
+    assert report.mean_phi_low <= report.worst_phi_low + 1e-9
+    assert report.mean_phi_high <= report.worst_phi_high + 1e-9
+
+
+def test_dual_weights_evaluated_independently(setup):
+    net, high_tm, low_tm = setup
+    rng = random.Random(2)
+    wh = random_weights(net.num_links, rng)
+    wl = random_weights(net.num_links, rng)
+    dual_report = failure_sweep(net, wh, wl, high_tm, low_tm)
+    str_report = failure_sweep(net, wh, wh, high_tm, low_tm)
+    assert dual_report.baseline.phi_high == pytest.approx(str_report.baseline.phi_high)
+    assert dual_report.baseline.phi_low != pytest.approx(str_report.baseline.phi_low)
+
+
+def test_outcomes_sorted_by_pair(setup):
+    net, high_tm, low_tm = setup
+    w = unit_weights(net.num_links)
+    report = failure_sweep(net, w, w, high_tm, low_tm)
+    pairs = [o.failed_pair for o in report.outcomes]
+    assert pairs == sorted(pairs)
+
+
+def test_disconnecting_failures_skipped(line4):
+    from repro.traffic.matrix import TrafficMatrix
+
+    high = TrafficMatrix.from_pairs(4, [(0, 3, 1.0)])
+    low = TrafficMatrix.from_pairs(4, [(3, 0, 2.0)])
+    w = unit_weights(line4.num_links)
+    report = failure_sweep(line4, w, w, high, low)
+    assert len(report.outcomes) == 0
+    assert report.skipped_disconnecting == 3
+    assert report.degradation_factor() == 1.0

@@ -1,0 +1,41 @@
+"""Smoke tests that every example script imports and defines main()."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load_module(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_exist():
+    assert len(SCRIPTS) >= 3, "the deliverable requires at least three examples"
+    names = {p.stem for p in SCRIPTS}
+    assert "quickstart" in names
+
+
+@pytest.mark.parametrize("path", SCRIPTS, ids=lambda p: p.stem)
+def test_example_imports_and_has_main(path):
+    module = load_module(path)
+    assert hasattr(module, "main"), f"{path.name} must define main()"
+    assert callable(module.main)
+    assert module.__doc__, f"{path.name} must carry a module docstring"
+
+
+def test_triangle_example_end_to_end(capsys):
+    """The cheapest example runs fully and prints the paper's numbers."""
+    module = load_module(EXAMPLES_DIR / "triangle_joint_cost.py")
+    module.main()
+    out = capsys.readouterr().out
+    assert "priority inversion" in out
+    assert "direct" in out and "split" in out

@@ -1,0 +1,114 @@
+"""Tests for the joint-cost STR search (paper Section 3.3.1 at scale)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.evaluator import DualTopologyEvaluator
+from repro.core.joint_search import alpha_sweep, optimize_joint
+from repro.core.search_params import SearchParams
+from repro.core.str_search import optimize_str
+from repro.routing.weights import unit_weights
+
+FAST = SearchParams(
+    iterations_high=12, iterations_low=12, iterations_refine=16, diversification_interval=8
+)
+
+
+@pytest.fixture
+def evaluator(isp_net, small_traffic):
+    high, low = small_traffic
+    return DualTopologyEvaluator(isp_net, high, low, mode="load")
+
+
+def test_requires_load_mode(isp_net, small_traffic):
+    high, low = small_traffic
+    sla_eval = DualTopologyEvaluator(isp_net, high, low, mode="sla")
+    with pytest.raises(ValueError, match="load-mode"):
+        optimize_joint(sla_eval, alpha=10.0)
+
+
+def test_negative_alpha_rejected(evaluator):
+    with pytest.raises(ValueError, match="non-negative"):
+        optimize_joint(evaluator, alpha=-1.0)
+
+
+def test_improves_over_initial(evaluator):
+    initial = unit_weights(evaluator.network.num_links)
+    result = optimize_joint(
+        evaluator, alpha=10.0, params=FAST, rng=random.Random(1), initial_weights=initial
+    )
+    start = evaluator.evaluate_str(initial)
+    assert result.joint_cost <= 10.0 * start.phi_high + start.phi_low
+
+
+def test_result_consistency(evaluator):
+    result = optimize_joint(evaluator, alpha=5.0, params=FAST, rng=random.Random(2))
+    evaluation = evaluator.evaluate_str(result.weights)
+    assert result.phi_high == pytest.approx(evaluation.phi_high)
+    assert result.phi_low == pytest.approx(evaluation.phi_low)
+    assert result.joint_cost == pytest.approx(5.0 * result.phi_high + result.phi_low)
+    assert result.lexicographic.primary == pytest.approx(result.phi_high)
+
+
+def test_history_monotone(evaluator):
+    result = optimize_joint(evaluator, alpha=5.0, params=FAST, rng=random.Random(3))
+    values = [j for _, j in result.history]
+    assert all(b <= a + 1e-9 for a, b in zip(values, values[1:]))
+
+
+def test_alpha_zero_ignores_high_priority(evaluator):
+    """alpha=0 optimizes Phi_L alone; high priority can be sacrificed."""
+    result = optimize_joint(evaluator, alpha=0.0, params=FAST, rng=random.Random(4))
+    assert result.joint_cost == pytest.approx(result.phi_low)
+
+
+def test_alpha_sweep_flags_inversions(evaluator):
+    str_result = optimize_str(evaluator, FAST, random.Random(5))
+    points = alpha_sweep(
+        evaluator,
+        alphas=(0.0, 1e6),
+        reference_phi_high=str_result.evaluation.phi_high,
+        params=FAST,
+        seed=5,
+    )
+    assert len(points) == 2
+    assert points[0].alpha == 0.0
+    huge_alpha = points[1]
+    assert not huge_alpha.priority_inversion or huge_alpha.phi_high <= (
+        str_result.evaluation.phi_high * 1.5
+    )
+
+
+def test_triangle_alpha_30_inverts_priority(triangle):
+    """Paper Section 3.3.1: alpha=30 on the triangle trades away Phi_H."""
+    from repro.traffic.matrix import TrafficMatrix
+
+    high = TrafficMatrix.from_pairs(3, [(0, 2, 1 / 3)])
+    low = TrafficMatrix.from_pairs(3, [(0, 2, 2 / 3)])
+    evaluator = DualTopologyEvaluator(triangle, high, low, mode="load")
+    params = SearchParams(
+        iterations_high=150,
+        iterations_low=150,
+        iterations_refine=150,
+        diversification_interval=20,
+    )
+    initial = unit_weights(triangle.num_links)
+    result30 = optimize_joint(
+        evaluator, alpha=30.0, params=params, rng=random.Random(6), initial_weights=initial
+    )
+    result35 = optimize_joint(
+        evaluator, alpha=35.0, params=params, rng=random.Random(6), initial_weights=initial
+    )
+    assert result30.joint_cost == pytest.approx(30 / 2 + 4 / 3)
+    assert result35.joint_cost == pytest.approx(35 / 3 + 64 / 9)
+    assert result30.phi_high > 1 / 3 + 1e-9
+    assert result35.phi_high == pytest.approx(1 / 3)
+
+
+def test_deterministic(evaluator):
+    a = optimize_joint(evaluator, alpha=3.0, params=FAST, rng=random.Random(42))
+    b = optimize_joint(evaluator, alpha=3.0, params=FAST, rng=random.Random(42))
+    assert a.joint_cost == b.joint_cost
+    np.testing.assert_array_equal(a.weights, b.weights)

@@ -1,0 +1,91 @@
+"""Tests for lexicographic cost tuples."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lexicographic import LexCost
+
+finite = st.floats(0.0, 1e12, allow_nan=False)
+
+
+def test_paper_ordering_definition():
+    """<x1,y1> > <x2,y2> iff x1 > x2, or x1 == x2 and y1 > y2 (Section 3.1)."""
+    assert LexCost(2.0, 0.0) > LexCost(1.0, 100.0)
+    assert LexCost(1.0, 2.0) > LexCost(1.0, 1.0)
+    assert not LexCost(1.0, 1.0) > LexCost(1.0, 1.0)
+
+
+def test_equality_and_hash():
+    assert LexCost(1.0, 2.0) == LexCost(1.0, 2.0)
+    assert hash(LexCost(1.0, 2.0)) == hash(LexCost(1.0, 2.0))
+    assert LexCost(1.0, 2.0) != LexCost(1.0, 3.0)
+
+
+def test_primary_secondary():
+    cost = LexCost(3.0, 7.0)
+    assert cost.primary == 3.0
+    assert cost.secondary == 7.0
+    assert LexCost(5.0).secondary == 0.0
+
+
+def test_infinite():
+    inf = LexCost.infinite()
+    assert not inf.is_finite()
+    assert LexCost(1e300, 1e300) < inf
+    assert LexCost(0.0, 0.0).is_finite()
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        LexCost()
+
+
+def test_arity_mismatch_comparison_rejected():
+    with pytest.raises(ValueError):
+        LexCost(1.0) < LexCost(1.0, 2.0)
+
+
+def test_iteration_and_len():
+    cost = LexCost(1.0, 2.0)
+    assert list(cost) == [1.0, 2.0]
+    assert len(cost) == 2
+    assert cost.values == (1.0, 2.0)
+
+
+def test_repr():
+    assert repr(LexCost(1.0, 2.5)) == "<1, 2.5>"
+
+
+def test_exact_comparison_is_tuple_comparison():
+    """Comparison must be plain tuple comparison (exact, hence transitive)."""
+    assert (LexCost(1.0, 5.0) < LexCost(1.0, 6.0)) == ((1.0, 5.0) < (1.0, 6.0))
+    assert LexCost(math.nextafter(1.0, 2.0), 0.0) > LexCost(1.0, 100.0)
+
+
+@settings(max_examples=200, deadline=None)
+@given(a=finite, b=finite, c=finite, d=finite)
+def test_total_order(a, b, c, d):
+    x, y = LexCost(a, b), LexCost(c, d)
+    assert (x < y) + (x > y) + (x == y) == 1
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    a=finite, b=finite, c=finite, d=finite, e=finite, f=finite
+)
+def test_transitivity(a, b, c, d, e, f):
+    x, y, z = LexCost(a, b), LexCost(c, d), LexCost(e, f)
+    if x <= y and y <= z:
+        assert x <= z
+
+
+@settings(max_examples=200, deadline=None)
+@given(a=finite, b=finite)
+def test_reflexive(a, b):
+    x = LexCost(a, b)
+    assert x == x
+    assert x <= x
+    assert x >= x

@@ -1,0 +1,108 @@
+"""Tests for the Algorithm-2 neighborhood sampler."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.neighborhood import NeighborhoodSampler
+from repro.core.search_params import SearchParams
+
+
+@pytest.fixture
+def sampler():
+    return NeighborhoodSampler(SearchParams(), random.Random(7))
+
+
+def test_candidate_sets_sizes(sampler):
+    order = list(range(50))
+    sets = sampler.candidate_sets(order)
+    assert len(sets.high_cost_links) == 5
+    assert len(sets.low_cost_links) == 5
+
+
+def test_candidate_sets_consecutive_ranks(sampler):
+    order = list(range(100, 150))
+    for _ in range(20):
+        sets = sampler.candidate_sets(order)
+        highs = [order.index(l) for l in sets.high_cost_links]
+        lows = [order.index(l) for l in sets.low_cost_links]
+        assert highs == list(range(highs[0], highs[0] + 5))
+        assert lows == list(range(lows[0], lows[0] - 5, -1))
+
+
+def test_high_set_biased_to_high_cost(sampler):
+    """With tau=1.5, set A should usually start near the top of the order."""
+    order = list(range(200))
+    starts = []
+    for _ in range(300):
+        sets = sampler.candidate_sets(order)
+        starts.append(order.index(sets.high_cost_links[0]))
+    assert np.median(starts) < 20
+
+
+def test_small_network_clamps_m():
+    sampler = NeighborhoodSampler(SearchParams(neighborhood_size=10), random.Random(1))
+    sets = sampler.candidate_sets(list(range(4)))
+    assert len(sets.high_cost_links) == 4
+
+
+def test_neighbors_count_and_changes(sampler):
+    weights = np.full(50, 15, dtype=np.int64)
+    neighbors = sampler.neighbors(weights, list(range(50)))
+    assert len(neighbors) == 5
+    for neighbor in neighbors:
+        diff = np.flatnonzero(neighbor != weights)
+        assert 1 <= len(diff) <= 2
+        deltas = neighbor[diff] - weights[diff]
+        assert np.any(deltas > 0) or np.any(deltas < 0)
+
+
+def test_neighbors_respect_weight_bounds(sampler):
+    low = np.full(50, 1, dtype=np.int64)
+    high = np.full(50, 30, dtype=np.int64)
+    for neighbor in sampler.neighbors(low, list(range(50))):
+        assert np.all(neighbor >= 1)
+    for neighbor in sampler.neighbors(high, list(range(50))):
+        assert np.all(neighbor <= 30)
+
+
+def test_neighbors_draw_without_replacement(sampler):
+    weights = np.full(50, 15, dtype=np.int64)
+    neighbors = sampler.neighbors(weights, list(range(50)))
+    increased = []
+    decreased = []
+    for neighbor in neighbors:
+        diff = np.flatnonzero(neighbor != weights)
+        for idx in diff:
+            if neighbor[idx] > weights[idx]:
+                increased.append(int(idx))
+            else:
+                decreased.append(int(idx))
+    assert len(increased) == len(set(increased))
+    assert len(decreased) == len(set(decreased))
+
+
+def test_single_change_neighbors(sampler):
+    weights = np.full(50, 15, dtype=np.int64)
+    neighbors = sampler.single_change_neighbors(weights, list(range(50)))
+    assert neighbors
+    for neighbor in neighbors:
+        diff = np.flatnonzero(neighbor != weights)
+        assert len(diff) == 1
+        assert 1 <= neighbor[diff[0]] <= 30
+
+
+def test_single_change_skips_noop_moves():
+    sampler = NeighborhoodSampler(SearchParams(), random.Random(3))
+    weights = np.full(50, 1, dtype=np.int64)
+    for neighbor in sampler.single_change_neighbors(weights, list(range(50))):
+        assert not np.array_equal(neighbor, weights)
+
+
+def test_input_weights_never_mutated(sampler):
+    weights = np.full(50, 15, dtype=np.int64)
+    original = weights.copy()
+    sampler.neighbors(weights, list(range(50)))
+    sampler.single_change_neighbors(weights, list(range(50)))
+    np.testing.assert_array_equal(weights, original)

@@ -1,0 +1,88 @@
+"""Tests for link-failure modeling."""
+
+import pytest
+
+from repro.network.failures import (
+    count_critical_adjacencies,
+    remove_adjacency,
+    single_failure_scenarios,
+)
+from repro.network.graph import Network
+
+
+def test_remove_adjacency_basic(triangle):
+    scenario = remove_adjacency(triangle, 0, 2)
+    assert scenario.failed_pair == (0, 2)
+    assert scenario.network.num_links == 4
+    assert not scenario.network.has_link(0, 2)
+    assert not scenario.network.has_link(2, 0)
+    assert scenario.network.has_link(0, 1)
+
+
+def test_remove_adjacency_preserves_attributes(isp_net):
+    scenario = remove_adjacency(isp_net, 0, 1)
+    for new_idx, old_idx in enumerate(scenario.surviving_links):
+        old = isp_net.link(old_idx)
+        new = scenario.network.link(new_idx)
+        assert (new.src, new.dst) == (old.src, old.dst)
+        assert new.capacity_mbps == old.capacity_mbps
+        assert new.prop_delay_ms == old.prop_delay_ms
+
+
+def test_remove_missing_adjacency_rejected(triangle):
+    big = Network(4)
+    big.add_duplex_link(0, 1)
+    with pytest.raises(ValueError, match="no duplex adjacency"):
+        remove_adjacency(big, 0, 2)
+
+
+def test_project_weights(triangle):
+    scenario = remove_adjacency(triangle, 0, 2)
+    weights = list(range(1, triangle.num_links + 1))
+    projected = scenario.project_weights(weights)
+    assert len(projected) == 4
+    for new_idx, old_idx in enumerate(scenario.surviving_links):
+        assert projected[new_idx] == weights[old_idx]
+
+
+def test_project_loads_back(triangle):
+    import numpy as np
+
+    scenario = remove_adjacency(triangle, 0, 2)
+    loads = np.arange(1.0, 5.0)
+    full = scenario.project_loads_back(loads, triangle.num_links)
+    assert full.shape == (6,)
+    assert full[triangle.link_between(0, 2).index] == 0.0
+    assert full.sum() == pytest.approx(loads.sum())
+
+
+def test_project_loads_back_shape_validated(triangle):
+    import numpy as np
+
+    scenario = remove_adjacency(triangle, 0, 2)
+    with pytest.raises(ValueError, match="expected"):
+        scenario.project_loads_back(np.zeros(3), triangle.num_links)
+
+
+def test_single_failure_scenarios_count(triangle):
+    scenarios = list(single_failure_scenarios(triangle))
+    assert len(scenarios) == 3
+    assert {s.failed_pair for s in scenarios} == {(0, 1), (0, 2), (1, 2)}
+
+
+def test_disconnecting_failures_skipped(line4):
+    assert list(single_failure_scenarios(line4)) == []
+    assert len(list(single_failure_scenarios(line4, require_connected=False))) == 3
+
+
+def test_count_critical_adjacencies(line4, triangle, isp_net):
+    assert count_critical_adjacencies(line4) == 3
+    assert count_critical_adjacencies(triangle) == 0
+    assert count_critical_adjacencies(isp_net) == 0
+
+
+def test_isp_survives_any_single_failure(isp_net):
+    scenarios = list(single_failure_scenarios(isp_net))
+    assert len(scenarios) == 35
+    for scenario in scenarios:
+        assert scenario.network.is_strongly_connected()

@@ -1,0 +1,136 @@
+"""Unit tests for repro.network.graph."""
+
+import numpy as np
+import pytest
+
+from repro.network.graph import Network
+
+
+def test_empty_network_properties():
+    net = Network(5, name="empty")
+    assert net.num_nodes == 5
+    assert net.num_links == 0
+    assert list(net.nodes()) == [0, 1, 2, 3, 4]
+    assert not net.is_strongly_connected()
+
+
+def test_too_few_nodes_rejected():
+    with pytest.raises(ValueError, match="at least 2"):
+        Network(1)
+
+
+def test_add_link_and_lookup():
+    net = Network(3)
+    link = net.add_link(0, 1, capacity_mbps=100.0, prop_delay_ms=2.0)
+    assert link.index == 0
+    assert net.num_links == 1
+    assert net.link(0) is net.links[0]
+    assert net.link_between(0, 1) == link
+    assert net.link_between(1, 0) is None
+    assert net.has_link(0, 1)
+    assert not net.has_link(1, 0)
+
+
+def test_parallel_link_rejected():
+    net = Network(3)
+    net.add_link(0, 1)
+    with pytest.raises(ValueError, match="already exists"):
+        net.add_link(0, 1)
+
+
+def test_self_loop_rejected():
+    net = Network(3)
+    with pytest.raises(ValueError):
+        net.add_link(2, 2)
+
+
+def test_out_of_range_node_rejected():
+    net = Network(3)
+    with pytest.raises(ValueError, match="outside range"):
+        net.add_link(0, 3)
+
+
+def test_add_duplex_link():
+    net = Network(3)
+    fwd, bwd = net.add_duplex_link(0, 2, capacity_mbps=42.0, prop_delay_ms=7.0)
+    assert (fwd.src, fwd.dst) == (0, 2)
+    assert (bwd.src, bwd.dst) == (2, 0)
+    assert fwd.capacity_mbps == bwd.capacity_mbps == 42.0
+    assert net.duplex_pairs() == [(0, 2)]
+
+
+def test_adjacency_queries(triangle):
+    assert sorted(triangle.neighbors(0)) == [1, 2]
+    assert triangle.degree(0) == 2
+    assert triangle.undirected_degree(0) == 2
+    out = triangle.out_links(0)
+    assert all(link.src == 0 for link in out)
+    incoming = triangle.in_links(0)
+    assert all(link.dst == 0 for link in incoming)
+    assert triangle.out_link_indices(0) == [l.index for l in out]
+    assert triangle.in_link_indices(0) == [l.index for l in incoming]
+
+
+def test_numpy_views(triangle):
+    caps = triangle.capacities()
+    assert caps.shape == (6,)
+    assert np.all(caps == 1.0)
+    delays = triangle.prop_delays()
+    assert np.all(delays == 1.0)
+    srcs, dsts = triangle.link_sources(), triangle.link_destinations()
+    for link in triangle.links:
+        assert srcs[link.index] == link.src
+        assert dsts[link.index] == link.dst
+
+
+def test_numpy_views_cache_invalidated_on_add():
+    net = Network(3)
+    net.add_link(0, 1, capacity_mbps=10.0)
+    assert net.capacities().shape == (1,)
+    net.add_link(1, 2, capacity_mbps=20.0)
+    caps = net.capacities()
+    assert caps.shape == (2,)
+    assert caps[1] == 20.0
+
+
+def test_weight_matrix(triangle):
+    weights = np.arange(1, 7)
+    mat = triangle.weight_matrix(weights)
+    assert mat.shape == (3, 3)
+    for link in triangle.links:
+        assert mat[link.src, link.dst] == weights[link.index]
+    assert np.isinf(mat[0, 0])
+
+
+def test_weight_matrix_validates_shape_and_sign(triangle):
+    with pytest.raises(ValueError, match="expected 6 weights"):
+        triangle.weight_matrix([1, 2, 3])
+    with pytest.raises(ValueError, match="positive"):
+        triangle.weight_matrix([0, 1, 1, 1, 1, 1])
+
+
+def test_strong_connectivity():
+    net = Network(3)
+    net.add_link(0, 1)
+    net.add_link(1, 2)
+    assert not net.is_strongly_connected()
+    net.add_link(2, 0)
+    assert net.is_strongly_connected()
+
+
+def test_copy_is_deep(triangle):
+    dup = triangle.copy()
+    assert dup == triangle
+    dup.add_duplex_link(0, 1) if not dup.has_link(0, 1) else None
+    triangle_links = triangle.num_links
+    assert dup.num_links == triangle_links
+
+
+def test_equality(triangle, diamond):
+    assert triangle == triangle.copy()
+    assert triangle != diamond
+
+
+def test_repr(triangle):
+    assert "triangle" in repr(triangle)
+    assert "links=6" in repr(triangle)

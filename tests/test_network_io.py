@@ -1,0 +1,63 @@
+"""Tests for network JSON persistence."""
+
+import json
+
+import pytest
+
+from repro.network.io import (
+    FORMAT_VERSION,
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+)
+from repro.network.topology_isp import isp_topology
+
+
+def test_round_trip_dict(triangle):
+    assert network_from_dict(network_to_dict(triangle)) == triangle
+
+
+def test_round_trip_file(tmp_path, diamond):
+    path = tmp_path / "net.json"
+    save_network(diamond, path)
+    assert load_network(path) == diamond
+
+
+def test_round_trip_isp(tmp_path):
+    net = isp_topology()
+    path = tmp_path / "isp.json"
+    save_network(net, path)
+    loaded = load_network(path)
+    assert loaded == net
+    assert loaded.name == "isp"
+
+
+def test_dict_contents(triangle):
+    data = network_to_dict(triangle)
+    assert data["format_version"] == FORMAT_VERSION
+    assert data["num_nodes"] == 3
+    assert len(data["links"]) == 6
+    first = data["links"][0]
+    assert set(first) == {"src", "dst", "capacity_mbps", "prop_delay_ms"}
+
+
+def test_file_is_valid_json(tmp_path, triangle):
+    path = tmp_path / "net.json"
+    save_network(triangle, path)
+    parsed = json.loads(path.read_text())
+    assert parsed["num_nodes"] == 3
+
+
+def test_unknown_version_rejected(triangle):
+    data = network_to_dict(triangle)
+    data["format_version"] = 999
+    with pytest.raises(ValueError, match="version"):
+        network_from_dict(data)
+
+
+def test_missing_fields_rejected(triangle):
+    data = network_to_dict(triangle)
+    del data["links"][0]["src"]
+    with pytest.raises(KeyError):
+        network_from_dict(data)

@@ -1,0 +1,62 @@
+"""Unit tests for repro.network.link."""
+
+import pytest
+
+from repro.network.link import DEFAULT_CAPACITY_MBPS, Link
+
+
+def test_link_attributes():
+    link = Link(index=0, src=1, dst=2, capacity_mbps=500.0, prop_delay_ms=3.5)
+    assert link.index == 0
+    assert link.endpoints == (1, 2)
+    assert link.reversed_endpoints() == (2, 1)
+    assert link.capacity_mbps == 500.0
+    assert link.prop_delay_ms == 3.5
+
+
+def test_default_capacity_matches_paper():
+    assert DEFAULT_CAPACITY_MBPS == 500.0
+    assert Link(index=0, src=0, dst=1).capacity_mbps == 500.0
+
+
+def test_link_is_frozen():
+    link = Link(index=0, src=0, dst=1)
+    with pytest.raises(AttributeError):
+        link.capacity_mbps = 10.0
+
+
+def test_self_loop_rejected():
+    with pytest.raises(ValueError, match="self-loop"):
+        Link(index=0, src=3, dst=3)
+
+
+def test_negative_index_rejected():
+    with pytest.raises(ValueError, match="index"):
+        Link(index=-1, src=0, dst=1)
+
+
+def test_negative_node_rejected():
+    with pytest.raises(ValueError, match="node ids"):
+        Link(index=0, src=-1, dst=1)
+
+
+def test_nonpositive_capacity_rejected():
+    with pytest.raises(ValueError, match="capacity"):
+        Link(index=0, src=0, dst=1, capacity_mbps=0.0)
+    with pytest.raises(ValueError, match="capacity"):
+        Link(index=0, src=0, dst=1, capacity_mbps=-5.0)
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError, match="delay"):
+        Link(index=0, src=0, dst=1, prop_delay_ms=-0.1)
+
+
+def test_zero_delay_allowed():
+    assert Link(index=0, src=0, dst=1, prop_delay_ms=0.0).prop_delay_ms == 0.0
+
+
+def test_str_rendering():
+    text = str(Link(index=4, src=2, dst=7, capacity_mbps=500, prop_delay_ms=8.0))
+    assert "2->7" in text
+    assert "500" in text

@@ -1,0 +1,74 @@
+"""Tests for topology statistics, cross-checked against networkx."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.network.graph import Network
+from repro.network.stats import degree_assortativity, hop_distances_from, topology_stats
+from repro.network.topology_powerlaw import powerlaw_topology
+from repro.network.topology_random import random_topology
+
+
+def test_hop_distances(line4):
+    assert hop_distances_from(line4, 0) == [0, 1, 2, 3]
+    assert hop_distances_from(line4, 2) == [2, 1, 0, 1]
+
+
+def test_hop_distances_unreachable():
+    net = Network(3)
+    net.add_duplex_link(0, 1)
+    assert hop_distances_from(net, 0)[2] == -1
+
+
+def test_topology_stats_triangle(triangle):
+    stats = topology_stats(triangle)
+    assert stats.num_nodes == 3
+    assert stats.num_links == 6
+    assert stats.min_degree == stats.max_degree == 2
+    assert stats.diameter_hops == 1
+    assert stats.mean_path_hops == 1.0
+    assert stats.degree_histogram == {2: 3}
+
+
+def test_topology_stats_line(line4):
+    stats = topology_stats(line4)
+    assert stats.diameter_hops == 3
+    assert stats.min_degree == 1
+    assert stats.max_degree == 2
+
+
+def test_topology_stats_requires_connected():
+    net = Network(4)
+    net.add_duplex_link(0, 1)
+    net.add_duplex_link(2, 3)
+    with pytest.raises(ValueError, match="strongly connected"):
+        topology_stats(net)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_stats_match_networkx(seed):
+    net = random_topology(num_nodes=15, num_directed_links=50, rng=random.Random(seed))
+    stats = topology_stats(net)
+    graph = nx.DiGraph((l.src, l.dst) for l in net.links)
+    assert stats.diameter_hops == nx.diameter(graph)
+    assert stats.mean_path_hops == pytest.approx(
+        nx.average_shortest_path_length(graph)
+    )
+
+
+def test_powerlaw_more_skewed_than_random():
+    rng = random.Random(3)
+    pl = topology_stats(powerlaw_topology(rng=rng))
+    rnd = topology_stats(random_topology(rng=random.Random(3)))
+    assert (pl.max_degree - pl.min_degree) > (rnd.max_degree - rnd.min_degree)
+
+
+def test_assortativity_powerlaw_negative():
+    net = powerlaw_topology(rng=random.Random(5))
+    assert degree_assortativity(net) < 0.1
+
+
+def test_assortativity_regular_zero(triangle):
+    assert degree_assortativity(triangle) == 0.0

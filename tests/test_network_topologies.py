@@ -1,0 +1,148 @@
+"""Tests for the three topology generators (paper Section 5.1.1)."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.network.topology_isp import (
+    ISP_ADJACENCIES,
+    ISP_CITIES,
+    ISP_DELAY_RANGE_MS,
+    great_circle_km,
+    isp_city_name,
+    isp_link_delays_ms,
+    isp_topology,
+)
+from repro.network.topology_powerlaw import powerlaw_topology
+from repro.network.topology_random import DEFAULT_DELAY_RANGE_MS, random_topology
+from repro.network.validation import validate_network
+
+
+class TestRandomTopology:
+    def test_paper_dimensions(self):
+        net = random_topology(rng=random.Random(1))
+        assert net.num_nodes == 30
+        assert net.num_links == 150
+
+    def test_strongly_connected_and_duplex(self):
+        for seed in range(5):
+            net = random_topology(rng=random.Random(seed))
+            validate_network(net)
+
+    def test_similar_degrees(self):
+        net = random_topology(rng=random.Random(3))
+        degrees = [net.degree(v) for v in net.nodes()]
+        assert max(degrees) - min(degrees) <= 4
+
+    def test_delays_in_range(self):
+        net = random_topology(rng=random.Random(2))
+        lo, hi = DEFAULT_DELAY_RANGE_MS
+        delays = net.prop_delays()
+        assert np.all(delays >= lo)
+        assert np.all(delays <= hi)
+
+    def test_duplex_links_share_delay(self):
+        net = random_topology(rng=random.Random(4))
+        for u, v in net.duplex_pairs():
+            assert net.link_between(u, v).prop_delay_ms == pytest.approx(
+                net.link_between(v, u).prop_delay_ms
+            )
+
+    def test_custom_size(self):
+        net = random_topology(num_nodes=10, num_directed_links=30, rng=random.Random(5))
+        assert net.num_nodes == 10
+        assert net.num_links == 30
+
+    def test_odd_link_count_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            random_topology(num_directed_links=151)
+
+    def test_too_few_links_rejected(self):
+        with pytest.raises(ValueError, match="between"):
+            random_topology(num_nodes=30, num_directed_links=40)
+
+    def test_too_many_links_rejected(self):
+        with pytest.raises(ValueError, match="between"):
+            random_topology(num_nodes=5, num_directed_links=30)
+
+    def test_deterministic_given_seed(self):
+        a = random_topology(rng=random.Random(42))
+        b = random_topology(rng=random.Random(42))
+        assert a == b
+
+
+class TestPowerlawTopology:
+    def test_paper_dimensions(self):
+        net = powerlaw_topology(rng=random.Random(1))
+        assert net.num_nodes == 30
+        assert net.num_links == 162
+
+    def test_strongly_connected_and_duplex(self):
+        for seed in range(5):
+            validate_network(powerlaw_topology(rng=random.Random(seed)))
+
+    def test_heavy_tailed_degrees(self):
+        net = powerlaw_topology(num_nodes=60, rng=random.Random(7))
+        degrees = sorted((net.degree(v) for v in net.nodes()), reverse=True)
+        assert degrees[0] >= 3 * degrees[-1]
+        assert degrees[-1] >= 3
+
+    def test_attachment_validation(self):
+        with pytest.raises(ValueError, match="attachment"):
+            powerlaw_topology(attachment=0)
+        with pytest.raises(ValueError, match="must exceed"):
+            powerlaw_topology(num_nodes=3, attachment=3)
+
+    def test_deterministic_given_seed(self):
+        a = powerlaw_topology(rng=random.Random(42))
+        b = powerlaw_topology(rng=random.Random(42))
+        assert a == b
+
+
+class TestIspTopology:
+    def test_paper_dimensions(self):
+        net = isp_topology()
+        assert net.num_nodes == 16
+        assert net.num_links == 70
+
+    def test_strongly_connected_and_duplex(self):
+        validate_network(isp_topology())
+
+    def test_city_metadata(self):
+        assert len(ISP_CITIES) == 16
+        assert len(ISP_ADJACENCIES) == 35
+        assert isp_city_name(0) == "Seattle"
+        assert isp_city_name(15) == "Boston"
+
+    def test_delays_within_paper_range(self):
+        delays = isp_link_delays_ms()
+        lo, hi = ISP_DELAY_RANGE_MS
+        for value in delays.values():
+            assert lo <= value <= hi
+
+    def test_delay_extremes_hit_range_bounds(self):
+        delays = isp_link_delays_ms()
+        lo, hi = ISP_DELAY_RANGE_MS
+        assert min(delays.values()) == pytest.approx(lo)
+        assert max(delays.values()) == pytest.approx(hi)
+
+    def test_longer_links_have_longer_delays(self):
+        delays = isp_link_delays_ms()
+        dist = {}
+        for u, v in ISP_ADJACENCIES:
+            _, la1, lo1 = ISP_CITIES[u]
+            _, la2, lo2 = ISP_CITIES[v]
+            dist[(u, v)] = great_circle_km(la1, lo1, la2, lo2)
+        pairs = sorted(dist, key=dist.get)
+        ordered = [delays[p] for p in pairs]
+        assert ordered == sorted(ordered)
+
+    def test_great_circle_sanity(self):
+        assert great_circle_km(0, 0, 0, 0) == 0.0
+        quarter = great_circle_km(0, 0, 0, 90)
+        assert math.isclose(quarter, math.pi / 2 * 6371.0, rel_tol=1e-6)
+
+    def test_deterministic(self):
+        assert isp_topology() == isp_topology()

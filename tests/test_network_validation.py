@@ -1,0 +1,54 @@
+"""Tests for network structural validation."""
+
+import pytest
+
+from repro.network.graph import Network
+from repro.network.validation import NetworkValidationError, validate_network
+
+
+def test_valid_network_passes(triangle):
+    validate_network(triangle)
+
+
+def test_empty_network_fails():
+    with pytest.raises(NetworkValidationError, match="no links"):
+        validate_network(Network(3))
+
+
+def test_disconnected_network_fails():
+    net = Network(4)
+    net.add_duplex_link(0, 1)
+    net.add_duplex_link(2, 3)
+    with pytest.raises(NetworkValidationError, match="strongly connected"):
+        validate_network(net)
+
+
+def test_simplex_link_fails_duplex_requirement():
+    net = Network(3)
+    net.add_duplex_link(0, 1)
+    net.add_duplex_link(1, 2)
+    net.add_link(2, 0)
+    with pytest.raises(NetworkValidationError, match="reverse"):
+        validate_network(net)
+
+
+def test_simplex_allowed_when_not_required():
+    net = Network(3)
+    net.add_link(0, 1)
+    net.add_link(1, 2)
+    net.add_link(2, 0)
+    validate_network(net, require_duplex=False)
+
+
+def test_connectivity_check_can_be_skipped():
+    net = Network(4)
+    net.add_duplex_link(0, 1)
+    net.add_duplex_link(2, 3)
+    validate_network(net, require_strongly_connected=False)
+
+
+def test_isolated_node_fails():
+    net = Network(3)
+    net.add_duplex_link(0, 1)
+    with pytest.raises(NetworkValidationError):
+        validate_network(net, require_strongly_connected=False)

@@ -1,0 +1,68 @@
+"""Tests for diversification perturbation."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.perturbation import perturb_weights
+
+
+def test_perturbs_expected_count():
+    weights = np.full(100, 15, dtype=np.int64)
+    out = perturb_weights(weights, 0.05, random.Random(1))
+    changed = np.count_nonzero(out != weights)
+    assert changed <= 5
+
+
+def test_input_unmodified():
+    weights = np.full(20, 10, dtype=np.int64)
+    original = weights.copy()
+    perturb_weights(weights, 0.5, random.Random(2))
+    np.testing.assert_array_equal(weights, original)
+
+
+def test_at_least_one_redrawn():
+    weights = np.full(3, 10, dtype=np.int64)
+    rng = random.Random(3)
+    redraw_indices = set()
+    for _ in range(50):
+        out = perturb_weights(weights, 0.01, rng)
+        redraw_indices.update(np.flatnonzero(out != weights).tolist())
+    assert redraw_indices
+
+
+def test_respects_weight_range():
+    weights = np.full(200, 15, dtype=np.int64)
+    out = perturb_weights(weights, 1.0, random.Random(4), min_weight=2, max_weight=7)
+    assert np.all(out >= 2)
+    assert np.all(out <= 7)
+
+
+def test_invalid_fraction():
+    weights = np.ones(5, dtype=np.int64)
+    for fraction in (0.0, -0.1, 1.5):
+        with pytest.raises(ValueError):
+            perturb_weights(weights, fraction, random.Random(1))
+
+
+def test_invalid_range():
+    with pytest.raises(ValueError):
+        perturb_weights(np.ones(5, dtype=np.int64), 0.5, random.Random(1), 10, 5)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    size=st.integers(1, 200),
+    fraction=st.floats(0.01, 1.0),
+    seed=st.integers(0, 1000),
+)
+def test_changed_count_bounded_by_fraction(size, fraction, seed):
+    weights = np.full(size, 15, dtype=np.int64)
+    out = perturb_weights(weights, fraction, random.Random(seed))
+    changed = np.count_nonzero(out != weights)
+    assert changed <= max(1, round(fraction * size))
+    assert np.all(out >= 1)
+    assert np.all(out <= 30)

@@ -1,0 +1,50 @@
+"""Tests of the public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.__all__ lists missing attribute {name}"
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro.network",
+        "repro.routing",
+        "repro.traffic",
+        "repro.costs",
+        "repro.core",
+        "repro.queueing",
+        "repro.eval",
+    ],
+)
+def test_subpackage_all_exports_resolve(module):
+    mod = importlib.import_module(module)
+    for name in getattr(mod, "__all__", []):
+        assert hasattr(mod, name), f"{module}.__all__ lists missing attribute {name}"
+
+
+def test_cli_figure_ids_cover_report_runners():
+    """The CLI and the report generator expose the same experiment set."""
+    from repro.cli import _FIGURE_RUNNERS
+    from repro.eval.report import RUNNERS
+
+    assert set(_FIGURE_RUNNERS) == set(RUNNERS)
+
+
+def test_public_docstrings_present():
+    """Every public callable exported at top level carries a docstring."""
+    for name in repro.__all__:
+        obj = getattr(repro, name)
+        if callable(obj):
+            assert obj.__doc__, f"repro.{name} lacks a docstring"

@@ -1,0 +1,82 @@
+"""Tests for the analytic M/M/1 priority formulas."""
+
+import pytest
+
+from repro.queueing.mm1 import (
+    mm1_mean_response_time,
+    mm1_utilization,
+    nonpreemptive_priority_response_times,
+    preemptive_priority_response_times,
+)
+
+
+def test_mm1_utilization():
+    assert mm1_utilization(3.0, 10.0) == pytest.approx(0.3)
+
+
+def test_mm1_response_time():
+    assert mm1_mean_response_time(0.5, 1.0) == pytest.approx(2.0)
+    assert mm1_mean_response_time(0.0, 2.0) == pytest.approx(0.5)
+
+
+def test_mm1_unstable_rejected():
+    with pytest.raises(ValueError, match="unstable"):
+        mm1_mean_response_time(1.0, 1.0)
+
+
+def test_invalid_rates_rejected():
+    with pytest.raises(ValueError):
+        mm1_mean_response_time(-1.0, 1.0)
+    with pytest.raises(ValueError):
+        mm1_mean_response_time(0.5, 0.0)
+
+
+def test_preemptive_high_class_sees_private_queue():
+    """High priority is impervious to low-priority load (paper's premise)."""
+    t_high_alone, _ = preemptive_priority_response_times(0.3, 1e-9, 1.0)
+    t_high_loaded, _ = preemptive_priority_response_times(0.3, 0.6, 1.0)
+    assert t_high_loaded == pytest.approx(t_high_alone)
+    assert t_high_loaded == pytest.approx(mm1_mean_response_time(0.3, 1.0))
+
+
+def test_preemptive_low_class_degrades_with_high_load():
+    _, t_low_light = preemptive_priority_response_times(0.1, 0.3, 1.0)
+    _, t_low_heavy = preemptive_priority_response_times(0.5, 0.3, 1.0)
+    assert t_low_heavy > t_low_light
+
+
+def test_preemptive_formula_values():
+    t_high, t_low = preemptive_priority_response_times(0.3, 0.3, 1.0)
+    assert t_high == pytest.approx(1.0 / 0.7)
+    assert t_low == pytest.approx(1.0 / (0.7 * 0.4))
+
+
+def test_preemptive_saturation_rejected():
+    with pytest.raises(ValueError, match="saturates"):
+        preemptive_priority_response_times(1.0, 0.0, 1.0)
+    with pytest.raises(ValueError, match="saturates"):
+        preemptive_priority_response_times(0.5, 0.5, 1.0)
+
+
+def test_nonpreemptive_formula_values():
+    t_high, t_low = nonpreemptive_priority_response_times(0.3, 0.3, 1.0)
+    residual = 0.6
+    assert t_high == pytest.approx(residual / 0.7 + 1.0)
+    assert t_low == pytest.approx(residual / (0.7 * 0.4) + 1.0)
+
+
+def test_nonpreemptive_high_sees_low_residual():
+    """Unlike preemptive, the high class does feel low-priority residuals."""
+    t_high_alone, _ = nonpreemptive_priority_response_times(0.3, 1e-9, 1.0)
+    t_high_loaded, _ = nonpreemptive_priority_response_times(0.3, 0.6, 1.0)
+    assert t_high_loaded > t_high_alone
+
+
+def test_nonpreemptive_saturation_rejected():
+    with pytest.raises(ValueError, match="saturates"):
+        nonpreemptive_priority_response_times(0.7, 0.3, 1.0)
+
+
+def test_classes_converge_when_high_vanishes():
+    _, t_low = preemptive_priority_response_times(0.0, 0.5, 1.0)
+    assert t_low == pytest.approx(mm1_mean_response_time(0.5, 1.0))

@@ -1,0 +1,108 @@
+"""Tests validating the discrete-event priority simulator against theory."""
+
+import random
+
+import pytest
+
+from repro.queueing.mm1 import (
+    mm1_mean_response_time,
+    nonpreemptive_priority_response_times,
+    preemptive_priority_response_times,
+)
+from repro.queueing.simulator import simulate_two_class_queue
+
+
+def test_input_validation():
+    with pytest.raises(ValueError, match="service rate"):
+        simulate_two_class_queue(0.1, 0.1, 0.0)
+    with pytest.raises(ValueError, match="non-negative"):
+        simulate_two_class_queue(-0.1, 0.1, 1.0)
+    with pytest.raises(ValueError, match="steady state"):
+        simulate_two_class_queue(0.6, 0.5, 1.0)
+    with pytest.raises(ValueError, match="at least one class"):
+        simulate_two_class_queue(0.0, 0.0, 1.0)
+    with pytest.raises(ValueError, match="num_packets"):
+        simulate_two_class_queue(0.1, 0.1, 1.0, num_packets=0)
+    with pytest.raises(ValueError, match="warmup"):
+        simulate_two_class_queue(0.1, 0.1, 1.0, warmup_fraction=1.0)
+
+
+def test_completed_counts_roughly_proportional():
+    result = simulate_two_class_queue(
+        0.2, 0.4, 1.0, num_packets=30_000, rng=random.Random(1)
+    )
+    high, low = result.completed
+    assert high + low <= 30_000
+    assert low / high == pytest.approx(2.0, rel=0.15)
+
+
+def test_matches_mm1_single_class():
+    result = simulate_two_class_queue(
+        0.5, 0.0, 1.0, num_packets=60_000, rng=random.Random(2)
+    )
+    expected = mm1_mean_response_time(0.5, 1.0)
+    assert result.mean_response[0] == pytest.approx(expected, rel=0.08)
+
+
+def test_matches_preemptive_theory():
+    high_rate, low_rate, mu = 0.3, 0.3, 1.0
+    result = simulate_two_class_queue(
+        high_rate, low_rate, mu, num_packets=120_000, preemptive=True,
+        rng=random.Random(3),
+    )
+    t_high, t_low = preemptive_priority_response_times(high_rate, low_rate, mu)
+    assert result.mean_response[0] == pytest.approx(t_high, rel=0.08)
+    assert result.mean_response[1] == pytest.approx(t_low, rel=0.10)
+
+
+def test_matches_nonpreemptive_theory():
+    high_rate, low_rate, mu = 0.3, 0.3, 1.0
+    result = simulate_two_class_queue(
+        high_rate, low_rate, mu, num_packets=120_000, preemptive=False,
+        rng=random.Random(4),
+    )
+    t_high, t_low = nonpreemptive_priority_response_times(high_rate, low_rate, mu)
+    assert result.mean_response[0] == pytest.approx(t_high, rel=0.08)
+    assert result.mean_response[1] == pytest.approx(t_low, rel=0.10)
+
+
+def test_high_class_unaffected_by_low_load_preemptive():
+    """The simulated counterpart of the paper's residual-capacity premise."""
+    light = simulate_two_class_queue(
+        0.3, 0.05, 1.0, num_packets=80_000, rng=random.Random(5)
+    )
+    heavy = simulate_two_class_queue(
+        0.3, 0.6, 1.0, num_packets=80_000, rng=random.Random(5)
+    )
+    assert heavy.mean_response[0] == pytest.approx(light.mean_response[0], rel=0.10)
+
+
+def test_low_class_worse_than_high():
+    result = simulate_two_class_queue(
+        0.3, 0.3, 1.0, num_packets=60_000, rng=random.Random(6)
+    )
+    assert result.mean_response[1] > result.mean_response[0]
+
+
+def test_preemption_hurts_low_class_more_than_hol():
+    preemptive = simulate_two_class_queue(
+        0.45, 0.3, 1.0, num_packets=80_000, preemptive=True, rng=random.Random(7)
+    )
+    hol = simulate_two_class_queue(
+        0.45, 0.3, 1.0, num_packets=80_000, preemptive=False, rng=random.Random(7)
+    )
+    assert preemptive.mean_response[0] < hol.mean_response[0]
+
+
+def test_deterministic_given_seed():
+    a = simulate_two_class_queue(0.2, 0.2, 1.0, num_packets=5_000, rng=random.Random(8))
+    b = simulate_two_class_queue(0.2, 0.2, 1.0, num_packets=5_000, rng=random.Random(8))
+    assert a.mean_response == b.mean_response
+    assert a.completed == b.completed
+
+
+def test_sim_time_positive():
+    result = simulate_two_class_queue(
+        0.2, 0.2, 1.0, num_packets=5_000, rng=random.Random(9)
+    )
+    assert result.sim_time > 0

@@ -1,0 +1,71 @@
+"""Tests for heavy-tailed rank selection (paper Algorithm 2, P(k) ~ k^-tau)."""
+
+import random
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core.rank_selection import draw_rank, rank_probabilities
+
+
+def test_probabilities_normalized():
+    probs = rank_probabilities(50, 1.5)
+    assert probs.shape == (50,)
+    assert probs.sum() == pytest.approx(1.0)
+    assert np.all(probs > 0)
+
+
+def test_probabilities_decreasing():
+    probs = rank_probabilities(30, 1.5)
+    assert np.all(np.diff(probs) < 0)
+
+
+def test_power_law_shape():
+    """P(k) / P(1) must equal k^-tau."""
+    tau = 1.5
+    probs = rank_probabilities(100, tau)
+    for k in (2, 5, 10, 50):
+        assert probs[k - 1] / probs[0] == pytest.approx(k ** (-tau), rel=1e-9)
+
+
+def test_tau_zero_is_uniform():
+    probs = rank_probabilities(10, 0.0)
+    np.testing.assert_allclose(probs, 0.1)
+
+
+def test_large_tau_concentrates_on_rank_one():
+    probs = rank_probabilities(10, 50.0)
+    assert probs[0] == pytest.approx(1.0)
+
+
+def test_draw_rank_bounds():
+    rng = random.Random(1)
+    draws = [draw_rank(20, 1.5, rng) for _ in range(2000)]
+    assert min(draws) >= 1
+    assert max(draws) <= 20
+
+
+def test_draw_rank_single():
+    assert draw_rank(1, 1.5, random.Random(1)) == 1
+
+
+def test_draw_rank_distribution_matches_probabilities():
+    rng = random.Random(2)
+    n, tau, samples = 10, 1.5, 50_000
+    counts = Counter(draw_rank(n, tau, rng) for _ in range(samples))
+    probs = rank_probabilities(n, tau)
+    for k in range(1, n + 1):
+        assert counts[k] / samples == pytest.approx(probs[k - 1], abs=0.01)
+
+
+def test_invalid_args():
+    rng = random.Random(1)
+    with pytest.raises(ValueError):
+        draw_rank(0, 1.5, rng)
+    with pytest.raises(ValueError):
+        draw_rank(5, -1.0, rng)
+    with pytest.raises(ValueError):
+        rank_probabilities(0, 1.5)
+    with pytest.raises(ValueError):
+        rank_probabilities(5, -0.5)

@@ -1,0 +1,129 @@
+"""Tests for hop-by-hop multi-topology forwarding."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.routing.forwarding import (
+    build_forwarding_table,
+    empirical_link_usage,
+    trace_many,
+    trace_packet,
+)
+from repro.routing.multi_topology import DualRouting
+from repro.routing.spf import RoutingError
+from repro.routing.weights import unit_weights
+
+
+@pytest.fixture
+def dual(diamond):
+    high = unit_weights(diamond.num_links).copy()
+    high[diamond.link_between(0, 2).index] = 5
+    low = unit_weights(diamond.num_links)
+    return DualRouting(diamond, high, low)
+
+
+def test_forwarding_table_lookup(dual, diamond):
+    table = build_forwarding_table(dual, "high")
+    assert table.class_label == "high"
+    assert table.lookup(0, 3) == (1,)
+    assert table.lookup(1, 3) == (3,)
+    assert table.lookup(3, 3) == ()
+
+
+def test_forwarding_table_matches_routing(dual):
+    for label in ("high", "low"):
+        table = build_forwarding_table(dual, label)
+        routing = dual.routing(label)
+        for node in dual.network.nodes():
+            for dst in dual.network.nodes():
+                if node == dst:
+                    continue
+                assert list(table.lookup(node, dst)) == routing.next_hops(node, dst)
+
+
+def test_trace_follows_class_topology(dual):
+    rng = random.Random(1)
+    high_trace = trace_packet(dual, "high", 0, 3, rng)
+    assert high_trace.path == (0, 1, 3)
+    low_paths = {trace_packet(dual, "low", 0, 3, rng).path for _ in range(50)}
+    assert low_paths == {(0, 1, 3), (0, 2, 3)}
+
+
+def test_trace_is_shortest_path(dual):
+    rng = random.Random(2)
+    routing = dual.routing("low")
+    for _ in range(20):
+        trace = trace_packet(dual, "low", 0, 3, rng)
+        assert list(trace.path) in routing.all_shortest_paths(0, 3)
+
+
+def test_trace_links_align_with_path(dual, diamond):
+    trace = trace_packet(dual, "high", 0, 3, random.Random(3))
+    for (u, v), link_idx in zip(zip(trace.path, trace.path[1:]), trace.links):
+        assert diamond.link(link_idx).endpoints == (u, v)
+    assert trace.hop_count == len(trace.path) - 1
+
+
+def test_trace_same_node():
+    from repro.network.graph import Network
+
+    net = Network(3)
+    net.add_duplex_link(0, 1)
+    net.add_duplex_link(1, 2)
+    dual = DualRouting.str_routing(net, unit_weights(net.num_links))
+    trace = trace_packet(dual, "high", 1, 1)
+    assert trace.path == (1,)
+    assert trace.hop_count == 0
+
+
+def test_trace_unreachable():
+    from repro.network.graph import Network
+
+    net = Network(3)
+    net.add_duplex_link(0, 1)
+    net.add_link(1, 2)
+    dual = DualRouting.str_routing(net, unit_weights(net.num_links))
+    with pytest.raises(RoutingError, match="unreachable"):
+        trace_packet(dual, "low", 2, 0)
+
+
+def test_trace_many_and_empirical_usage_converges(dual, diamond):
+    """Monte-Carlo forwarding converges to the analytic ECMP fractions."""
+    traces = trace_many(dual, "low", 0, 3, count=4000, rng=random.Random(4))
+    usage = empirical_link_usage(traces, diamond.num_links)
+    analytic = dual.routing("low").pair_link_fractions(0, 3)
+    np.testing.assert_allclose(usage, analytic, atol=0.03)
+
+
+def test_trace_many_validation(dual):
+    with pytest.raises(ValueError):
+        trace_many(dual, "low", 0, 3, count=0)
+    with pytest.raises(ValueError):
+        empirical_link_usage([], 4)
+
+
+def test_loop_guard(dual):
+    trace = trace_packet(dual, "low", 0, 3, random.Random(5), max_hops=8)
+    assert trace.hop_count <= 8
+
+
+def test_forwarding_loop_free_on_random_net(random_net):
+    """No trace on a real topology can exceed num_nodes hops (DAG property)."""
+    from repro.routing.weights import random_weights
+
+    rng = random.Random(6)
+    dual = DualRouting(
+        random_net,
+        random_weights(random_net.num_links, rng),
+        random_weights(random_net.num_links, rng),
+    )
+    for _ in range(30):
+        src = rng.randrange(random_net.num_nodes)
+        dst = rng.randrange(random_net.num_nodes)
+        if src == dst:
+            continue
+        for label in ("high", "low"):
+            trace = trace_packet(dual, label, src, dst, rng)
+            assert trace.hop_count < random_net.num_nodes

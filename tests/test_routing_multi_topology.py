@@ -1,0 +1,87 @@
+"""Tests for the MTR substrate and DualRouting."""
+
+import numpy as np
+import pytest
+
+from repro.routing.multi_topology import HIGH_CLASS, LOW_CLASS, DualRouting, MultiTopology
+from repro.routing.weights import unit_weights
+from repro.traffic.matrix import TrafficMatrix
+
+
+def test_class_labels(diamond):
+    mtr = MultiTopology(
+        diamond,
+        {"voice": unit_weights(diamond.num_links), "data": unit_weights(diamond.num_links)},
+    )
+    assert sorted(mtr.class_labels) == ["data", "voice"]
+    assert mtr.network is diamond
+
+
+def test_empty_topologies_rejected(diamond):
+    with pytest.raises(ValueError, match="at least one"):
+        MultiTopology(diamond, {})
+
+
+def test_unknown_label_rejected(diamond):
+    mtr = MultiTopology(diamond, {"a": unit_weights(diamond.num_links)})
+    with pytest.raises(KeyError, match="unknown traffic class"):
+        mtr.routing("b")
+
+
+def test_routing_cached(diamond):
+    mtr = MultiTopology(diamond, {"a": unit_weights(diamond.num_links)})
+    assert mtr.routing("a") is mtr.routing("a")
+
+
+def test_classes_route_independently(diamond):
+    """Each class must follow its own topology's shortest paths."""
+    upper = unit_weights(diamond.num_links).copy()
+    upper[diamond.link_between(0, 2).index] = 5
+    lower = unit_weights(diamond.num_links).copy()
+    lower[diamond.link_between(0, 1).index] = 5
+    dual = DualRouting(diamond, upper, lower)
+    tm = TrafficMatrix.from_pairs(4, [(0, 3, 4.0)])
+    high_loads = dual.link_loads(HIGH_CLASS, tm)
+    low_loads = dual.link_loads(LOW_CLASS, tm)
+    assert high_loads[diamond.link_between(0, 1).index] == pytest.approx(4.0)
+    assert high_loads[diamond.link_between(0, 2).index] == 0.0
+    assert low_loads[diamond.link_between(0, 2).index] == pytest.approx(4.0)
+    assert low_loads[diamond.link_between(0, 1).index] == 0.0
+
+
+def test_total_loads_aggregates(diamond):
+    weights = unit_weights(diamond.num_links)
+    dual = DualRouting.str_routing(diamond, weights)
+    tm = TrafficMatrix.from_pairs(4, [(0, 3, 4.0)])
+    total = dual.total_loads({HIGH_CLASS: tm, LOW_CLASS: tm})
+    np.testing.assert_allclose(
+        total, dual.link_loads(HIGH_CLASS, tm) + dual.link_loads(LOW_CLASS, tm)
+    )
+
+
+def test_str_routing_is_single_topology(diamond):
+    dual = DualRouting.str_routing(diamond, unit_weights(diamond.num_links))
+    assert dual.is_single_topology()
+    assert dual.high.weights.tolist() == dual.low.weights.tolist()
+
+
+def test_dtr_is_not_single_topology(diamond):
+    high = unit_weights(diamond.num_links).copy()
+    low = high.copy()
+    low[0] = 9
+    dual = DualRouting(diamond, high, low)
+    assert not dual.is_single_topology()
+
+
+def test_next_hops_per_class(diamond):
+    upper = unit_weights(diamond.num_links).copy()
+    upper[diamond.link_between(0, 2).index] = 5
+    dual = DualRouting(diamond, upper, unit_weights(diamond.num_links))
+    assert dual.next_hops(HIGH_CLASS, 0, 3) == [1]
+    assert sorted(dual.next_hops(LOW_CLASS, 0, 3)) == [1, 2]
+
+
+def test_high_low_accessors(diamond):
+    dual = DualRouting.str_routing(diamond, unit_weights(diamond.num_links))
+    assert dual.high is dual.routing(HIGH_CLASS)
+    assert dual.low is dual.routing(LOW_CLASS)

@@ -1,0 +1,117 @@
+"""Tests for shortest-path computations, cross-checked against networkx."""
+
+import random
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.network.topology_random import random_topology
+from repro.routing.spf import (
+    descending_distance_order,
+    distances_to_all,
+    shortest_path_dag_mask,
+)
+from repro.routing.weights import random_weights, unit_weights
+
+
+def to_networkx(net, weights):
+    graph = nx.DiGraph()
+    graph.add_nodes_from(net.nodes())
+    for link in net.links:
+        graph.add_edge(link.src, link.dst, weight=int(weights[link.index]))
+    return graph
+
+
+def test_distances_on_line(line4):
+    weights = unit_weights(line4.num_links)
+    dist = distances_to_all(line4, weights)
+    assert dist[3, 0] == 3
+    assert dist[0, 3] == 3
+    assert dist[2, 1] == 1
+    assert np.all(np.diag(dist) == 0)
+
+
+def test_distances_respect_weights(triangle):
+    weights = np.ones(triangle.num_links, dtype=np.int64)
+    direct = triangle.link_between(0, 2).index
+    weights[direct] = 5
+    dist = distances_to_all(triangle, weights)
+    assert dist[2, 0] == 2
+
+
+def test_unreachable_is_inf():
+    from repro.network.graph import Network
+
+    net = Network(3)
+    net.add_link(0, 1)
+    net.add_link(1, 2)
+    dist = distances_to_all(net, unit_weights(2))
+    assert np.isinf(dist[0, 2])
+    assert dist[2, 0] == 2
+
+
+def test_weight_shape_validated(triangle):
+    with pytest.raises(ValueError, match="expected 6"):
+        distances_to_all(triangle, np.ones(3))
+
+
+def test_nonpositive_weight_rejected(triangle):
+    weights = np.ones(triangle.num_links)
+    weights[0] = 0
+    with pytest.raises(ValueError, match="positive"):
+        distances_to_all(triangle, weights)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_distances_match_networkx(seed):
+    net = random_topology(num_nodes=12, num_directed_links=40, rng=random.Random(seed))
+    weights = random_weights(net.num_links, random.Random(seed + 100))
+    dist = distances_to_all(net, weights)
+    graph = to_networkx(net, weights)
+    lengths = dict(nx.all_pairs_dijkstra_path_length(graph))
+    for src in net.nodes():
+        for dst in net.nodes():
+            assert dist[dst, src] == pytest.approx(lengths[src][dst])
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_dag_mask_matches_networkx_shortest_paths(seed):
+    net = random_topology(num_nodes=10, num_directed_links=36, rng=random.Random(seed))
+    weights = random_weights(net.num_links, random.Random(seed + 200))
+    dist = distances_to_all(net, weights)
+    graph = to_networkx(net, weights)
+    for t in net.nodes():
+        mask = shortest_path_dag_mask(net, weights, dist[t])
+        expected_edges = set()
+        for s in net.nodes():
+            if s == t:
+                continue
+            for path in nx.all_shortest_paths(graph, s, t, weight="weight"):
+                expected_edges.update(zip(path, path[1:]))
+        actual_edges = {
+            (net.link(int(i)).src, net.link(int(i)).dst) for i in np.flatnonzero(mask)
+        }
+        assert actual_edges == expected_edges
+
+
+def test_dag_mask_is_acyclic(random_net):
+    weights = random_weights(random_net.num_links, random.Random(5))
+    dist = distances_to_all(random_net, weights)
+    for t in (0, 7, 29):
+        mask = shortest_path_dag_mask(random_net, weights, dist[t])
+        for idx in np.flatnonzero(mask):
+            link = random_net.link(int(idx))
+            assert dist[t, link.src] > dist[t, link.dst]
+
+
+def test_descending_distance_order():
+    dist = np.array([3.0, np.inf, 0.0, 7.0])
+    order = descending_distance_order(dist)
+    assert list(order) == [3, 0, 2]
+
+
+def test_descending_distance_order_stability_with_ties():
+    dist = np.array([2.0, 2.0, 0.0])
+    order = descending_distance_order(dist)
+    assert list(order) == [0, 1, 2]

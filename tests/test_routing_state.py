@@ -1,0 +1,194 @@
+"""Tests for the Routing snapshot: ECMP loads, pair fractions, paths."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.graph import Network
+from repro.network.topology_random import random_topology
+from repro.routing.spf import RoutingError
+from repro.routing.state import Routing
+from repro.routing.weights import random_weights, unit_weights
+from repro.traffic.matrix import TrafficMatrix
+
+
+def test_distance_accessors(line4):
+    routing = Routing(line4, unit_weights(line4.num_links))
+    assert routing.distance(0, 3) == 3
+    assert routing.distances_to(3)[0] == 3
+    assert routing.network is line4
+
+
+def test_single_path_loads(line4):
+    routing = Routing(line4, unit_weights(line4.num_links))
+    tm = TrafficMatrix.from_pairs(4, [(0, 3, 12.0)])
+    loads = routing.link_loads(tm)
+    for u, v in ((0, 1), (1, 2), (2, 3)):
+        assert loads[line4.link_between(u, v).index] == pytest.approx(12.0)
+    for u, v in ((1, 0), (2, 1), (3, 2)):
+        assert loads[line4.link_between(u, v).index] == 0.0
+
+
+def test_ecmp_even_split(diamond):
+    routing = Routing(diamond, unit_weights(diamond.num_links))
+    tm = TrafficMatrix.from_pairs(4, [(0, 3, 8.0)])
+    loads = routing.link_loads(tm)
+    assert loads[diamond.link_between(0, 1).index] == pytest.approx(4.0)
+    assert loads[diamond.link_between(0, 2).index] == pytest.approx(4.0)
+    assert loads[diamond.link_between(1, 3).index] == pytest.approx(4.0)
+    assert loads[diamond.link_between(2, 3).index] == pytest.approx(4.0)
+
+
+def test_weights_break_ecmp(diamond):
+    weights = unit_weights(diamond.num_links).copy()
+    weights[diamond.link_between(0, 1).index] = 3
+    routing = Routing(diamond, weights)
+    tm = TrafficMatrix.from_pairs(4, [(0, 3, 8.0)])
+    loads = routing.link_loads(tm)
+    assert loads[diamond.link_between(0, 2).index] == pytest.approx(8.0)
+    assert loads[diamond.link_between(0, 1).index] == 0.0
+
+
+def test_transit_accumulation(line4):
+    routing = Routing(line4, unit_weights(line4.num_links))
+    tm = TrafficMatrix.from_pairs(4, [(0, 3, 5.0), (1, 3, 2.0)])
+    loads = routing.link_loads(tm)
+    assert loads[line4.link_between(2, 3).index] == pytest.approx(7.0)
+    assert loads[line4.link_between(1, 2).index] == pytest.approx(7.0)
+    assert loads[line4.link_between(0, 1).index] == pytest.approx(5.0)
+
+
+def test_total_load_conservation(random_net):
+    """Sum over links of load equals sum over pairs of rate x mean hops."""
+    weights = random_weights(random_net.num_links, random.Random(3))
+    routing = Routing(random_net, weights)
+    n = random_net.num_nodes
+    tm = TrafficMatrix.from_pairs(
+        n, [(0, 5, 10.0), (3, 9, 4.0), (20, 1, 6.0)]
+    )
+    loads = routing.link_loads(tm)
+    expected = sum(
+        rate * routing.average_hop_count(s, t) for s, t, rate in tm.pairs()
+    )
+    assert loads.sum() == pytest.approx(expected)
+
+
+def test_unreachable_demand_raises():
+    net = Network(3)
+    net.add_duplex_link(0, 1)
+    net.add_link(1, 2)
+    routing = Routing(net, unit_weights(3))
+    with pytest.raises(RoutingError, match="unreachable"):
+        routing.link_loads(TrafficMatrix.from_pairs(3, [(2, 0, 1.0)]))
+
+
+def test_demand_shape_validated(triangle):
+    routing = Routing(triangle, unit_weights(6))
+    with pytest.raises(ValueError, match="shape"):
+        routing.link_loads(np.zeros((2, 2)))
+
+
+def test_pair_fractions_single_path(line4):
+    routing = Routing(line4, unit_weights(line4.num_links))
+    fractions = routing.pair_link_fractions(0, 3)
+    assert fractions[line4.link_between(0, 1).index] == pytest.approx(1.0)
+    assert fractions[line4.link_between(3, 2).index] == 0.0
+    assert routing.average_hop_count(0, 3) == pytest.approx(3.0)
+
+
+def test_pair_fractions_ecmp(diamond):
+    routing = Routing(diamond, unit_weights(diamond.num_links))
+    fractions = routing.pair_link_fractions(0, 3)
+    assert fractions[diamond.link_between(0, 1).index] == pytest.approx(0.5)
+    assert fractions[diamond.link_between(0, 2).index] == pytest.approx(0.5)
+    assert fractions.sum() == pytest.approx(2.0)
+
+
+def test_pair_fractions_same_node_rejected(diamond):
+    routing = Routing(diamond, unit_weights(diamond.num_links))
+    with pytest.raises(ValueError, match="differ"):
+        routing.pair_link_fractions(1, 1)
+
+
+def test_pair_fractions_unreachable():
+    net = Network(3)
+    net.add_duplex_link(0, 1)
+    net.add_link(1, 2)
+    routing = Routing(net, unit_weights(3))
+    with pytest.raises(RoutingError, match="unreachable"):
+        routing.pair_link_fractions(2, 0)
+
+
+def test_fractions_consistent_with_loads(random_net):
+    """Routing a unit demand must equal the pair's fraction vector."""
+    weights = random_weights(random_net.num_links, random.Random(8))
+    routing = Routing(random_net, weights)
+    tm = TrafficMatrix.from_pairs(random_net.num_nodes, [(4, 17, 1.0)])
+    loads = routing.link_loads(tm)
+    fractions = routing.pair_link_fractions(4, 17)
+    np.testing.assert_allclose(loads, fractions, atol=1e-12)
+
+
+def test_next_hops(diamond):
+    routing = Routing(diamond, unit_weights(diamond.num_links))
+    assert sorted(routing.next_hops(0, 3)) == [1, 2]
+    assert routing.next_hops(1, 3) == [3]
+    assert routing.next_hops(3, 3) == []
+
+
+def test_all_shortest_paths(diamond):
+    routing = Routing(diamond, unit_weights(diamond.num_links))
+    paths = routing.all_shortest_paths(0, 3)
+    assert paths == [[0, 1, 3], [0, 2, 3]]
+    assert routing.all_shortest_paths(2, 2) == [[2]]
+
+
+def test_all_shortest_paths_limit(diamond):
+    routing = Routing(diamond, unit_weights(diamond.num_links))
+    with pytest.raises(RoutingError, match="more than"):
+        routing.all_shortest_paths(0, 3, limit=1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    src=st.integers(0, 11),
+    dst=st.integers(0, 11),
+    rate=st.floats(0.1, 1000.0, allow_nan=False),
+)
+def test_flow_conservation_property(seed, src, dst, rate):
+    """Node balance: out - in equals +rate at src, -rate at dst, 0 elsewhere."""
+    if src == dst:
+        return
+    rng = random.Random(seed)
+    net = random_topology(num_nodes=12, num_directed_links=40, rng=rng)
+    weights = random_weights(net.num_links, rng)
+    routing = Routing(net, weights)
+    tm = TrafficMatrix.from_pairs(12, [(src, dst, rate)])
+    loads = routing.link_loads(tm)
+    for node in net.nodes():
+        out = sum(loads[i] for i in net.out_link_indices(node))
+        into = sum(loads[i] for i in net.in_link_indices(node))
+        if node == src:
+            assert out - into == pytest.approx(rate)
+        elif node == dst:
+            assert into - out == pytest.approx(rate)
+        else:
+            assert out - into == pytest.approx(0.0, abs=1e-9 * rate)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_loads_linear_in_demands(seed):
+    """Doubling the traffic matrix doubles every link load."""
+    rng = random.Random(seed)
+    net = random_topology(num_nodes=10, num_directed_links=36, rng=rng)
+    weights = random_weights(net.num_links, rng)
+    routing = Routing(net, weights)
+    tm = TrafficMatrix.from_pairs(10, [(0, 5, 3.0), (2, 8, 7.0)])
+    np.testing.assert_allclose(
+        routing.link_loads(tm.scaled(2.0)), 2.0 * routing.link_loads(tm)
+    )

@@ -1,0 +1,76 @@
+"""Tests for SearchParams."""
+
+import pytest
+
+from repro.core.search_params import SearchParams
+
+
+def test_paper_budgets():
+    params = SearchParams.paper()
+    assert params.iterations_high == 300_000
+    assert params.iterations_low == 300_000
+    assert params.iterations_refine == 800_000
+    assert params.diversification_interval == 300
+
+
+def test_paper_structural_constants():
+    params = SearchParams()
+    assert params.neighborhood_size == 5
+    assert params.perturb_high_fraction == 0.05
+    assert params.perturb_low_fraction == 0.05
+    assert params.perturb_refine_fraction == 0.03
+    assert params.tau == 1.5
+    assert params.min_weight == 1
+    assert params.max_weight == 30
+
+
+def test_scaled():
+    base = SearchParams(iterations_high=100, iterations_low=100, iterations_refine=200)
+    scaled = SearchParams.scaled(0.5, base)
+    assert scaled.iterations_high == 50
+    assert scaled.iterations_low == 50
+    assert scaled.iterations_refine == 100
+    assert scaled.neighborhood_size == base.neighborhood_size
+
+
+def test_scaled_minimums():
+    tiny = SearchParams.scaled(1e-9)
+    assert tiny.iterations_high >= 1
+    assert tiny.diversification_interval >= 5
+
+
+def test_scaled_invalid():
+    with pytest.raises(ValueError):
+        SearchParams.scaled(0.0)
+
+
+def test_total_iterations():
+    params = SearchParams(iterations_high=10, iterations_low=20, iterations_refine=30)
+    assert params.total_iterations() == 60
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SearchParams(iterations_high=-1)
+    with pytest.raises(ValueError):
+        SearchParams(diversification_interval=0)
+    with pytest.raises(ValueError):
+        SearchParams(neighborhood_size=0)
+    with pytest.raises(ValueError):
+        SearchParams(perturb_high_fraction=0.0)
+    with pytest.raises(ValueError):
+        SearchParams(perturb_low_fraction=1.5)
+    with pytest.raises(ValueError):
+        SearchParams(tau=-1.0)
+    with pytest.raises(ValueError):
+        SearchParams(min_weight=10, max_weight=5)
+    with pytest.raises(ValueError):
+        SearchParams(weight_steps=())
+    with pytest.raises(ValueError):
+        SearchParams(weight_steps=(0,))
+
+
+def test_frozen():
+    params = SearchParams()
+    with pytest.raises(AttributeError):
+        params.tau = 2.0

@@ -1,0 +1,93 @@
+"""Tests for the STR baseline search."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.evaluator import DualTopologyEvaluator
+from repro.core.search_params import SearchParams
+from repro.core.str_search import optimize_str
+from repro.routing.weights import unit_weights
+
+FAST = SearchParams(
+    iterations_high=15, iterations_low=15, iterations_refine=20, diversification_interval=8
+)
+
+
+@pytest.fixture
+def evaluator(isp_net, small_traffic):
+    high, low = small_traffic
+    return DualTopologyEvaluator(isp_net, high, low, mode="load")
+
+
+def test_improves_over_initial(evaluator):
+    rng = random.Random(1)
+    initial = unit_weights(evaluator.network.num_links)
+    result = optimize_str(evaluator, FAST, rng, initial_weights=initial)
+    assert result.objective <= evaluator.evaluate_str(initial).objective
+
+
+def test_result_consistency(evaluator):
+    result = optimize_str(evaluator, FAST, random.Random(2))
+    assert result.evaluation.objective == result.objective
+    recomputed = evaluator.evaluate_str(result.weights)
+    assert recomputed.objective == result.objective
+
+
+def test_weights_in_range(evaluator):
+    result = optimize_str(evaluator, FAST, random.Random(3))
+    assert np.all(result.weights >= 1)
+    assert np.all(result.weights <= 30)
+
+
+def test_history_monotone(evaluator):
+    result = optimize_str(evaluator, FAST, random.Random(4))
+    objectives = [obj for _, obj in result.history]
+    assert all(b <= a for a, b in zip(objectives, objectives[1:]))
+    assert result.history[-1][1] == result.objective
+
+
+def test_iterations_and_evaluations_counted(evaluator):
+    result = optimize_str(evaluator, FAST, random.Random(5))
+    assert result.iterations == FAST.total_iterations()
+    assert result.evaluations > 0
+
+
+def test_deterministic_given_seed(evaluator):
+    a = optimize_str(evaluator, FAST, random.Random(42))
+    b = optimize_str(evaluator, FAST, random.Random(42))
+    assert a.objective == b.objective
+    np.testing.assert_array_equal(a.weights, b.weights)
+
+
+def test_relaxed_solutions_tracked(evaluator):
+    result = optimize_str(
+        evaluator, FAST, random.Random(6), relaxation_epsilons=(0.05, 0.30)
+    )
+    assert set(result.relaxed) == {0.05, 0.30}
+    strict_primary = result.objective.primary
+    for eps, solution in result.relaxed.items():
+        assert solution.epsilon == eps
+        assert solution.phi_low <= result.evaluation.phi_low + 1e-9
+
+
+def test_relaxed_low_cost_improves_with_epsilon(evaluator):
+    """A larger epsilon admits more solutions, so Phi_L can only improve."""
+    result = optimize_str(
+        evaluator, FAST, random.Random(7), relaxation_epsilons=(0.05, 0.30)
+    )
+    assert result.relaxed[0.30].phi_low <= result.relaxed[0.05].phi_low + 1e-9
+
+
+def test_negative_epsilon_rejected(evaluator):
+    with pytest.raises(ValueError, match="non-negative"):
+        optimize_str(evaluator, FAST, random.Random(8), relaxation_epsilons=(-0.1,))
+
+
+def test_sla_mode(isp_net, small_traffic):
+    high, low = small_traffic
+    evaluator = DualTopologyEvaluator(isp_net, high, low, mode="sla")
+    result = optimize_str(evaluator, FAST, random.Random(9))
+    assert result.objective.primary >= 0
+    assert result.evaluation.violations >= 0

@@ -1,0 +1,115 @@
+"""Tests for the gravity traffic model (paper Eqs. 6-7)."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.traffic.gravity import (
+    GravityParams,
+    gravity_traffic_matrix,
+    node_masses,
+    node_volumes,
+)
+
+
+def test_matrix_shape_and_positivity():
+    tm = gravity_traffic_matrix(10, random.Random(1))
+    assert tm.num_nodes == 10
+    demands = tm.demands
+    off_diag = demands[~np.eye(10, dtype=bool)]
+    assert np.all(off_diag > 0)
+    assert np.all(np.diag(demands) == 0)
+
+
+def test_row_sums_equal_node_volume():
+    """Eq. 6 splits each node's d_s across destinations; rows sum to d_s."""
+    rng = random.Random(2)
+    tm = gravity_traffic_matrix(8, rng)
+    row_sums = tm.demands.sum(axis=1)
+    for value in row_sums:
+        assert 10.0 <= value <= 200.0
+
+
+def test_volume_mixture_ranges():
+    volumes = node_volumes(5000, random.Random(3))
+    assert np.all(volumes >= 10.0)
+    assert np.all(volumes <= 200.0)
+    low = np.mean((volumes >= 10) & (volumes <= 50))
+    medium = np.mean((volumes >= 80) & (volumes <= 130))
+    high = np.mean((volumes >= 150) & (volumes <= 200))
+    assert low == pytest.approx(0.60, abs=0.03)
+    assert medium == pytest.approx(0.35, abs=0.03)
+    assert high == pytest.approx(0.05, abs=0.02)
+
+
+def test_masses_in_range():
+    masses = node_masses(1000, random.Random(4))
+    assert np.all(masses >= 1.0)
+    assert np.all(masses <= 1.5)
+
+
+def test_attraction_proportional_to_exp_mass():
+    """Columns (excluding self) must be proportional to exp(V_t)."""
+    rng = random.Random(5)
+    num_nodes = 6
+    volumes = node_volumes(num_nodes, random.Random(5))
+    rng2 = random.Random(5)
+    tm = gravity_traffic_matrix(num_nodes, rng2)
+    demands = tm.demands
+    for s in range(num_nodes):
+        others = [t for t in range(num_nodes) if t != s]
+        total = demands[s, others].sum()
+        assert total == pytest.approx(demands[s].sum())
+        ratios = demands[s, others] / total
+        for s2 in range(num_nodes):
+            if s2 == s:
+                continue
+            others2 = [t for t in range(num_nodes) if t != s2]
+            shared = [t for t in others if t in others2]
+            r1 = demands[s, shared] / demands[s, shared].sum()
+            r2 = demands[s2, shared] / demands[s2, shared].sum()
+            np.testing.assert_allclose(r1, r2, rtol=1e-9)
+
+
+def test_deterministic_given_seed():
+    a = gravity_traffic_matrix(12, random.Random(42))
+    b = gravity_traffic_matrix(12, random.Random(42))
+    assert a == b
+
+
+def test_too_few_nodes_rejected():
+    with pytest.raises(ValueError, match="at least 2"):
+        gravity_traffic_matrix(1, random.Random(1))
+
+
+class TestGravityParams:
+    def test_defaults_match_paper(self):
+        params = GravityParams()
+        assert params.low_range == (10.0, 50.0)
+        assert params.medium_range == (80.0, 130.0)
+        assert params.high_range == (150.0, 200.0)
+        assert params.low_prob == 0.60
+        assert params.medium_prob == 0.35
+        assert params.high_prob == pytest.approx(0.05)
+        assert params.mass_range == (1.0, 1.5)
+
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(ValueError):
+            GravityParams(low_prob=0.9, medium_prob=0.3)
+        with pytest.raises(ValueError):
+            GravityParams(low_prob=-0.1)
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            GravityParams(low_range=(50.0, 10.0))
+
+    def test_custom_params_respected(self):
+        params = GravityParams(
+            low_range=(1.0, 1.0),
+            medium_range=(1.0, 1.0),
+            high_range=(1.0, 1.0),
+        )
+        volumes = node_volumes(50, random.Random(1), params)
+        assert np.all(volumes == 1.0)

@@ -1,0 +1,135 @@
+"""Tests for high-priority traffic models (paper Section 5.1.2)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.traffic.gravity import gravity_traffic_matrix
+from repro.traffic.highpriority import random_high_priority, sink_high_priority
+from repro.traffic.matrix import TrafficMatrix
+
+
+@pytest.fixture
+def low_tm():
+    return gravity_traffic_matrix(12, random.Random(10))
+
+
+class TestRandomModel:
+    def test_pair_count_matches_density(self, low_tm):
+        ht = random_high_priority(low_tm, density=0.10, fraction=0.3, rng=random.Random(1))
+        expected = round(0.10 * 12 * 11)
+        assert len(ht.pairs) == expected
+        assert ht.matrix.pair_count() == expected
+        assert ht.density == pytest.approx(expected / (12 * 11))
+
+    def test_volume_fraction_normalization(self, low_tm):
+        """eta_H / (eta_H + eta_L) must equal f exactly."""
+        for f in (0.2, 0.3, 0.4):
+            ht = random_high_priority(low_tm, density=0.2, fraction=f, rng=random.Random(2))
+            eta_h = ht.matrix.total()
+            eta_l = low_tm.total()
+            assert eta_h / (eta_h + eta_l) == pytest.approx(f)
+
+    def test_pair_heterogeneity_bounded(self, low_tm):
+        """Per-pair multipliers are Uniform(1, 4): max/min rate ratio <= 4."""
+        ht = random_high_priority(low_tm, density=0.5, fraction=0.3, rng=random.Random(3))
+        rates = [r for _, _, r in ht.matrix.pairs()]
+        assert max(rates) / min(rates) <= 4.0 + 1e-9
+
+    def test_full_density(self, low_tm):
+        ht = random_high_priority(low_tm, density=1.0, fraction=0.3, rng=random.Random(4))
+        assert ht.matrix.pair_count() == 12 * 11
+
+    def test_invalid_fraction_rejected(self, low_tm):
+        for f in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(ValueError, match="fraction"):
+                random_high_priority(low_tm, density=0.1, fraction=f)
+
+    def test_invalid_density_rejected(self, low_tm):
+        for k in (0.0, 1.1, -0.2):
+            with pytest.raises(ValueError, match="density"):
+                random_high_priority(low_tm, density=k, fraction=0.3)
+
+    def test_deterministic_given_seed(self, low_tm):
+        a = random_high_priority(low_tm, density=0.2, fraction=0.3, rng=random.Random(7))
+        b = random_high_priority(low_tm, density=0.2, fraction=0.3, rng=random.Random(7))
+        assert a.matrix == b.matrix
+        assert a.pairs == b.pairs
+
+
+class TestSinkModel:
+    def test_sinks_are_highest_degree(self, powerlaw_net):
+        low = gravity_traffic_matrix(powerlaw_net.num_nodes, random.Random(1))
+        ht = sink_high_priority(
+            powerlaw_net, low, fraction=0.2, num_sinks=3, num_clients=9,
+            rng=random.Random(2),
+        )
+        degrees = sorted((powerlaw_net.degree(v) for v in powerlaw_net.nodes()), reverse=True)
+        sink_degrees = sorted((powerlaw_net.degree(s) for s in ht.sinks), reverse=True)
+        assert sink_degrees == degrees[:3]
+
+    def test_bidirectional_pairs(self, powerlaw_net):
+        low = gravity_traffic_matrix(powerlaw_net.num_nodes, random.Random(1))
+        ht = sink_high_priority(
+            powerlaw_net, low, fraction=0.2, num_sinks=2, num_clients=5,
+            rng=random.Random(3),
+        )
+        assert len(ht.pairs) == 2 * 2 * 5
+        for s, t in ht.pairs:
+            assert (t, s) in ht.pairs
+        for sink in ht.sinks:
+            for client in ht.clients:
+                assert ht.matrix.rate(client, sink) > 0
+                assert ht.matrix.rate(sink, client) > 0
+
+    def test_volume_fraction_normalization(self, powerlaw_net):
+        low = gravity_traffic_matrix(powerlaw_net.num_nodes, random.Random(1))
+        ht = sink_high_priority(powerlaw_net, low, fraction=0.25, rng=random.Random(4))
+        eta_h = ht.matrix.total()
+        assert eta_h / (eta_h + low.total()) == pytest.approx(0.25)
+
+    def test_local_clients_closer_than_uniform(self, powerlaw_net):
+        """Local placement picks clients nearer the sinks (paper Fig. 8)."""
+        from repro.traffic.highpriority import _hop_distances
+
+        low = gravity_traffic_matrix(powerlaw_net.num_nodes, random.Random(1))
+        local = sink_high_priority(
+            powerlaw_net, low, fraction=0.2, placement="local", rng=random.Random(5)
+        )
+        uniform = sink_high_priority(
+            powerlaw_net, low, fraction=0.2, placement="uniform", rng=random.Random(5)
+        )
+
+        def mean_hops(ht):
+            hops = []
+            for client in ht.clients:
+                hops.append(
+                    min(_hop_distances(powerlaw_net, s)[client] for s in ht.sinks)
+                )
+            return np.mean(hops)
+
+        assert mean_hops(local) <= mean_hops(uniform)
+
+    def test_clients_exclude_sinks(self, powerlaw_net):
+        low = gravity_traffic_matrix(powerlaw_net.num_nodes, random.Random(1))
+        for placement in ("uniform", "local"):
+            ht = sink_high_priority(
+                powerlaw_net, low, fraction=0.2, placement=placement, rng=random.Random(6)
+            )
+            assert not set(ht.sinks) & set(ht.clients)
+
+    def test_invalid_placement_rejected(self, powerlaw_net):
+        low = gravity_traffic_matrix(powerlaw_net.num_nodes, random.Random(1))
+        with pytest.raises(ValueError, match="placement"):
+            sink_high_priority(powerlaw_net, low, fraction=0.2, placement="nearby")
+
+    def test_too_many_nodes_rejected(self, triangle):
+        low = TrafficMatrix.from_pairs(3, [(0, 1, 5.0)])
+        with pytest.raises(ValueError, match="exceed"):
+            sink_high_priority(triangle, low, fraction=0.2, num_sinks=2, num_clients=2)
+
+    def test_matrix_size_mismatch_rejected(self, powerlaw_net):
+        low = TrafficMatrix.zeros(5)
+        with pytest.raises(ValueError, match="does not match"):
+            sink_high_priority(powerlaw_net, low, fraction=0.2)

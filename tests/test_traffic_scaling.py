@@ -1,0 +1,64 @@
+"""Tests for traffic scaling to a target average utilization."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.routing.state import Routing
+from repro.routing.weights import unit_weights
+from repro.traffic.gravity import gravity_traffic_matrix
+from repro.traffic.highpriority import random_high_priority
+from repro.traffic.matrix import TrafficMatrix
+from repro.traffic.scaling import average_utilization, scale_to_utilization
+
+
+def test_average_utilization_simple(line4):
+    loads = np.zeros(line4.num_links)
+    loads[0] = 50.0
+    assert average_utilization(line4, loads) == pytest.approx(0.5 / line4.num_links)
+
+
+def test_average_utilization_shape_check(line4):
+    with pytest.raises(ValueError, match="expected"):
+        average_utilization(line4, np.zeros(3))
+
+
+def test_scaling_hits_target(isp_net, rng):
+    low = gravity_traffic_matrix(isp_net.num_nodes, rng)
+    high = random_high_priority(low, density=0.1, fraction=0.3, rng=rng)
+    for target in (0.3, 0.6, 0.9):
+        h, l = scale_to_utilization(isp_net, high.matrix, low, target)
+        routing = Routing(isp_net, unit_weights(isp_net.num_links))
+        measured = average_utilization(isp_net, routing.link_loads(h + l))
+        assert measured == pytest.approx(target, rel=1e-9)
+
+
+def test_scaling_preserves_fraction(isp_net, rng):
+    low = gravity_traffic_matrix(isp_net.num_nodes, rng)
+    high = random_high_priority(low, density=0.1, fraction=0.3, rng=rng)
+    h, l = scale_to_utilization(isp_net, high.matrix, low, 0.7)
+    assert h.total() / (h.total() + l.total()) == pytest.approx(0.3)
+
+
+def test_scaling_with_custom_reference_weights(isp_net, rng):
+    low = gravity_traffic_matrix(isp_net.num_nodes, rng)
+    high = random_high_priority(low, density=0.1, fraction=0.3, rng=rng)
+    weights = np.full(isp_net.num_links, 7)
+    h, l = scale_to_utilization(isp_net, high.matrix, low, 0.5, reference_weights=weights)
+    routing = Routing(isp_net, weights)
+    measured = average_utilization(isp_net, routing.link_loads(h + l))
+    assert measured == pytest.approx(0.5, rel=1e-9)
+
+
+def test_zero_traffic_rejected(isp_net):
+    zeros = TrafficMatrix.zeros(isp_net.num_nodes)
+    with pytest.raises(ValueError, match="all-zero"):
+        scale_to_utilization(isp_net, zeros, zeros, 0.5)
+
+
+def test_nonpositive_target_rejected(isp_net, rng):
+    low = gravity_traffic_matrix(isp_net.num_nodes, rng)
+    high = random_high_priority(low, density=0.1, fraction=0.3, rng=rng)
+    with pytest.raises(ValueError, match="positive"):
+        scale_to_utilization(isp_net, high.matrix, low, 0.0)

@@ -1,0 +1,74 @@
+"""Tests for traffic-matrix statistics."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.traffic.gravity import gravity_traffic_matrix
+from repro.traffic.highpriority import random_high_priority
+from repro.traffic.matrix import TrafficMatrix
+from repro.traffic.stats import class_mix, gini_coefficient, traffic_stats
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient(np.ones(10)) == pytest.approx(0.0)
+
+    def test_concentrated_near_one(self):
+        values = np.zeros(100)
+        values[0] = 100.0
+        assert gini_coefficient(values) > 0.95
+
+    def test_empty_and_zero(self):
+        assert gini_coefficient(np.array([])) == 0.0
+        assert gini_coefficient(np.zeros(5)) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gini_coefficient(np.array([1.0, -1.0]))
+
+    def test_scale_invariant(self):
+        values = np.array([1.0, 2.0, 5.0, 10.0])
+        assert gini_coefficient(values) == pytest.approx(gini_coefficient(values * 7))
+
+
+class TestTrafficStats:
+    def test_basic_fields(self):
+        tm = TrafficMatrix.from_pairs(4, [(0, 1, 10.0), (1, 2, 30.0)])
+        stats = traffic_stats(tm)
+        assert stats.total_mbps == 40.0
+        assert stats.pair_count == 2
+        assert stats.density == pytest.approx(2 / 12)
+        assert stats.max_pair_mbps == 30.0
+        assert stats.mean_pair_mbps == 20.0
+
+    def test_empty_matrix(self):
+        stats = traffic_stats(TrafficMatrix.zeros(4))
+        assert stats.total_mbps == 0.0
+        assert stats.gini == 0.0
+        assert stats.hotspot_share == 0.0
+
+    def test_gravity_matrix_has_hotspots(self):
+        tm = gravity_traffic_matrix(40, random.Random(8))
+        stats = traffic_stats(tm)
+        assert 0 < stats.hotspot_share < 1
+        assert stats.density == pytest.approx(1.0)
+        assert stats.gini > 0.05
+
+    def test_high_priority_density_matches_k(self):
+        low = gravity_traffic_matrix(20, random.Random(9))
+        ht = random_high_priority(low, density=0.25, fraction=0.3, rng=random.Random(9))
+        stats = traffic_stats(ht.matrix)
+        assert stats.density == pytest.approx(0.25, abs=0.01)
+
+
+class TestClassMix:
+    def test_fraction(self):
+        low = gravity_traffic_matrix(10, random.Random(1))
+        ht = random_high_priority(low, density=0.2, fraction=0.35, rng=random.Random(1))
+        assert class_mix(ht.matrix, low) == pytest.approx(0.35)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            class_mix(TrafficMatrix.zeros(3), TrafficMatrix.zeros(3))
