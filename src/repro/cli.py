@@ -4,10 +4,13 @@ Subcommands::
 
     repro-dtr topology  --family isp --out isp.json
     repro-dtr figure    --id fig2a --scale 0.2 --seed 1 [--json out.json]
-    repro-dtr compare   --topology random --mode load --utilization 0.6
+    repro-dtr compare   --topology random --mode load --utilization 0.6 \
+                        [--incremental | --full]
 
 ``figure`` accepts: fig2a..fig2f, fig3a..fig3c, fig4, fig5a, fig5b, fig6,
-fig7, fig8a, fig8b, fig9, table1.
+fig7, fig8a, fig8b, fig9, table1.  ``compare`` evaluates neighbor moves
+via incremental SPF by default; ``--full`` forces the from-scratch
+verification fallback.
 """
 
 from __future__ import annotations
@@ -74,6 +77,20 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_.add_argument("--density", type=float, default=0.10, help="high-priority SD-pair density k")
     cmp_.add_argument("--scale", type=float, default=1.0)
     cmp_.add_argument("--seed", type=int, default=1)
+    spf = cmp_.add_mutually_exclusive_group()
+    spf.add_argument(
+        "--incremental",
+        dest="incremental",
+        action="store_true",
+        default=True,
+        help="evaluate single-weight-delta moves via incremental SPF (default)",
+    )
+    spf.add_argument(
+        "--full",
+        dest="incremental",
+        action="store_false",
+        help="recompute every neighbor evaluation from scratch (verification fallback)",
+    )
     return parser
 
 
@@ -110,6 +127,7 @@ def _run_compare(args: argparse.Namespace) -> int:
             high_fraction=args.fraction,
             high_density=args.density,
             seed=args.seed,
+            incremental=args.incremental,
         ),
         args.scale,
     )

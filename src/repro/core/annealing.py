@@ -21,6 +21,7 @@ import numpy as np
 from repro.core.evaluator import DualTopologyEvaluator, Evaluation
 from repro.core.lexicographic import LexCost
 from repro.core.search_params import SearchParams
+from repro.routing.incremental import WeightDelta
 from repro.routing.weights import random_weights
 
 
@@ -131,7 +132,15 @@ def anneal_str(
             candidate[link] = rng.randint(
                 search_params.min_weight, search_params.max_weight
             )
-        candidate_eval = evaluator.evaluate_str(candidate)
+        delta = WeightDelta.from_weights(current, candidate)
+        candidate_eval = evaluator.evaluate(
+            candidate,
+            candidate,
+            high_base=current,
+            high_delta=delta,
+            low_base=current,
+            low_delta=delta,
+        )
         probability = _acceptance_probability(
             current_eval.objective, candidate_eval.objective, temperature
         )

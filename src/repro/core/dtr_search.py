@@ -93,12 +93,16 @@ class _DtrSearch:
 
         best_neighbor = None
         best_metric = metric
-        for neighbor in self.sampler.neighbors(current, order):
+        for delta in self.sampler.neighbor_deltas(current, order):
             if which == PHASE_HIGH:
-                candidate = self.evaluator.evaluate(neighbor, self.wl)
+                neighbor, candidate = self.evaluator.evaluate_high_neighbor(
+                    current, self.wl, delta
+                )
                 candidate_metric = candidate.objective
             else:
-                candidate = self.evaluator.evaluate(self.wh, neighbor)
+                neighbor, candidate = self.evaluator.evaluate_low_neighbor(
+                    self.wh, current, delta
+                )
                 candidate_metric = candidate.phi_low
             if candidate_metric < best_metric:
                 best_metric = candidate_metric

@@ -1,17 +1,34 @@
-"""Cached evaluation of dual weight settings under either cost function.
+"""Cached, delta-aware evaluation of dual weight settings.
 
 The search evaluates thousands of weight settings that differ from each
 other in only one topology (FindH perturbs only the high-priority weights,
 FindL only the low-priority weights).  The evaluator therefore caches two
 independent layers keyed by weight vector:
 
-* the *high layer* — high-priority routing, loads, residual capacities,
-  per-link high cost, and (in SLA mode) link delays and per-pair penalties;
+* the *high layer* — high-priority routing, per-destination and total
+  loads, residual capacities, per-link high cost, and (in SLA mode) link
+  delays, per-pair flow fractions, and per-pair penalties;
 * the *low layer* — low-priority routing and loads.
 
 A full evaluation combines one entry of each layer with a cheap O(|E|)
 costing pass, so FindL iterations reuse the entire high layer and FindH
 iterations reuse the low-priority loads.
+
+On top of that sits the incremental-SPF delta path: neighbors in the
+search differ from their parent in one or two link weights, so when a
+caller supplies the parent vector and a
+:class:`~repro.routing.incremental.WeightDelta` (see
+:meth:`DualTopologyEvaluator.evaluate_high_neighbor` and friends), a
+cache-missed layer is *derived* from the parent's layer instead of
+rebuilt: only the destinations whose SP structure can change (the slack
+test of :func:`repro.routing.incremental.affected_destinations`) get
+their Dijkstra row, SP DAG, load row, and (in SLA mode) pair fractions
+recomputed; everything else is reused verbatim.  Both paths assemble
+total loads by summing the per-destination rows in the same order, so a
+derived layer is bit-identical to a rebuilt one.  ``incremental=False``
+falls back to full recomputation everywhere, and
+``verify_incremental=True`` cross-checks every derived layer against a
+full rebuild (the verification fallback used by the property tests).
 """
 
 from __future__ import annotations
@@ -27,6 +44,11 @@ from repro.costs.load_cost import LoadCostEvaluation
 from repro.costs.residual import residual_capacities
 from repro.costs.sla import SlaCostEvaluation, SlaParams, link_delays_ms
 from repro.network.graph import Network
+from repro.routing.incremental import (
+    WeightDelta,
+    affected_destinations,
+    derive_routing,
+)
 from repro.routing.state import Routing
 from repro.routing.weights import weights_key
 from repro.traffic.matrix import TrafficMatrix
@@ -37,13 +59,19 @@ SLA_MODE = "sla"
 Evaluation = Union[LoadCostEvaluation, SlaCostEvaluation]
 
 
+class IncrementalMismatchError(RuntimeError):
+    """An incrementally derived layer disagreed with a full rebuild."""
+
+
 @dataclass
 class _HighLayer:
     routing: Routing
+    dest_rows: np.ndarray
     loads: np.ndarray
     residual: np.ndarray
     per_link_cost: np.ndarray
     link_delays: Optional[np.ndarray] = None
+    pair_fractions: Optional[dict[tuple[int, int], np.ndarray]] = None
     pair_delays: Optional[dict[tuple[int, int], float]] = None
     penalty: float = 0.0
     violations: int = 0
@@ -52,6 +80,7 @@ class _HighLayer:
 @dataclass
 class _LowLayer:
     routing: Routing
+    dest_rows: np.ndarray
     loads: np.ndarray
 
 
@@ -75,11 +104,37 @@ class _LruCache:
             self.misses += 1
         return entry
 
+    def peek(self, key: Optional[bytes]):
+        """Look up without touching the hit/miss counters.
+
+        Recency *is* refreshed: a peeked entry is a search's current base
+        layer, which must not be evicted while candidate layers stream in
+        around it (e.g. a long rejection streak in annealing).
+        """
+        if key is None:
+            return None
+        entry = self._store.get(key)
+        if entry is not None:
+            self._store.move_to_end(key)
+        return entry
+
     def put(self, key: bytes, value: object) -> None:
         self._store[key] = value
         self._store.move_to_end(key)
         while len(self._store) > self._capacity:
             self._store.popitem(last=False)
+
+
+def _ordered_row_sum(rows: np.ndarray, num_links: int) -> np.ndarray:
+    """Sum per-destination load rows left to right.
+
+    A fixed summation order keeps full and incrementally derived layers
+    bit-identical (numpy reductions may regroup additions).
+    """
+    loads = np.zeros(num_links)
+    for row in rows:
+        loads += row
+    return loads
 
 
 class DualTopologyEvaluator:
@@ -93,6 +148,14 @@ class DualTopologyEvaluator:
             objective ``S`` (Eq. 5).
         sla_params: SLA bound/penalty parameters (SLA mode only).
         cache_size: Entries kept per cache layer.
+        incremental: Whether cache-missed layers may be derived from a
+            cached parent layer via incremental SPF when the caller
+            supplies a weight delta.  ``False`` forces full recomputation
+            (the verification fallback path).
+        verify_incremental: Cross-check every incrementally derived layer
+            against a full rebuild and raise
+            :class:`IncrementalMismatchError` on disagreement.  Expensive;
+            meant for tests and debugging.
     """
 
     def __init__(
@@ -103,6 +166,8 @@ class DualTopologyEvaluator:
         mode: str = LOAD_MODE,
         sla_params: Optional[SlaParams] = None,
         cache_size: int = 128,
+        incremental: bool = True,
+        verify_incremental: bool = False,
     ) -> None:
         if mode not in (LOAD_MODE, SLA_MODE):
             raise ValueError(f"mode must be '{LOAD_MODE}' or '{SLA_MODE}', got {mode!r}")
@@ -113,10 +178,25 @@ class DualTopologyEvaluator:
         self._low_traffic = low_traffic
         self.mode = mode
         self.sla_params = sla_params or SlaParams()
+        self.incremental = bool(incremental)
+        self.verify_incremental = bool(verify_incremental)
         self._high_cache = _LruCache(cache_size)
         self._low_cache = _LruCache(cache_size)
         self._full_cache = _LruCache(cache_size * 2)
+        # Routings depend only on the weight vector, so high and low layers
+        # share them: entries are (routing, parent_key, affected_set).
+        self._routing_memo = _LruCache(cache_size * 2)
+        self._high_demands = high_traffic.demands
+        self._low_demands = low_traffic.demands
+        self._high_active = np.flatnonzero(self._high_demands.sum(axis=0) > 0)
+        self._low_active = np.flatnonzero(self._low_demands.sum(axis=0) > 0)
         self.evaluations = 0
+        self._incremental_stats = {
+            "high_incremental": 0,
+            "high_full": 0,
+            "low_incremental": 0,
+            "low_full": 0,
+        }
 
     # ------------------------------------------------------------------
     # Public API
@@ -136,8 +216,24 @@ class DualTopologyEvaluator:
         """Low-priority traffic matrix."""
         return self._low_traffic
 
-    def evaluate(self, high_weights: np.ndarray, low_weights: np.ndarray) -> Evaluation:
+    def evaluate(
+        self,
+        high_weights: np.ndarray,
+        low_weights: np.ndarray,
+        *,
+        high_base: Optional[np.ndarray] = None,
+        high_delta: Optional[WeightDelta] = None,
+        low_base: Optional[np.ndarray] = None,
+        low_delta: Optional[WeightDelta] = None,
+    ) -> Evaluation:
         """Full evaluation of a dual weight setting.
+
+        The keyword arguments are optional incremental-SPF hints: when
+        ``high_base``/``high_delta`` are given, ``high_weights`` must equal
+        ``high_delta.apply(high_base)`` and a cache miss on the high layer
+        is derived from the (expected cached) layer of ``high_base``
+        instead of rebuilt; likewise for the low layer.  Hints never
+        change the result — only how a missed layer is computed.
 
         Returns a :class:`LoadCostEvaluation` in load mode or a
         :class:`SlaCostEvaluation` in SLA mode; both expose ``.objective``
@@ -152,8 +248,18 @@ class DualTopologyEvaluator:
         if cached is not None:
             return cached
 
-        high = self._high_layer(hk, high_weights)
-        low = self._low_layer(lk, low_weights)
+        hbk = (
+            weights_key(np.asarray(high_base, dtype=np.int64))
+            if high_base is not None
+            else None
+        )
+        lbk = (
+            weights_key(np.asarray(low_base, dtype=np.int64))
+            if low_base is not None
+            else None
+        )
+        high = self._high_layer(hk, high_weights, base_key=hbk, delta=high_delta)
+        low = self._low_layer(lk, low_weights, base_key=lbk, delta=low_delta)
         per_link_low = fortz_cost_vector(low.loads, high.residual)
         utilization = (high.loads + low.loads) / self._net.capacities()
 
@@ -189,6 +295,45 @@ class DualTopologyEvaluator:
         """Evaluate single-topology routing: both classes on ``weights``."""
         return self.evaluate(weights, weights)
 
+    def evaluate_high_neighbor(
+        self, high_base: np.ndarray, low_weights: np.ndarray, delta: WeightDelta
+    ) -> tuple[np.ndarray, Evaluation]:
+        """Evaluate a FindH move: ``delta`` applied to ``high_base``.
+
+        Returns:
+            ``(neighbor_high_weights, evaluation)``.
+        """
+        hw = delta.apply(high_base)
+        return hw, self.evaluate(
+            hw, low_weights, high_base=high_base, high_delta=delta
+        )
+
+    def evaluate_low_neighbor(
+        self, high_weights: np.ndarray, low_base: np.ndarray, delta: WeightDelta
+    ) -> tuple[np.ndarray, Evaluation]:
+        """Evaluate a FindL move: ``delta`` applied to ``low_base``.
+
+        Returns:
+            ``(neighbor_low_weights, evaluation)``.
+        """
+        lw = delta.apply(low_base)
+        return lw, self.evaluate(
+            high_weights, lw, low_base=low_base, low_delta=delta
+        )
+
+    def evaluate_str_neighbor(
+        self, base: np.ndarray, delta: WeightDelta
+    ) -> tuple[np.ndarray, Evaluation]:
+        """Evaluate an STR move: ``delta`` applied to ``base`` in both classes.
+
+        Returns:
+            ``(neighbor_weights, evaluation)``.
+        """
+        w = delta.apply(base)
+        return w, self.evaluate(
+            w, w, high_base=base, high_delta=delta, low_base=base, low_delta=delta
+        )
+
     def high_routing(self, high_weights: np.ndarray) -> Routing:
         """The (cached) high-priority routing for ``high_weights``."""
         hk = weights_key(np.asarray(high_weights, dtype=np.int64))
@@ -200,7 +345,12 @@ class DualTopologyEvaluator:
         return self._low_layer(lk, low_weights).routing
 
     def cache_stats(self) -> dict[str, int]:
-        """Hit/miss counters of the three cache layers."""
+        """Hit/miss counters of the cache layers plus incremental-SPF counters.
+
+        ``high_incremental``/``low_incremental`` count cache-missed layers
+        derived from a parent via incremental SPF; ``high_full``/``low_full``
+        count layers rebuilt from scratch.
+        """
         return {
             "high_hits": self._high_cache.hits,
             "high_misses": self._high_cache.misses,
@@ -208,49 +358,221 @@ class DualTopologyEvaluator:
             "low_misses": self._low_cache.misses,
             "full_hits": self._full_cache.hits,
             "full_misses": self._full_cache.misses,
+            **self._incremental_stats,
         }
 
     # ------------------------------------------------------------------
     # Layers
     # ------------------------------------------------------------------
-    def _high_layer(self, key: bytes, weights: np.ndarray) -> _HighLayer:
+    def _high_layer(
+        self,
+        key: bytes,
+        weights: np.ndarray,
+        base_key: Optional[bytes] = None,
+        delta: Optional[WeightDelta] = None,
+    ) -> _HighLayer:
         layer = self._high_cache.get(key)
         if layer is not None:
             return layer
-        routing = Routing(self._net, weights)
-        loads = routing.link_loads(self._high_traffic)
+        parent = None
+        if self.incremental and delta is not None and delta.num_changes:
+            parent = self._high_cache.peek(base_key)
+        if parent is not None:
+            layer = self._build_high_layer(
+                weights, parent=parent, delta=delta, child_key=key, parent_key=base_key
+            )
+            self._incremental_stats["high_incremental"] += 1
+            if self.verify_incremental:
+                self._verify_layer(layer, self._build_high_layer(weights), "high")
+        else:
+            layer = self._build_high_layer(weights, child_key=key)
+            self._incremental_stats["high_full"] += 1
+        self._high_cache.put(key, layer)
+        return layer
+
+    def _low_layer(
+        self,
+        key: bytes,
+        weights: np.ndarray,
+        base_key: Optional[bytes] = None,
+        delta: Optional[WeightDelta] = None,
+    ) -> _LowLayer:
+        layer = self._low_cache.get(key)
+        if layer is not None:
+            return layer
+        parent = None
+        if self.incremental and delta is not None and delta.num_changes:
+            parent = self._low_cache.peek(base_key)
+        if parent is not None:
+            layer = self._build_low_layer(
+                weights, parent=parent, delta=delta, child_key=key, parent_key=base_key
+            )
+            self._incremental_stats["low_incremental"] += 1
+            if self.verify_incremental:
+                self._verify_layer(layer, self._build_low_layer(weights), "low")
+        else:
+            layer = self._build_low_layer(weights, child_key=key)
+            self._incremental_stats["low_full"] += 1
+        self._low_cache.put(key, layer)
+        return layer
+
+    def _derive_or_build(
+        self,
+        weights: np.ndarray,
+        parent_routing: Optional[Routing],
+        delta: Optional[WeightDelta],
+        child_key: Optional[bytes] = None,
+        parent_key: Optional[bytes] = None,
+    ) -> tuple[Routing, Optional[set[int]]]:
+        """Child routing plus its affected-destination set (``None`` = all).
+
+        Routings are memoized by weight key and shared across the high and
+        low layers (an STR move builds the routing once, not twice).
+        ``child_key=None`` bypasses the memo — the verification rebuild
+        must not be handed the very derived routing it is checking.
+        """
+        memo = self._routing_memo.peek(child_key)
+        if memo is not None:
+            routing, memo_parent_key, affected = memo
+            if parent_routing is None or delta is None:
+                return routing, None
+            if memo_parent_key == parent_key and affected is not None:
+                return routing, affected
+            return routing, set(
+                int(t)
+                for t in affected_destinations(
+                    self._net, parent_routing.distance_matrix, delta
+                )
+            )
+        if parent_routing is None or delta is None:
+            routing, affected = Routing(self._net, weights), None
+        else:
+            derived, affected_array = derive_routing(parent_routing, delta)
+            if not np.array_equal(derived.weights, np.asarray(weights, dtype=np.int64)):
+                raise ValueError(
+                    "incremental hint mismatch: delta applied to base does not "
+                    "produce the requested weight vector"
+                )
+            routing = derived
+            affected = set(int(t) for t in affected_array)
+        if child_key is not None:
+            self._routing_memo.put(child_key, (routing, parent_key, affected))
+        return routing, affected
+
+    def _dest_rows(
+        self,
+        routing: Routing,
+        active: np.ndarray,
+        demands: np.ndarray,
+        parent_rows: Optional[np.ndarray],
+        affected: Optional[set[int]],
+    ) -> np.ndarray:
+        """Per-destination load rows, reusing parent rows where possible."""
+        if affected is None:
+            rows = np.empty((active.size, self._net.num_links))
+            for i, t in enumerate(active):
+                rows[i] = routing.destination_link_loads(int(t), demands[:, t])
+            return rows
+        rows = parent_rows.copy()
+        for i, t in enumerate(active):
+            t = int(t)
+            if t in affected:
+                rows[i] = routing.destination_link_loads(t, demands[:, t])
+        return rows
+
+    def _build_high_layer(
+        self,
+        weights: np.ndarray,
+        parent: Optional[_HighLayer] = None,
+        delta: Optional[WeightDelta] = None,
+        child_key: Optional[bytes] = None,
+        parent_key: Optional[bytes] = None,
+    ) -> _HighLayer:
+        routing, affected = self._derive_or_build(
+            weights, parent.routing if parent else None, delta, child_key, parent_key
+        )
+        rows = self._dest_rows(
+            routing,
+            self._high_active,
+            self._high_demands,
+            parent.dest_rows if parent else None,
+            affected,
+        )
+        loads = _ordered_row_sum(rows, self._net.num_links)
         capacities = self._net.capacities()
         residual = residual_capacities(capacities, loads)
         per_link_cost = fortz_cost_vector(loads, capacities)
         layer = _HighLayer(
-            routing=routing, loads=loads, residual=residual, per_link_cost=per_link_cost
+            routing=routing,
+            dest_rows=rows,
+            loads=loads,
+            residual=residual,
+            per_link_cost=per_link_cost,
         )
         if self.mode == SLA_MODE:
             delays = link_delays_ms(
                 self._net, loads, per_link_cost, self.sla_params.packet_size_bits
             )
+            fractions: dict[tuple[int, int], np.ndarray] = {}
             pair_delays: dict[tuple[int, int], float] = {}
             penalty = 0.0
             violations = 0
             for s, t, _rate in self._high_traffic.pairs():
-                xi = float(routing.pair_link_fractions(s, t) @ delays)
+                if affected is not None and t not in affected:
+                    frac = parent.pair_fractions[(s, t)]
+                else:
+                    frac = routing.pair_link_fractions(s, t)
+                fractions[(s, t)] = frac
+                xi = float(frac @ delays)
                 pair_delays[(s, t)] = xi
                 pair_penalty = self.sla_params.pair_penalty(xi)
                 if pair_penalty > 0:
                     violations += 1
                     penalty += pair_penalty
             layer.link_delays = delays
+            layer.pair_fractions = fractions
             layer.pair_delays = pair_delays
             layer.penalty = penalty
             layer.violations = violations
-        self._high_cache.put(key, layer)
         return layer
 
-    def _low_layer(self, key: bytes, weights: np.ndarray) -> _LowLayer:
-        layer = self._low_cache.get(key)
-        if layer is not None:
-            return layer
-        routing = Routing(self._net, weights)
-        layer = _LowLayer(routing=routing, loads=routing.link_loads(self._low_traffic))
-        self._low_cache.put(key, layer)
-        return layer
+    def _build_low_layer(
+        self,
+        weights: np.ndarray,
+        parent: Optional[_LowLayer] = None,
+        delta: Optional[WeightDelta] = None,
+        child_key: Optional[bytes] = None,
+        parent_key: Optional[bytes] = None,
+    ) -> _LowLayer:
+        routing, affected = self._derive_or_build(
+            weights, parent.routing if parent else None, delta, child_key, parent_key
+        )
+        rows = self._dest_rows(
+            routing,
+            self._low_active,
+            self._low_demands,
+            parent.dest_rows if parent else None,
+            affected,
+        )
+        return _LowLayer(
+            routing=routing,
+            dest_rows=rows,
+            loads=_ordered_row_sum(rows, self._net.num_links),
+        )
+
+    def _verify_layer(self, derived, rebuilt, which: str) -> None:
+        """Cross-check a derived layer against a full rebuild."""
+        if not np.allclose(
+            derived.routing.distance_matrix,
+            rebuilt.routing.distance_matrix,
+            rtol=1e-12,
+            atol=1e-9,
+        ):
+            raise IncrementalMismatchError(f"{which} layer: distance matrices differ")
+        if not np.allclose(derived.loads, rebuilt.loads, rtol=1e-12, atol=1e-9):
+            raise IncrementalMismatchError(f"{which} layer: link loads differ")
+        if which == "high" and self.mode == SLA_MODE:
+            if abs(derived.penalty - rebuilt.penalty) > 1e-9 * max(
+                1.0, abs(rebuilt.penalty)
+            ):
+                raise IncrementalMismatchError("high layer: SLA penalties differ")

@@ -105,8 +105,9 @@ def optimize_joint(
         per_link = alpha * evaluation.per_link_high + evaluation.per_link_low
         order = list(np.argsort(-per_link, kind="stable"))
         improved = False
-        for neighbor in sampler.single_change_neighbors(current, order):
-            candidate = evaluator.evaluate_str(neighbor)
+        base = current
+        for delta in sampler.single_change_deltas(base, order):
+            neighbor, candidate = evaluator.evaluate_str_neighbor(base, delta)
             if joint(candidate) < joint(evaluation):
                 current, evaluation = neighbor, candidate
                 improved = True

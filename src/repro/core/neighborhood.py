@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.rank_selection import draw_rank
 from repro.core.search_params import SearchParams
+from repro.routing.incremental import WeightDelta
 
 
 @dataclass(frozen=True)
@@ -55,15 +56,20 @@ class NeighborhoodSampler:
         low = tuple(order_desc[n - k2 - j] for j in range(m))
         return CandidateSets(high_cost_links=high, low_cost_links=low)
 
-    def neighbors(
+    def neighbor_deltas(
         self, weights: np.ndarray, order_desc: Sequence[int]
-    ) -> list[np.ndarray]:
-        """Generate ``m`` neighbors of ``weights``.
+    ) -> list[WeightDelta]:
+        """Generate ``m`` neighbors of ``weights`` as sparse weight deltas.
 
         Each neighbor increases the weight of one link drawn without
         replacement from ``A`` and decreases the weight of one link drawn
-        without replacement from ``B``, clamped to the weight range.
+        without replacement from ``B``, clamped to the weight range.  A
+        move that clamps to no change on both links yields an empty delta,
+        preserving the neighbor count.  Deltas are the native currency of
+        the evaluator's incremental-SPF path
+        (:meth:`repro.core.evaluator.DualTopologyEvaluator.evaluate_high_neighbor`).
         """
+        base = np.asarray(weights, dtype=np.int64)
         sets = self.candidate_sets(order_desc)
         ups = list(sets.high_cost_links)
         downs = list(sets.low_cost_links)
@@ -72,12 +78,47 @@ class NeighborhoodSampler:
         params = self._params
         out = []
         for up_link, down_link in zip(ups, downs):
-            neighbor = np.array(weights, dtype=np.int64, copy=True)
             step_up = self._rng.choice(params.weight_steps)
             step_down = self._rng.choice(params.weight_steps)
+            neighbor = np.array(base, copy=True)
             neighbor[up_link] = min(params.max_weight, neighbor[up_link] + step_up)
             neighbor[down_link] = max(params.min_weight, neighbor[down_link] - step_down)
-            out.append(neighbor)
+            out.append(WeightDelta.from_weights(base, neighbor))
+        return out
+
+    def neighbors(
+        self, weights: np.ndarray, order_desc: Sequence[int]
+    ) -> list[np.ndarray]:
+        """Generate ``m`` neighbors of ``weights`` as full weight vectors.
+
+        Array-vector view of :meth:`neighbor_deltas` (same moves, same
+        RNG stream).
+        """
+        base = np.asarray(weights, dtype=np.int64)
+        return [d.apply(base) for d in self.neighbor_deltas(weights, order_desc)]
+
+    def single_change_deltas(
+        self, weights: np.ndarray, order_desc: Sequence[int]
+    ) -> list[WeightDelta]:
+        """Deltas changing a *single* link weight, no-op moves dropped.
+
+        Used by the STR baseline ("single weight change" heuristic of
+        Fortz-Thorup): links from ``A`` get an increase, links from ``B``
+        a decrease, one change per neighbor.
+        """
+        base = np.asarray(weights, dtype=np.int64)
+        sets = self.candidate_sets(order_desc)
+        params = self._params
+        out = []
+        for link, direction in [(l, +1) for l in sets.high_cost_links] + [
+            (l, -1) for l in sets.low_cost_links
+        ]:
+            step = self._rng.choice(params.weight_steps) * direction
+            new_weight = int(
+                np.clip(base[link] + step, params.min_weight, params.max_weight)
+            )
+            if new_weight != base[link]:
+                out.append(WeightDelta.single(link, int(base[link]), new_weight))
         return out
 
     def single_change_neighbors(
@@ -85,21 +126,8 @@ class NeighborhoodSampler:
     ) -> list[np.ndarray]:
         """Neighbors differing from ``weights`` in a *single* link weight.
 
-        Used by the STR baseline ("single weight change" heuristic of
-        Fortz-Thorup): links from ``A`` get an increase, links from ``B``
-        a decrease, one change per neighbor.
+        Array-vector view of :meth:`single_change_deltas` (same moves,
+        same RNG stream).
         """
-        sets = self.candidate_sets(order_desc)
-        params = self._params
-        out = []
-        for link, direction in [(l, +1) for l in sets.high_cost_links] + [
-            (l, -1) for l in sets.low_cost_links
-        ]:
-            neighbor = np.array(weights, dtype=np.int64, copy=True)
-            step = self._rng.choice(params.weight_steps) * direction
-            neighbor[link] = int(
-                np.clip(neighbor[link] + step, params.min_weight, params.max_weight)
-            )
-            if neighbor[link] != weights[link]:
-                out.append(neighbor)
-        return out
+        base = np.asarray(weights, dtype=np.int64)
+        return [d.apply(base) for d in self.single_change_deltas(weights, order_desc)]

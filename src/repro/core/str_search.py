@@ -135,8 +135,9 @@ def optimize_str(
     for iteration in range(1, total_iterations + 1):
         order = _descending_link_order(evaluation)
         improved = False
-        for neighbor in sampler.single_change_neighbors(current, order):
-            candidate = evaluator.evaluate_str(neighbor)
+        base = current
+        for delta in sampler.single_change_deltas(base, order):
+            neighbor, candidate = evaluator.evaluate_str_neighbor(base, delta)
             consider_relaxed(neighbor, candidate)
             if candidate.objective < evaluation.objective:
                 current, evaluation = neighbor, candidate

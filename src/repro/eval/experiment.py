@@ -39,7 +39,9 @@ class ExperimentConfig:
 
     Defaults mirror the paper's base configuration: 30 % high-priority
     volume (``f``), 10 % high-priority pair density (``k``), random
-    high-priority model, load-based cost function.
+    high-priority model, load-based cost function.  ``incremental``
+    selects the evaluator's incremental-SPF delta path (default) or full
+    per-neighbor recomputation.
     """
 
     topology: str = RANDOM_TOPOLOGY
@@ -55,6 +57,7 @@ class ExperimentConfig:
     search_params: SearchParams = field(default_factory=SearchParams)
     relaxation_epsilons: tuple[float, ...] = ()
     seed: int = 1
+    incremental: bool = True
 
     def __post_init__(self) -> None:
         if self.topology not in (RANDOM_TOPOLOGY, POWERLAW_TOPOLOGY, ISP_TOPOLOGY):
@@ -158,7 +161,12 @@ def make_evaluator(
 ) -> DualTopologyEvaluator:
     """Build the cost evaluator matching a config's mode."""
     return DualTopologyEvaluator(
-        net, high, low, mode=config.mode, sla_params=config.sla_params
+        net,
+        high,
+        low,
+        mode=config.mode,
+        sla_params=config.sla_params,
+        incremental=config.incremental,
     )
 
 

@@ -177,6 +177,31 @@ class Network:
         """Per-link destination-node vector, indexed by link index."""
         return self._cached("dsts", lambda: np.array([l.dst for l in self._links], dtype=np.int64))
 
+    def reverse_csr_structure(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """CSR structure of the reversed graph, for repeated Dijkstra calls.
+
+        Returns ``(indptr, indices, perm)`` such that
+        ``csr_matrix((weights[perm], indices, indptr))`` is the transpose
+        of the weighted adjacency matrix.  The structure depends only on
+        the topology, so callers swap in new weight data without paying
+        sparse-matrix construction on every shortest-path computation.
+        """
+        if "rev_indptr" not in self._cache:
+            srcs = self.link_sources()
+            dsts = self.link_destinations()
+            perm = np.lexsort((srcs, dsts))
+            counts = np.bincount(dsts, minlength=self._num_nodes)
+            self._cache["rev_perm"] = perm
+            self._cache["rev_indices"] = srcs[perm]
+            self._cache["rev_indptr"] = np.concatenate(
+                ([0], np.cumsum(counts))
+            ).astype(np.int64)
+        return (
+            self._cache["rev_indptr"],
+            self._cache["rev_indices"],
+            self._cache["rev_perm"],
+        )
+
     def weight_matrix(self, weights: Iterable[float]) -> np.ndarray:
         """Dense ``num_nodes x num_nodes`` matrix of link weights.
 

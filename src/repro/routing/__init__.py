@@ -10,8 +10,19 @@ several (the MTR substrate, of which dual-topology routing is the
 two-topology case).
 """
 
-from repro.routing.spf import RoutingError, distances_to_all, shortest_path_dag_mask
+from repro.routing.spf import (
+    RoutingError,
+    distances_to_all,
+    distances_to_subset,
+    shortest_path_dag_mask,
+)
 from repro.routing.state import Routing
+from repro.routing.incremental import (
+    WeightDelta,
+    affected_destinations,
+    derive_routing,
+    incremental_distances,
+)
 from repro.routing.multi_topology import DualRouting, MultiTopology
 from repro.routing.forwarding import (
     ForwardingTable,
@@ -42,7 +53,12 @@ __all__ = [
     "DualRouting",
     "RoutingError",
     "distances_to_all",
+    "distances_to_subset",
     "shortest_path_dag_mask",
+    "WeightDelta",
+    "affected_destinations",
+    "derive_routing",
+    "incremental_distances",
     "as_weight_array",
     "unit_weights",
     "random_weights",

@@ -1,0 +1,200 @@
+"""Incremental SPF for weight settings that differ in a few link weights.
+
+The local searches (FindH/FindL, the STR single-weight-change baseline,
+simulated annealing) evaluate thousands of weight settings that differ
+from an already-evaluated parent in only one or two link weights, yet a
+fresh :class:`~repro.routing.state.Routing` recomputes all-destination
+Dijkstra, every SP DAG, and every per-destination load from scratch —
+the classic bottleneck dynamic shortest-path updates address in the
+weight-search literature (Fortz & Thorup).
+
+This module exploits the destination-row structure of
+:func:`repro.routing.spf.distances_to_all`: a weight change on link
+``(u, v)`` can only alter the routing toward destinations ``t`` whose
+shortest-path structure involves the link,
+
+* **increase** ``w -> w'``: only destinations whose SP DAG *used* the
+  link, i.e. ``dist(u, t) == w + dist(v, t)`` (the slack test of
+  :func:`repro.routing.spf.shortest_path_dag_mask`);
+* **decrease** ``w -> w'``: only destinations where the cheaper link
+  (weakly) undercuts the incumbent distance,
+  ``w' + dist(v, t) <= dist(u, t)`` (strict improvement shortens the
+  distance; equality leaves distances intact but adds an ECMP branch).
+
+For every other destination both the distance row and the SP DAG are
+provably unchanged (no old shortest path used a changed link, and no new
+path can beat the incumbent), so :func:`derive_routing` re-runs Dijkstra
+restricted to the affected destinations and shares all other rows and
+cached DAGs with the parent.  For multi-link deltas the affected set is
+the union of the per-link tests, each evaluated against the parent's
+distances — increases cannot shorten any path, and a decrease failing
+its test cannot undercut any distance even combined with the others.
+
+On the paper's 30-node topologies a single-weight move typically affects
+a small handful of destinations, so almost all SPF work is skipped; the
+evaluator layers (:mod:`repro.core.evaluator`) build on this to reuse
+per-destination load rows as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.network.graph import Network
+from repro.routing.spf import _DISTANCE_ATOL, distances_to_subset
+from repro.routing.state import Routing
+
+
+@dataclass(frozen=True)
+class WeightDelta:
+    """A sparse difference between two link-weight vectors.
+
+    Attributes:
+        changes: ``(link_index, old_weight, new_weight)`` triples, one per
+            changed link, sorted by link index.  ``old_weight`` pins the
+            parent vector the delta applies to, so :meth:`apply` can catch
+            mismatched parents.
+    """
+
+    changes: tuple[tuple[int, int, int], ...]
+
+    def __post_init__(self) -> None:
+        links = [link for link, _, _ in self.changes]
+        if len(set(links)) != len(links):
+            raise ValueError(f"duplicate links in delta: {links}")
+        for link, old_w, new_w in self.changes:
+            if old_w == new_w:
+                raise ValueError(f"no-op change on link {link} (weight {old_w})")
+            if old_w <= 0 or new_w <= 0:
+                raise ValueError(f"link {link}: weights must be positive")
+        object.__setattr__(self, "changes", tuple(sorted(self.changes)))
+
+    @classmethod
+    def single(cls, link: int, old_weight: int, new_weight: int) -> "WeightDelta":
+        """The delta changing one link's weight."""
+        return cls(changes=((int(link), int(old_weight), int(new_weight)),))
+
+    @classmethod
+    def from_weights(cls, old: np.ndarray, new: np.ndarray) -> "WeightDelta":
+        """The (possibly empty) delta turning vector ``old`` into ``new``."""
+        old = np.asarray(old, dtype=np.int64)
+        new = np.asarray(new, dtype=np.int64)
+        if old.shape != new.shape:
+            raise ValueError(f"shape mismatch: {old.shape} vs {new.shape}")
+        changed = np.flatnonzero(old != new)
+        return cls(
+            changes=tuple((int(l), int(old[l]), int(new[l])) for l in changed)
+        )
+
+    @property
+    def num_changes(self) -> int:
+        """Number of links whose weight changes."""
+        return len(self.changes)
+
+    def links(self) -> tuple[int, ...]:
+        """Indices of the changed links."""
+        return tuple(link for link, _, _ in self.changes)
+
+    def apply(self, weights: np.ndarray) -> np.ndarray:
+        """The child weight vector obtained by applying the delta.
+
+        Raises:
+            ValueError: if ``weights`` does not match the recorded old
+                weights (the delta was built against a different parent).
+        """
+        out = np.array(weights, dtype=np.int64, copy=True)
+        for link, old_w, new_w in self.changes:
+            if out[link] != old_w:
+                raise ValueError(
+                    f"delta expects weight {old_w} on link {link}, found {out[link]}"
+                )
+            out[link] = new_w
+        return out
+
+
+def affected_destinations(
+    net: Network,
+    dist: np.ndarray,
+    delta: WeightDelta,
+    atol: float = _DISTANCE_ATOL,
+) -> np.ndarray:
+    """Destinations whose SP structure can change under ``delta``.
+
+    Args:
+        net: The network.
+        dist: Distance matrix of the *parent* weights
+            (``dist[t, u] = dist(u, t)``).
+        delta: The weight changes, relative to the parent.
+        atol: Distance comparison tolerance.
+
+    Returns:
+        Sorted array of destination node indices; for every destination
+        *not* returned, both the distance row and the SP DAG are
+        guaranteed unchanged.
+    """
+    srcs = net.link_sources()
+    dsts = net.link_destinations()
+    mask = np.zeros(net.num_nodes, dtype=bool)
+    for link, old_w, new_w in delta.changes:
+        to_u = dist[:, srcs[link]]
+        to_v = dist[:, dsts[link]]
+        finite = np.isfinite(to_u) & np.isfinite(to_v)
+        if new_w > old_w:
+            mask |= finite & (np.abs(to_u - (old_w + to_v)) <= atol)
+        else:
+            mask |= finite & (new_w + to_v <= to_u + atol)
+    return np.flatnonzero(mask)
+
+
+def incremental_distances(
+    net: Network,
+    new_weights: np.ndarray,
+    parent_dist: np.ndarray,
+    affected: np.ndarray,
+) -> np.ndarray:
+    """Distance matrix under ``new_weights``, recomputing only ``affected`` rows.
+
+    Args:
+        net: The network.
+        new_weights: The child weight vector.
+        parent_dist: Distance matrix of the parent weights.
+        affected: Output of :func:`affected_destinations`.
+
+    Returns:
+        A fresh matrix equal to ``distances_to_all(net, new_weights)``;
+        rows outside ``affected`` are copied from ``parent_dist``.
+    """
+    dist = parent_dist.copy()
+    if affected.size:
+        dist[affected] = distances_to_subset(net, new_weights, affected)
+    return dist
+
+
+def derive_routing(
+    parent: Routing, delta: WeightDelta
+) -> tuple[Routing, np.ndarray]:
+    """Routing of ``delta`` applied to ``parent``, reusing unaffected state.
+
+    Args:
+        parent: The routing of the parent weight vector.
+        delta: The weight changes, relative to the parent.
+
+    Returns:
+        ``(child, affected)``: a routing equivalent to
+        ``Routing(net, delta.apply(parent.weights))`` — distance rows and
+        cached SP DAGs of unaffected destinations are shared with the
+        parent — and the affected-destination array, so callers can limit
+        their own recomputation (e.g. per-destination load rows) to it.
+    """
+    net = parent.network
+    new_weights = delta.apply(parent.weights)
+    affected = affected_destinations(net, parent.distance_matrix, delta)
+    dist = incremental_distances(net, new_weights, parent.distance_matrix, affected)
+    affected_set = set(int(t) for t in affected)
+    reusable_dags = {
+        t: dag for t, dag in parent.dag_cache().items() if t not in affected_set
+    }
+    child = Routing.from_precomputed(net, new_weights, dist, dag_out=reusable_dags)
+    return child, affected

@@ -15,6 +15,18 @@ class RoutingError(RuntimeError):
     """Raised when traffic cannot be routed (e.g. unreachable destination)."""
 
 
+def _reverse_graph(net: Network, weights: np.ndarray) -> csr_matrix:
+    """Sparse reversed graph whose Dijkstra rows are distances *to* a node."""
+    w = np.asarray(weights, dtype=float)
+    if w.shape != (net.num_links,):
+        raise ValueError(f"expected {net.num_links} weights, got shape {w.shape}")
+    if np.any(w <= 0):
+        raise ValueError("link weights must be positive")
+    n = net.num_nodes
+    indptr, indices, perm = net.reverse_csr_structure()
+    return csr_matrix((w[perm], indices, indptr), shape=(n, n))
+
+
 def distances_to_all(net: Network, weights: np.ndarray) -> np.ndarray:
     """Shortest-path distance to every destination under ``weights``.
 
@@ -27,16 +39,27 @@ def distances_to_all(net: Network, weights: np.ndarray) -> np.ndarray:
         is the shortest-path distance from node ``u`` to node ``t``;
         ``inf`` where no path exists.
     """
-    w = np.asarray(weights, dtype=float)
-    if w.shape != (net.num_links,):
-        raise ValueError(f"expected {net.num_links} weights, got shape {w.shape}")
-    if np.any(w <= 0):
-        raise ValueError("link weights must be positive")
-    n = net.num_nodes
-    graph = csr_matrix(
-        (w, (net.link_sources(), net.link_destinations())), shape=(n, n)
-    )
-    return dijkstra(graph.T, directed=True)
+    return dijkstra(_reverse_graph(net, weights), directed=True)
+
+
+def distances_to_subset(
+    net: Network, weights: np.ndarray, destinations: np.ndarray
+) -> np.ndarray:
+    """Rows of :func:`distances_to_all` for a subset of destinations.
+
+    Args:
+        net: The network.
+        weights: Per-link positive weights, indexed by link index.
+        destinations: Destination node indices to compute rows for.
+
+    Returns:
+        Matrix of shape ``(len(destinations), num_nodes)`` whose row ``i``
+        equals ``distances_to_all(net, weights)[destinations[i]]``.
+    """
+    dests = np.asarray(destinations, dtype=np.int64)
+    if dests.size == 0:
+        return np.empty((0, net.num_nodes))
+    return np.atleast_2d(dijkstra(_reverse_graph(net, weights), directed=True, indices=dests))
 
 
 def shortest_path_dag_mask(

@@ -34,6 +34,31 @@ class Routing:
         self._dist = distances_to_all(net, self._weights)
         self._dag_out: dict[int, list[list[int]]] = {}
 
+    @classmethod
+    def from_precomputed(
+        cls,
+        net: Network,
+        weights: Iterable[float],
+        dist: np.ndarray,
+        dag_out: Optional[dict[int, list[list[int]]]] = None,
+    ) -> "Routing":
+        """Build a routing from an externally computed distance matrix.
+
+        This is the constructor the incremental-SPF path uses
+        (:func:`repro.routing.incremental.derive_routing`): ``dist`` must
+        equal ``distances_to_all(net, weights)`` and ``dag_out`` may seed
+        the per-destination DAG cache with entries that are known to be
+        valid under ``weights`` (e.g. reused from a parent routing whose
+        distance rows are unchanged).  No recomputation or validation is
+        performed, so callers are responsible for consistency.
+        """
+        routing = cls.__new__(cls)
+        routing._net = net
+        routing._weights = as_weight_array(weights, net.num_links)
+        routing._dist = dist
+        routing._dag_out = dict(dag_out) if dag_out else {}
+        return routing
+
     # ------------------------------------------------------------------
     # Accessors
     # ------------------------------------------------------------------
@@ -55,6 +80,23 @@ class Routing:
         """Vector of shortest-path distances from every node to ``dst``."""
         return self._dist[dst]
 
+    @property
+    def distance_matrix(self) -> np.ndarray:
+        """The full ``(num_nodes, num_nodes)`` matrix ``D[t, u] = dist(u, t)``.
+
+        Treat as read-only: the matrix is shared with internal caches (and,
+        on the incremental path, potentially with other routings).
+        """
+        return self._dist
+
+    def dag_cache(self) -> dict[int, list[list[int]]]:
+        """The per-destination SP DAG cache built so far (``dst -> out-links``).
+
+        Exposed so the incremental-SPF path can reuse DAGs of destinations
+        whose distance rows are unchanged; treat entries as read-only.
+        """
+        return self._dag_out
+
     def dag_out_links(self, dst: int) -> list[list[int]]:
         """Per-node outgoing link indices on the shortest-path DAG toward ``dst``."""
         cached = self._dag_out.get(dst)
@@ -62,8 +104,9 @@ class Routing:
             return cached
         mask = shortest_path_dag_mask(self._net, self._weights, self._dist[dst])
         out: list[list[int]] = [[] for _ in range(self._net.num_nodes)]
+        sources = self._net.link_sources()
         for link_idx in np.flatnonzero(mask):
-            out[self._net.link(int(link_idx)).src].append(int(link_idx))
+            out[sources[link_idx]].append(int(link_idx))
         self._dag_out[dst] = out
         return out
 
@@ -100,6 +143,25 @@ class Routing:
         for t in np.flatnonzero(demands.sum(axis=0) > 0):
             self._accumulate_destination(int(t), demands[:, t], loads, link_dst)
         return loads
+
+    def destination_link_loads(self, dst: int, injections: np.ndarray) -> np.ndarray:
+        """Per-link loads contributed by traffic destined to ``dst`` alone.
+
+        Args:
+            dst: The destination node.
+            injections: Per-node demand toward ``dst`` (column ``dst`` of a
+                demand matrix), in Mb/s.
+
+        Returns:
+            Vector of link loads (Mb/s) such that summing the vectors of
+            every destination reproduces :meth:`link_loads`.
+
+        Raises:
+            RoutingError: if any positive injection has no path to ``dst``.
+        """
+        row = np.zeros(self._net.num_links)
+        self._accumulate_destination(dst, np.asarray(injections, dtype=float), row, self._net.link_destinations())
+        return row
 
     def pair_link_fractions(self, src: int, dst: int) -> np.ndarray:
         """Fraction of the ``(src, dst)`` flow crossing each link.

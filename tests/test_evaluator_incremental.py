@@ -1,0 +1,205 @@
+"""Equivalence of the evaluator's incremental-SPF path and full recomputation.
+
+The property the incremental engine guarantees: given a cached parent
+evaluation, evaluating a weight delta through
+``evaluate_high_neighbor`` / ``evaluate_low_neighbor`` /
+``evaluate_str_neighbor`` produces *bit-identical* costs and loads to an
+evaluator that recomputes every neighbor from scratch
+(``incremental=False``).
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.evaluator import (
+    LOAD_MODE,
+    SLA_MODE,
+    DualTopologyEvaluator,
+    IncrementalMismatchError,
+)
+from repro.eval.experiment import ExperimentConfig, build_network, build_traffic
+from repro.routing.incremental import WeightDelta
+from repro.routing.weights import random_weights
+
+TOPOLOGIES = ("random", "isp", "powerlaw")
+NUM_MOVES = 50
+
+
+def _setup(topology: str, mode: str, seed: int = 5):
+    config = ExperimentConfig(topology=topology, mode=mode)
+    rng = random.Random(seed)
+    net = build_network(topology, seed)
+    high, low, _meta = build_traffic(net, config, rng)
+    incremental = DualTopologyEvaluator(
+        net, high, low, mode=mode, incremental=True, verify_incremental=True
+    )
+    full = DualTopologyEvaluator(net, high, low, mode=mode, incremental=False)
+    return net, incremental, full, rng
+
+
+def _random_single_deltas(base, num_links, rng, count):
+    deltas = []
+    while len(deltas) < count:
+        link = rng.randrange(num_links)
+        new_w = rng.randint(1, 30)
+        if new_w != base[link]:
+            deltas.append(WeightDelta.single(link, int(base[link]), new_w))
+    return deltas
+
+
+def _assert_same_evaluation(mode, incremental_eval, full_eval):
+    assert incremental_eval.objective == full_eval.objective
+    assert incremental_eval.phi_low == full_eval.phi_low
+    np.testing.assert_array_equal(incremental_eval.high_loads, full_eval.high_loads)
+    np.testing.assert_array_equal(incremental_eval.low_loads, full_eval.low_loads)
+    np.testing.assert_array_equal(incremental_eval.utilization, full_eval.utilization)
+    if mode == SLA_MODE:
+        assert incremental_eval.penalty == full_eval.penalty
+        assert incremental_eval.violations == full_eval.violations
+        assert incremental_eval.pair_delays_ms == full_eval.pair_delays_ms
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+def test_str_single_weight_moves_match_full(topology):
+    net, incremental, full, rng = _setup(topology, LOAD_MODE)
+    base = random_weights(net.num_links, rng)
+    incremental.evaluate_str(base)
+    for delta in _random_single_deltas(base, net.num_links, rng, NUM_MOVES):
+        neighbor, via_delta = incremental.evaluate_str_neighbor(base, delta)
+        from_scratch = full.evaluate_str(neighbor)
+        _assert_same_evaluation(LOAD_MODE, via_delta, from_scratch)
+    stats = incremental.cache_stats()
+    assert stats["high_incremental"] >= NUM_MOVES
+    assert stats["low_incremental"] >= NUM_MOVES
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+def test_dual_topology_moves_match_full(topology):
+    net, incremental, full, rng = _setup(topology, LOAD_MODE, seed=9)
+    wh = random_weights(net.num_links, rng)
+    wl = random_weights(net.num_links, rng)
+    incremental.evaluate(wh, wl)
+    for i, delta in enumerate(
+        _random_single_deltas(wh, net.num_links, rng, 10)
+        + _random_single_deltas(wl, net.num_links, rng, 10)
+    ):
+        if i < 10:
+            neighbor, via_delta = incremental.evaluate_high_neighbor(wh, wl, delta)
+            from_scratch = full.evaluate(neighbor, wl)
+        else:
+            neighbor, via_delta = incremental.evaluate_low_neighbor(wh, wl, delta)
+            from_scratch = full.evaluate(wh, neighbor)
+        _assert_same_evaluation(LOAD_MODE, via_delta, from_scratch)
+
+
+def test_sla_mode_moves_match_full():
+    net, incremental, full, rng = _setup("isp", SLA_MODE, seed=13)
+    base = random_weights(net.num_links, rng)
+    incremental.evaluate_str(base)
+    for delta in _random_single_deltas(base, net.num_links, rng, 25):
+        neighbor, via_delta = incremental.evaluate_str_neighbor(base, delta)
+        from_scratch = full.evaluate_str(neighbor)
+        _assert_same_evaluation(SLA_MODE, via_delta, from_scratch)
+
+
+def test_two_link_moves_match_full():
+    net, incremental, full, rng = _setup("powerlaw", LOAD_MODE, seed=21)
+    base = random_weights(net.num_links, rng)
+    incremental.evaluate_str(base)
+    for _ in range(25):
+        a, b = rng.sample(range(net.num_links), 2)
+        candidate = base.copy()
+        candidate[a] = rng.randint(1, 30)
+        candidate[b] = rng.randint(1, 30)
+        delta = WeightDelta.from_weights(base, candidate)
+        if delta.num_changes == 0:
+            continue
+        neighbor, via_delta = incremental.evaluate_str_neighbor(base, delta)
+        from_scratch = full.evaluate_str(neighbor)
+        _assert_same_evaluation(LOAD_MODE, via_delta, from_scratch)
+
+
+def test_incremental_disabled_never_derives():
+    net, _inc, full, rng = _setup("isp", LOAD_MODE, seed=2)
+    base = random_weights(net.num_links, rng)
+    full.evaluate_str(base)
+    for delta in _random_single_deltas(base, net.num_links, rng, 5):
+        full.evaluate_str_neighbor(base, delta)
+    stats = full.cache_stats()
+    assert stats["high_incremental"] == 0
+    assert stats["low_incremental"] == 0
+    assert stats["high_full"] >= 1
+
+
+def test_missing_parent_falls_back_to_full():
+    net, incremental, _full, rng = _setup("isp", LOAD_MODE, seed=4)
+    base = random_weights(net.num_links, rng)
+    # No evaluation of `base` first: the parent layer is not cached, so the
+    # delta hint cannot be honored and the layer is rebuilt from scratch.
+    delta = _random_single_deltas(base, net.num_links, rng, 1)[0]
+    _neighbor, evaluation = incremental.evaluate_str_neighbor(base, delta)
+    assert evaluation is not None
+    stats = incremental.cache_stats()
+    assert stats["high_incremental"] == 0
+    assert stats["high_full"] == 1
+
+
+def test_search_results_identical_with_and_without_incremental():
+    from repro.core.search_params import SearchParams
+    from repro.core.str_search import optimize_str
+
+    params = SearchParams(
+        iterations_high=6, iterations_low=4, iterations_refine=2, neighborhood_size=3
+    )
+    config = ExperimentConfig(topology="isp", mode=LOAD_MODE)
+    rng = random.Random(6)
+    net = build_network("isp", 6)
+    high, low, _meta = build_traffic(net, config, rng)
+    results = []
+    for incremental in (True, False):
+        evaluator = DualTopologyEvaluator(net, high, low, incremental=incremental)
+        result = optimize_str(evaluator, params=params, rng=random.Random(42))
+        results.append(result)
+    assert results[0].objective == results[1].objective
+    np.testing.assert_array_equal(results[0].weights, results[1].weights)
+
+
+def test_mismatched_hint_rejected():
+    net, incremental, _full, rng = _setup("isp", LOAD_MODE, seed=3)
+    base = random_weights(net.num_links, rng)
+    incremental.evaluate_str(base)
+    delta = _random_single_deltas(base, net.num_links, rng, 1)[0]
+    other = delta.apply(base)
+    other[(delta.links()[0] + 1) % net.num_links] += 1  # not delta.apply(base)
+    with pytest.raises(ValueError, match="hint mismatch"):
+        incremental.evaluate(
+            other, other, high_base=base, high_delta=delta, low_base=base, low_delta=delta
+        )
+
+
+def test_verify_flag_detects_corrupted_parent():
+    from repro.routing.incremental import affected_destinations
+    from repro.routing.weights import weights_key
+
+    net, incremental, _full, rng = _setup("isp", LOAD_MODE, seed=8)
+    base = random_weights(net.num_links, rng)
+    incremental.evaluate_str(base)
+    key = weights_key(np.asarray(base, dtype=np.int64))
+    layer = incremental._high_cache.peek(key)
+    active = np.flatnonzero(incremental.high_traffic.demands.sum(axis=0) > 0)
+    # Find a delta that leaves at least one active destination's row reused,
+    # so corrupting the cached rows must surface in the derived loads.
+    delta = None
+    for candidate in _random_single_deltas(base, net.num_links, rng, 50):
+        affected = affected_destinations(net, layer.routing.distance_matrix, candidate)
+        if np.setdiff1d(active, affected).size > 0:
+            delta = candidate
+            break
+    assert delta is not None
+    layer.dest_rows = layer.dest_rows * 1.5  # corrupt the cached rows
+    with pytest.raises(IncrementalMismatchError):
+        incremental.evaluate_str_neighbor(base, delta)
