@@ -1,0 +1,96 @@
+"""Benchmark: campaign orchestration overhead and store throughput.
+
+Times a small STR-vs-DTR sweep three ways — direct ``run_comparison``
+calls, a serial campaign (adds spec expansion, hashing, and the
+content-addressed store), and a ``workers=2`` campaign (adds the spawn
+pool) — and verifies the store paths add bounded overhead while
+producing byte-identical records.  On a single-core CI runner the
+parallel pass is dominated by interpreter spawn cost, so no speedup is
+asserted; the bit-identity and resume contracts are.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import shutil
+import tempfile
+import time
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
+
+from repro.eval.campaign import CampaignSpec, CampaignStore, run_campaign
+from repro.eval.experiment import run_comparison
+
+
+def _spec() -> CampaignSpec:
+    return CampaignSpec(
+        topologies=("isp",),
+        target_utilizations=(0.5, 0.65),
+        seeds=(BENCH_SEED, BENCH_SEED + 1),
+        scale=BENCH_SCALE,
+    )
+
+
+def test_campaign_overhead_and_parallel_identity():
+    spec = _spec()
+    configs = spec.expand()
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="bench-campaign-"))
+    try:
+        start = time.perf_counter()
+        for config in configs:
+            run_comparison(config)
+        direct_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        run_campaign(spec, workdir / "serial", workers=1)
+        serial_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        run_campaign(spec, workdir / "parallel", workers=2)
+        parallel_s = time.perf_counter() - start
+
+        serial_records = sorted((workdir / "serial" / "records").glob("*.json"))
+        parallel_records = sorted((workdir / "parallel" / "records").glob("*.json"))
+        assert [p.name for p in serial_records] == [p.name for p in parallel_records]
+        for s, p in zip(serial_records, parallel_records):
+            assert s.read_bytes() == p.read_bytes()
+
+        # Resuming a complete campaign is pure store reads: effectively free.
+        start = time.perf_counter()
+        summary = run_campaign(spec, workdir / "serial", workers=1)
+        resume_s = time.perf_counter() - start
+        assert summary.executed == 0
+        assert resume_s < max(0.5, 0.25 * serial_s)
+
+        store_overhead = serial_s / direct_s
+        print()
+        print(f"campaign of {len(configs)} configs (scale={BENCH_SCALE})")
+        print(f"  direct run_comparison: {direct_s:6.2f}s")
+        print(f"  serial campaign:       {serial_s:6.2f}s ({store_overhead:.2f}x direct)")
+        print(f"  workers=2 campaign:    {parallel_s:6.2f}s (spawn-dominated on 1 core)")
+        print(f"  resume (all stored):   {resume_s*1e3:6.1f}ms")
+        print()
+        # The store may not double the cost of the actual optimization.
+        assert store_overhead < 2.0, (
+            f"campaign store overhead {store_overhead:.2f}x over direct execution"
+        )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def test_aggregate_reads_are_fast():
+    """Aggregation must stay I/O-cheap: re-plotting a stored campaign is free."""
+    from repro.eval.campaign import aggregate_campaign
+
+    spec = _spec()
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="bench-campaign-agg-"))
+    try:
+        run_campaign(spec, workdir, workers=1)
+        start = time.perf_counter()
+        aggregate = aggregate_campaign(CampaignStore(workdir))
+        elapsed = time.perf_counter() - start
+        assert aggregate.records == len(spec.expand())
+        print(f"\naggregate of {aggregate.records} records: {elapsed*1e3:.1f}ms\n")
+        assert elapsed < 1.0
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)

@@ -12,7 +12,9 @@ over from-scratch evaluation, with bit-identical results.
 from __future__ import annotations
 
 import gc
+import json
 import os
+import pathlib
 import random
 import time
 
@@ -34,6 +36,21 @@ NUM_MOVES = 100
 # noisy shared CI runners can override the floor via REPRO_BENCH_MIN_SPEEDUP.
 MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "3.0"))
 MIN_SEARCH_SPEEDUP = min(1.5, MIN_SPEEDUP)
+
+
+def _emit_trend(section: str, payload: dict) -> None:
+    """Merge this run's numbers into the JSON trend artifact CI archives.
+
+    Set ``REPRO_BENCH_JSON`` to a path to enable; each benchmark writes
+    its own section so one file accumulates the whole suite's figures.
+    """
+    out = os.environ.get("REPRO_BENCH_JSON")
+    if not out:
+        return
+    path = pathlib.Path(out)
+    data = json.loads(path.read_text()) if path.exists() else {}
+    data[section] = payload
+    path.write_text(json.dumps(data, indent=2, sort_keys=True))
 
 
 def _workload():
@@ -103,6 +120,17 @@ def test_incremental_speedup_on_single_weight_moves():
         assert incremental_objectives == full_objectives
 
     speedup = full_s / incremental_s
+    _emit_trend(
+        "single_weight_moves",
+        {
+            "full_ms_per_eval": full_s / NUM_MOVES * 1e3,
+            "incremental_ms_per_eval": incremental_s / NUM_MOVES * 1e3,
+            "speedup": speedup,
+            "num_nodes": net.num_nodes,
+            "num_links": net.num_links,
+            "num_moves": NUM_MOVES,
+        },
+    )
     print()
     print(f"single-weight-delta evaluation, powerlaw ({net.num_nodes} nodes, {net.num_links} links), {NUM_MOVES} moves")
     print(f"  full:        {full_s / NUM_MOVES * 1e3:8.3f} ms/eval")
@@ -142,6 +170,15 @@ def test_incremental_speedup_within_str_search():
         results["incremental"].weights, results["full"].weights
     )
     speedup = timings["full"] / timings["incremental"]
+    _emit_trend(
+        "str_search",
+        {
+            "full_s": timings["full"],
+            "incremental_s": timings["incremental"],
+            "speedup": speedup,
+            "iterations": params.total_iterations(),
+        },
+    )
     print()
     print(f"STR search ({params.total_iterations()} iterations): "
           f"full {timings['full']:.2f}s, incremental {timings['incremental']:.2f}s, "

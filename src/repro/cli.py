@@ -6,21 +6,35 @@ Subcommands::
     repro-dtr figure    --id fig2a --scale 0.2 --seed 1 [--json out.json]
     repro-dtr compare   --topology random --mode load --utilization 0.6 \
                         [--incremental | --full]
+    repro-dtr campaign run       --out DIR [--spec spec.json] [--workers 4] ...
+    repro-dtr campaign status    --out DIR
+    repro-dtr campaign aggregate --out DIR [--json agg.json]
 
 ``figure`` accepts: fig2a..fig2f, fig3a..fig3c, fig4, fig5a, fig5b, fig6,
 fig7, fig8a, fig8b, fig9, table1.  ``compare`` evaluates neighbor moves
 via incremental SPF by default; ``--full`` forces the from-scratch
-verification fallback.
+verification fallback.  ``campaign`` expands a declarative sweep spec
+into experiment configs, fans them out across a worker pool into a
+content-addressed result store, and aggregates the stored records;
+re-running a partially completed campaign executes only the missing
+configs.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
 from repro.core.evaluator import LOAD_MODE, SLA_MODE
 from repro.eval import figures
+from repro.eval.campaign import (
+    CampaignSpec,
+    CampaignStore,
+    aggregate_campaign,
+    run_campaign,
+)
 from repro.eval.experiment import ExperimentConfig, run_comparison, scaled_config
 from repro.eval.results import save_result
 from repro.network.io import save_network
@@ -91,6 +105,38 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_false",
         help="recompute every neighbor evaluation from scratch (verification fallback)",
     )
+
+    camp = sub.add_parser(
+        "campaign", help="run, inspect, or aggregate an experiment campaign"
+    )
+    camp_sub = camp.add_subparsers(dest="campaign_command", required=True)
+
+    run_p = camp_sub.add_parser("run", help="execute (or resume) a sweep into a store")
+    run_p.add_argument("--out", required=True, help="campaign directory")
+    run_p.add_argument("--spec", default=None, help="JSON CampaignSpec file (overrides grid flags)")
+    run_p.add_argument("--workers", type=int, default=1, help="worker processes")
+    run_p.add_argument("--topologies", nargs="+", default=["random"],
+                       choices=["random", "powerlaw", "isp"])
+    run_p.add_argument("--modes", nargs="+", default=[LOAD_MODE],
+                       choices=[LOAD_MODE, SLA_MODE])
+    run_p.add_argument("--fractions", nargs="+", type=float, default=[0.30],
+                       help="high-priority volume fractions f")
+    run_p.add_argument("--densities", nargs="+", type=float, default=[0.10],
+                       help="high-priority SD-pair densities k")
+    run_p.add_argument("--utilizations", nargs="+", type=float, default=[0.6],
+                       help="target utilization grid")
+    run_p.add_argument("--seeds", nargs="+", type=int, default=[1])
+    run_p.add_argument("--scale", type=float, default=1.0, help="search budget scale")
+    run_p.add_argument("--failures", action="store_true",
+                       help="also sweep single-adjacency failures per record")
+    run_p.add_argument("--quiet", action="store_true", help="suppress per-config lines")
+
+    status_p = camp_sub.add_parser("status", help="completion state of a store")
+    status_p.add_argument("--out", required=True, help="campaign directory")
+
+    agg_p = camp_sub.add_parser("aggregate", help="seed-averaged metrics of a store")
+    agg_p.add_argument("--out", required=True, help="campaign directory")
+    agg_p.add_argument("--json", dest="json_out", default=None, help="also save JSON here")
     return parser
 
 
@@ -139,6 +185,62 @@ def _run_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
+    if args.spec:
+        with open(args.spec) as handle:
+            return CampaignSpec.from_jsonable(json.load(handle))
+    return CampaignSpec(
+        topologies=tuple(args.topologies),
+        modes=tuple(args.modes),
+        high_fractions=tuple(args.fractions),
+        high_densities=tuple(args.densities),
+        target_utilizations=tuple(args.utilizations),
+        seeds=tuple(args.seeds),
+        scale=args.scale,
+        failure_scenarios=args.failures,
+    )
+
+
+def _run_campaign_run(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args)
+    progress = None
+    if not args.quiet:
+
+        def progress(event: str, key: str) -> None:
+            print(f"[{event:>4}] {key}", flush=True)
+
+    summary = run_campaign(spec, args.out, workers=args.workers, progress=progress)
+    print(
+        f"campaign {summary.root}: {summary.total} configs, "
+        f"{summary.skipped} already stored, {summary.executed} executed "
+        f"(workers={summary.workers})"
+    )
+    return 0
+
+
+def _run_campaign_status(args: argparse.Namespace) -> int:
+    try:
+        status = CampaignStore(args.out).status()
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(status.format())
+    return 0
+
+
+def _run_campaign_aggregate(args: argparse.Namespace) -> int:
+    try:
+        aggregate = aggregate_campaign(args.out)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(aggregate.format())
+    if args.json_out:
+        save_result(aggregate, args.json_out)
+        print(f"saved JSON to {args.json_out}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
@@ -148,6 +250,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_figure(args)
     if args.command == "compare":
         return _run_compare(args)
+    if args.command == "campaign":
+        if args.campaign_command == "run":
+            return _run_campaign_run(args)
+        if args.campaign_command == "status":
+            return _run_campaign_status(args)
+        if args.campaign_command == "aggregate":
+            return _run_campaign_aggregate(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

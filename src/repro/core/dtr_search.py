@@ -22,6 +22,7 @@ from repro.core.lexicographic import LexCost
 from repro.core.neighborhood import NeighborhoodSampler
 from repro.core.perturbation import perturb_weights
 from repro.core.search_params import SearchParams
+from repro.core.str_search import ProgressFn
 from repro.routing.weights import random_weights
 
 PHASE_HIGH = "high"
@@ -60,10 +61,12 @@ class _DtrSearch:
         rng: random.Random,
         initial_high: np.ndarray,
         initial_low: np.ndarray,
+        progress: Optional[ProgressFn] = None,
     ) -> None:
         self.evaluator = evaluator
         self.params = params
         self.rng = rng
+        self.progress = progress
         self.sampler = NeighborhoodSampler(params, rng)
         self.wh = initial_high.copy()
         self.wl = initial_low.copy()
@@ -73,6 +76,13 @@ class _DtrSearch:
         self.history: list[tuple[str, int, LexCost]] = [
             (PHASE_HIGH, 0, self.best_objective)
         ]
+
+    def _tick(self, phase: str, iteration: int, total: int) -> None:
+        """Invoke the progress callback on heartbeat iterations."""
+        if self.progress is not None and (
+            iteration % self.params.progress_interval == 0 or iteration == total
+        ):
+            self.progress(phase, iteration, total)
 
     # -- Algorithm 2 -----------------------------------------------------
     def find_step(self, which: str) -> None:
@@ -118,6 +128,7 @@ class _DtrSearch:
         """Routine 1: optimize ``W_H`` with ``W_L`` fixed (lines 3-12)."""
         stale = 0
         for iteration in range(1, self.params.iterations_high + 1):
+            self._tick(PHASE_HIGH, iteration, self.params.iterations_high)
             self.find_step(PHASE_HIGH)
             objective = self.evaluator.evaluate(self.wh, self.wl).objective
             if objective < self.best_objective:
@@ -139,6 +150,7 @@ class _DtrSearch:
         best_phi_low = self.evaluator.evaluate(self.wh, self.wl).phi_low
         stale = 0
         for iteration in range(1, self.params.iterations_low + 1):
+            self._tick(PHASE_LOW, iteration, self.params.iterations_low)
             self.find_step(PHASE_LOW)
             evaluation = self.evaluator.evaluate(self.wh, self.wl)
             if evaluation.phi_low < best_phi_low:
@@ -159,6 +171,7 @@ class _DtrSearch:
         self.wl = self.best_wl.copy()
         stale = 0
         for iteration in range(1, self.params.iterations_refine + 1):
+            self._tick(PHASE_REFINE, iteration, self.params.iterations_refine)
             self.find_step(PHASE_HIGH)
             self.find_step(PHASE_LOW)
             objective = self.evaluator.evaluate(self.wh, self.wl).objective
@@ -187,6 +200,7 @@ def optimize_dtr(
     rng: Optional[random.Random] = None,
     initial_high: Optional[Sequence[int]] = None,
     initial_low: Optional[Sequence[int]] = None,
+    progress: Optional[ProgressFn] = None,
 ) -> DtrResult:
     """Search for a dual weight setting minimizing the lexicographic objective.
 
@@ -199,6 +213,10 @@ def optimize_dtr(
             ends lexicographically worse than that solution.
         initial_low: Starting low-priority weights; defaults to
             ``initial_high`` when that is given, otherwise random.
+        progress: Optional heartbeat callback, called as
+            ``progress(phase, iteration, total)`` with phase one of
+            ``"high"`` / ``"low"`` / ``"refine"`` every
+            ``params.progress_interval`` iterations.
 
     Returns:
         A :class:`DtrResult`.
@@ -219,7 +237,7 @@ def optimize_dtr(
         wl0 = np.array(initial_low, dtype=np.int64)
 
     start_evals = evaluator.evaluations
-    search = _DtrSearch(evaluator, params, rng, wh0, wl0)
+    search = _DtrSearch(evaluator, params, rng, wh0, wl0, progress=progress)
     search.routine_high()
     search.routine_low()
     search.routine_refine()

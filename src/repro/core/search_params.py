@@ -21,6 +21,10 @@ class SearchParams:
     scale the iteration budgets down so experiments run on a laptop; use
     :meth:`paper` for the published budgets and :meth:`scaled` for
     proportional budgets.
+
+    ``progress_interval`` is how often (in iterations) the searches invoke
+    an optional progress callback (campaign workers use it to emit
+    heartbeats); it never affects the search trajectory.
     """
 
     iterations_high: int = 300
@@ -35,6 +39,7 @@ class SearchParams:
     min_weight: int = MIN_WEIGHT
     max_weight: int = MAX_WEIGHT
     weight_steps: tuple[int, ...] = (1, 2, 4, 8)
+    progress_interval: int = 50
 
     def __post_init__(self) -> None:
         for name in ("iterations_high", "iterations_low", "iterations_refine"):
@@ -60,6 +65,8 @@ class SearchParams:
             )
         if not self.weight_steps or any(s < 1 for s in self.weight_steps):
             raise ValueError("weight_steps must be positive integers")
+        if self.progress_interval < 1:
+            raise ValueError("progress_interval must be >= 1")
 
     @classmethod
     def paper(cls) -> "SearchParams":

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -25,6 +25,15 @@ from repro.core.neighborhood import NeighborhoodSampler
 from repro.core.perturbation import perturb_weights
 from repro.core.search_params import SearchParams
 from repro.routing.weights import random_weights
+
+ProgressFn = Callable[[str, int, int], None]
+"""Progress callback ``(phase, iteration, total_iterations)``.
+
+Invoked every ``SearchParams.progress_interval`` iterations and once at
+the final iteration of each phase.  Callbacks observe the search; they
+must not mutate search state, and they never consume randomness, so
+passing one cannot change the trajectory.
+"""
 
 
 @dataclass(frozen=True)
@@ -78,6 +87,7 @@ def optimize_str(
     rng: Optional[random.Random] = None,
     initial_weights: Optional[Sequence[int]] = None,
     relaxation_epsilons: Iterable[float] = (),
+    progress: Optional[ProgressFn] = None,
 ) -> StrResult:
     """Search for a single weight vector minimizing the lexicographic objective.
 
@@ -89,6 +99,9 @@ def optimize_str(
         rng: Source of randomness; a fresh unseeded one is created if omitted.
         initial_weights: Starting point; random weights if omitted.
         relaxation_epsilons: Epsilons for which relaxed solutions are tracked.
+        progress: Optional heartbeat callback, called as
+            ``progress("str", iteration, total)`` every
+            ``params.progress_interval`` iterations.
 
     Returns:
         A :class:`StrResult`.
@@ -133,6 +146,10 @@ def optimize_str(
     stale = 0
     total_iterations = params.total_iterations()
     for iteration in range(1, total_iterations + 1):
+        if progress is not None and (
+            iteration % params.progress_interval == 0 or iteration == total_iterations
+        ):
+            progress("str", iteration, total_iterations)
         order = _descending_link_order(evaluation)
         improved = False
         base = current

@@ -12,11 +12,25 @@ from repro.eval.metrics import (
     sorted_high_utilization,
     utilization_histogram,
 )
+from repro.eval.campaign import (
+    CampaignAggregate,
+    CampaignSpec,
+    CampaignStore,
+    aggregate_campaign,
+    config_hash,
+    run_campaign,
+)
 from repro.eval.convergence import ConvergenceTrace, relative_gap, trace_from_history
 from repro.eval.drift import DriftReport, drift_sweep
 from repro.eval.robustness import RobustnessReport, failure_sweep
 
 __all__ = [
+    "CampaignSpec",
+    "CampaignStore",
+    "CampaignAggregate",
+    "run_campaign",
+    "aggregate_campaign",
+    "config_hash",
     "ExperimentConfig",
     "ComparisonResult",
     "build_network",

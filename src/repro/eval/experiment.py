@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Optional
@@ -9,7 +10,7 @@ from typing import Iterable, Optional
 from repro.core.dtr_search import DtrResult, optimize_dtr
 from repro.core.evaluator import LOAD_MODE, SLA_MODE, DualTopologyEvaluator, Evaluation
 from repro.core.search_params import SearchParams
-from repro.core.str_search import StrResult, optimize_str
+from repro.core.str_search import ProgressFn, StrResult, optimize_str
 from repro.costs.sla import SlaParams
 from repro.eval.metrics import safe_ratio
 from repro.network.graph import Network
@@ -31,6 +32,21 @@ ISP_TOPOLOGY = "isp"
 
 RANDOM_HIGH_MODEL = "random"
 SINK_HIGH_MODEL = "sink"
+
+
+def derive_rng(seed: int, stream: str) -> random.Random:
+    """An independent, deterministic RNG for one named stream of a config.
+
+    Every piece of randomness an experiment consumes comes from a
+    ``random.Random`` derived here from ``(seed, stream)`` — never from
+    the module-level ``random`` functions, whose hidden global state
+    would be shared (and reordered) across campaign workers.  The
+    derivation hashes with SHA-256 rather than ``hash()`` because string
+    hashing is salted per interpreter: two worker processes must map the
+    same config to the same stream bit-for-bit.
+    """
+    digest = hashlib.sha256(f"{seed}/{stream}".encode("utf-8")).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
 
 
 @dataclass(frozen=True)
@@ -170,30 +186,44 @@ def make_evaluator(
     )
 
 
-def run_comparison(config: ExperimentConfig) -> ComparisonResult:
+def run_comparison(
+    config: ExperimentConfig, progress: Optional["ProgressFn"] = None
+) -> ComparisonResult:
     """Run STR and DTR on one configuration and compare their costs.
 
     The STR baseline runs first; the DTR search is seeded with the STR
     solution, so the DTR result can never be lexicographically worse —
     matching the paper's consistent ``R_H ≈ 1``, ``R_L >= 1`` findings.
+
+    All randomness is drawn from per-config streams derived by
+    :func:`derive_rng`: the traffic matrices depend only on
+    ``(seed, "traffic")`` and the searches only on ``(seed, "search")``
+    (plus the traffic they route), so the result is a pure function of
+    ``config`` — the property the parallel campaign runner relies on for
+    its serial-vs-parallel bit-identity guarantee.
+
+    ``progress``, if given, receives ``(phase, iteration, total)``
+    heartbeats from both searches.
     """
-    rng = random.Random(config.seed)
     net = build_network(config.topology, config.seed)
-    high, low, _meta = build_traffic(net, config, rng)
+    high, low, _meta = build_traffic(net, config, derive_rng(config.seed, "traffic"))
     evaluator = make_evaluator(net, high, low, config)
 
+    rng_search = derive_rng(config.seed, "search")
     str_result = optimize_str(
         evaluator,
         params=config.search_params,
-        rng=rng,
+        rng=rng_search,
         relaxation_epsilons=config.relaxation_epsilons,
+        progress=progress,
     )
     dtr_result = optimize_dtr(
         evaluator,
         params=config.search_params,
-        rng=rng,
+        rng=rng_search,
         initial_high=str_result.weights,
         initial_low=str_result.weights,
+        progress=progress,
     )
     return ComparisonResult(
         config=config,

@@ -540,6 +540,125 @@ class Table1Result:
         return "\n".join(blocks)
 
 
+# ----------------------------------------------------------------------
+# Campaign-backed figures: aggregate stored records instead of recomputing
+# ----------------------------------------------------------------------
+def series_from_campaign(
+    store,
+    label: str,
+    topology: str,
+    mode: str,
+    high_fraction: Optional[float] = None,
+    high_density: Optional[float] = None,
+) -> RatioSeries:
+    """One figure curve from a campaign store's aggregated records.
+
+    ``store`` is a campaign directory path, a
+    :class:`~repro.eval.campaign.CampaignStore`, or an already computed
+    :class:`~repro.eval.campaign.CampaignAggregate`.  Points are
+    seed-averaged and come back ordered by target utilization, exactly
+    like a freshly computed :func:`sweep_utilization` series — but
+    reading records costs milliseconds, so a stored campaign can be
+    re-plotted, re-filtered, and re-aggregated for free.
+    """
+    from repro.eval.campaign import CampaignAggregate, aggregate_campaign
+
+    aggregate = store if isinstance(store, CampaignAggregate) else aggregate_campaign(store)
+    points = aggregate.select(
+        topology=topology,
+        mode=mode,
+        high_fraction=high_fraction,
+        high_density=high_density,
+    )
+    if not points:
+        raise ValueError(
+            f"campaign holds no records for topology={topology!r} mode={mode!r}"
+        )
+    return RatioSeries(
+        label=label,
+        points=tuple(
+            RatioPoint(
+                target_utilization=p.target_utilization,
+                measured_utilization=p.measured_utilization,
+                ratio_high=p.ratio_high,
+                ratio_low=p.ratio_low,
+            )
+            for p in points
+        ),
+    )
+
+
+def fig2_from_campaign(
+    store,
+    topology: str,
+    mode: str,
+    high_fraction: float = 0.30,
+    high_density: float = 0.10,
+) -> Fig2Result:
+    """A Fig. 2 panel aggregated from stored campaign records.
+
+    The non-swept dimensions default to the paper's base configuration
+    (f=30 %, k=10 %) and are always pinned — a campaign that sweeps both
+    grids would otherwise leak foreign grid points into the curve.
+    """
+    return Fig2Result(
+        topology=topology,
+        mode=mode,
+        series=series_from_campaign(
+            store,
+            topology,
+            topology,
+            mode,
+            high_fraction=high_fraction,
+            high_density=high_density,
+        ),
+    )
+
+
+def fig4_from_campaign(
+    store,
+    fractions: Sequence[float] = (0.20, 0.40),
+    high_density: float = 0.10,
+) -> Fig4Result:
+    """Fig. 4 (impact of ``f``) aggregated from stored campaign records."""
+    return Fig4Result(
+        series=tuple(
+            series_from_campaign(
+                store,
+                f"f={f:.0%}",
+                "random",
+                LOAD_MODE,
+                high_fraction=float(f),
+                high_density=high_density,
+            )
+            for f in fractions
+        )
+    )
+
+
+def fig5_from_campaign(
+    store,
+    mode: str,
+    densities: Sequence[float] = (0.10, 0.30),
+    high_fraction: float = 0.30,
+) -> Fig5Result:
+    """Fig. 5 (impact of ``k``) aggregated from stored campaign records."""
+    return Fig5Result(
+        mode=mode,
+        series=tuple(
+            series_from_campaign(
+                store,
+                f"k={k:.0%}",
+                "random",
+                mode,
+                high_fraction=high_fraction,
+                high_density=float(k),
+            )
+            for k in densities
+        ),
+    )
+
+
 def table1(
     topologies: Sequence[str] = ("random", "powerlaw", "isp"),
     targets: Sequence[float] = (0.45, 0.55, 0.65, 0.75, 0.85),

@@ -1,4 +1,12 @@
-"""JSON serialization of experiment results."""
+"""JSON serialization of experiment results.
+
+``to_jsonable`` / ``save_result`` convert result dataclasses to plain
+JSON types; ``load_result`` is the inverse at the JSON level (the
+campaign store uses the pair for its on-disk records).  Unserializable
+values raise instead of silently degrading to ``repr()`` — a record that
+cannot round-trip is a bug at the call site, not something to paper over
+in the archive.
+"""
 
 from __future__ import annotations
 
@@ -13,7 +21,12 @@ from repro.core.lexicographic import LexCost
 
 
 def to_jsonable(value: Any) -> Any:
-    """Recursively convert results (dataclasses, numpy, LexCost) to JSON types."""
+    """Recursively convert results (dataclasses, numpy, LexCost) to JSON types.
+
+    Raises:
+        TypeError: if ``value`` (or anything nested in it) has no faithful
+            JSON representation.
+    """
     if isinstance(value, LexCost):
         return list(value.values)
     if isinstance(value, np.ndarray):
@@ -22,6 +35,8 @@ def to_jsonable(value: Any) -> Any:
         return int(value)
     if isinstance(value, (np.floating,)):
         return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return {
             field.name: to_jsonable(getattr(value, field.name))
@@ -33,12 +48,34 @@ def to_jsonable(value: Any) -> Any:
         return [to_jsonable(v) for v in value]
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
-    return repr(value)
+    raise TypeError(
+        f"cannot serialize {type(value).__name__} value {value!r} to JSON; "
+        "convert it to plain types (or a dataclass of them) first"
+    )
+
+
+def canonical_dumps(value: Any) -> str:
+    """Serialize to a canonical JSON string: sorted keys, fixed separators.
+
+    Two equal values always produce byte-identical text, regardless of
+    construction order — the property the campaign store's
+    parallel-vs-serial bit-identity contract rests on.
+    """
+    return json.dumps(to_jsonable(value), sort_keys=True, indent=2)
 
 
 def save_result(result: Any, path: Union[str, Path]) -> None:
     """Write any result dataclass to ``path`` as pretty-printed JSON."""
     Path(path).write_text(json.dumps(to_jsonable(result), indent=2))
+
+
+def load_result(path: Union[str, Path]) -> Any:
+    """Read back a JSON document written by :func:`save_result`.
+
+    The inverse at the JSON level: dataclasses come back as dicts, numpy
+    arrays as lists, ``LexCost`` as a two-element list.
+    """
+    return json.loads(Path(path).read_text())
 
 
 def _key(key: Any) -> str:

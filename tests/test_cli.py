@@ -64,3 +64,51 @@ def test_compare_command(capsys):
     printed = capsys.readouterr().out
     assert "R_H=" in printed
     assert "STR objective" in printed
+
+
+class TestCampaignCommand:
+    def test_run_status_aggregate(self, tmp_path, capsys):
+        out = tmp_path / "camp"
+        args = [
+            "campaign", "run", "--out", str(out), "--topologies", "isp",
+            "--utilizations", "0.5", "--seeds", "1", "--scale", "0.02",
+        ]
+        assert main(args) == 0
+        printed = capsys.readouterr().out
+        assert "1 executed" in printed
+        assert (out / "spec.json").exists()
+        assert len(list((out / "records").glob("*.json"))) == 1
+
+        assert main(["campaign", "status", "--out", str(out)]) == 0
+        assert "1/1" in capsys.readouterr().out
+
+        agg_json = tmp_path / "agg.json"
+        assert main(
+            ["campaign", "aggregate", "--out", str(out), "--json", str(agg_json)]
+        ) == 0
+        printed = capsys.readouterr().out
+        assert "R_L" in printed
+        assert "points" in json.loads(agg_json.read_text())
+
+    def test_rerun_skips_completed(self, tmp_path, capsys):
+        out = tmp_path / "camp"
+        args = [
+            "campaign", "run", "--out", str(out), "--topologies", "isp",
+            "--utilizations", "0.5", "--seeds", "1", "--scale", "0.02", "--quiet",
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "1 already stored, 0 executed" in capsys.readouterr().out
+
+    def test_run_from_spec_file(self, tmp_path, capsys):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps({
+            "topologies": ["isp"], "target_utilizations": [0.5],
+            "seeds": [1], "scale": 0.02,
+        }))
+        out = tmp_path / "camp"
+        assert main(
+            ["campaign", "run", "--out", str(out), "--spec", str(spec_file), "--quiet"]
+        ) == 0
+        assert "1 executed" in capsys.readouterr().out

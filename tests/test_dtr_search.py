@@ -118,3 +118,27 @@ def test_sla_mode(isp_net, small_traffic):
         initial_high=str_result.weights, initial_low=str_result.weights,
     )
     assert result.objective <= str_result.objective
+
+
+class TestProgressHook:
+    def test_heartbeats_cover_all_phases(self, evaluator):
+        params = SearchParams(
+            iterations_high=10, iterations_low=10, iterations_refine=10,
+            diversification_interval=8, progress_interval=5,
+        )
+        beats = []
+        optimize_dtr(
+            evaluator, params, random.Random(6),
+            progress=lambda phase, i, total: beats.append((phase, i, total)),
+        )
+        assert {b[0] for b in beats} == {PHASE_HIGH, PHASE_LOW, PHASE_REFINE}
+        assert all(i <= total for _, i, total in beats)
+
+    def test_callback_does_not_change_trajectory(self, evaluator):
+        plain = optimize_dtr(evaluator, FAST, random.Random(7))
+        observed = optimize_dtr(
+            evaluator, FAST, random.Random(7), progress=lambda *a: None
+        )
+        assert plain.objective == observed.objective
+        np.testing.assert_array_equal(plain.high_weights, observed.high_weights)
+        np.testing.assert_array_equal(plain.low_weights, observed.low_weights)

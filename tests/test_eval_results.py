@@ -4,9 +4,10 @@ import json
 from dataclasses import dataclass
 
 import numpy as np
+import pytest
 
 from repro.core.lexicographic import LexCost
-from repro.eval.results import save_result, to_jsonable
+from repro.eval.results import canonical_dumps, load_result, save_result, to_jsonable
 
 
 @dataclass
@@ -39,12 +40,17 @@ def test_to_jsonable_scalars():
     assert to_jsonable([1, (2, 3)]) == [1, [2, 3]]
 
 
-def test_to_jsonable_fallback_repr():
-    class Opaque:
-        def __repr__(self):
-            return "<opaque>"
+def test_to_jsonable_rejects_unserializable_values():
+    """No silent repr() degradation: a record that cannot round-trip
+    must fail loudly at write time, not corrupt the campaign store."""
 
-    assert to_jsonable(Opaque()) == "<opaque>"
+    class Opaque:
+        pass
+
+    with pytest.raises(TypeError, match="Opaque"):
+        to_jsonable(Opaque())
+    with pytest.raises(TypeError, match="cannot serialize"):
+        to_jsonable({"nested": [1, {"deep": Opaque()}]})
 
 
 def test_save_result_round_trip(tmp_path):
@@ -54,3 +60,17 @@ def test_save_result_round_trip(tmp_path):
     loaded = json.loads(path.read_text())
     assert loaded["name"] == "y"
     assert loaded["cost"] == [0.0, 1.0]
+
+
+def test_load_result_inverts_save_result(tmp_path):
+    demo = Demo("z", LexCost(2.0, 3.0), np.array([1.5, 2.5]), {"a": 1})
+    path = tmp_path / "result.json"
+    save_result(demo, path)
+    loaded = load_result(path)
+    assert loaded == to_jsonable(demo)
+
+
+def test_canonical_dumps_is_order_independent():
+    a = {"b": 1, "a": [1.5, 2], "c": {"y": np.float64(0.25), "x": None}}
+    b = {"c": {"x": None, "y": 0.25}, "a": (1.5, 2), "b": np.int64(1)}
+    assert canonical_dumps(a) == canonical_dumps(b)

@@ -91,3 +91,27 @@ def test_sla_mode(isp_net, small_traffic):
     result = optimize_str(evaluator, FAST, random.Random(9))
     assert result.objective.primary >= 0
     assert result.evaluation.violations >= 0
+
+
+class TestProgressHook:
+    def test_heartbeats_observed(self, evaluator):
+        params = SearchParams(
+            iterations_high=10, iterations_low=10, iterations_refine=10,
+            diversification_interval=8, progress_interval=7,
+        )
+        beats = []
+        optimize_str(
+            evaluator, params, random.Random(4),
+            progress=lambda phase, i, total: beats.append((phase, i, total)),
+        )
+        total = params.total_iterations()
+        assert beats == [("str", 7, total), ("str", 14, total), ("str", 21, total),
+                         ("str", 28, total), ("str", 30, total)]
+
+    def test_callback_does_not_change_trajectory(self, evaluator):
+        plain = optimize_str(evaluator, FAST, random.Random(5))
+        observed = optimize_str(
+            evaluator, FAST, random.Random(5), progress=lambda *a: None
+        )
+        assert plain.objective == observed.objective
+        np.testing.assert_array_equal(plain.weights, observed.weights)
