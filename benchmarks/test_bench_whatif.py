@@ -1,0 +1,137 @@
+"""Benchmark: ``Session.what_if`` vs full re-evaluation of a weight move.
+
+The facade's contract (ISSUE 3 acceptance): an interactive single-link
+what-if query answers at least 2x faster than a from-scratch evaluation
+of the modified weight vector, while remaining bit-identical to it.
+The query rides the same incremental-SPF delta path the searches use,
+so the realistic margin is far larger (~3-7x, topology-dependent).
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import pathlib
+import random
+import time
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SEED
+from repro.api import Session
+from repro.core.evaluator import DualTopologyEvaluator
+from repro.network.topology_powerlaw import powerlaw_topology
+from repro.routing.weights import random_weights
+from repro.traffic.gravity import gravity_traffic_matrix
+from repro.traffic.highpriority import random_high_priority
+from repro.traffic.scaling import scale_to_utilization
+
+NUM_NODES = 100
+NUM_QUERIES = 100
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "2.0"))
+
+
+def _emit_trend(section: str, payload: dict) -> None:
+    out = os.environ.get("REPRO_BENCH_JSON")
+    if not out:
+        return
+    path = pathlib.Path(out)
+    data = json.loads(path.read_text()) if path.exists() else {}
+    data[section] = payload
+    path.write_text(json.dumps(data, indent=2, sort_keys=True))
+
+
+def _workload():
+    """A warm session plus a batch of distinct single-link queries."""
+    rng = random.Random(BENCH_SEED)
+    net = powerlaw_topology(num_nodes=NUM_NODES, attachment=3, rng=rng)
+    low = gravity_traffic_matrix(net.num_nodes, rng)
+    high_traffic = random_high_priority(low, 0.1, 0.3, rng)
+    high, low = scale_to_utilization(net, high_traffic.matrix, low, 0.6)
+    base = random_weights(net.num_links, rng)
+    queries, seen = [], set()
+    while len(queries) < NUM_QUERIES:
+        link = rng.randrange(net.num_links)
+        new_w = rng.randint(1, 30)
+        if new_w == base[link] or (link, new_w) in seen:
+            continue
+        seen.add((link, new_w))
+        queries.append((link, new_w))
+    return net, high, low, base, queries
+
+
+def test_whatif_speedup_and_bit_identity():
+    net, high, low, base, queries = _workload()
+    cache = 2 * NUM_QUERIES + 8
+
+    def timed(fn):
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            out = [fn(link, new_w) for link, new_w in queries]
+            return time.perf_counter() - start, out
+        finally:
+            gc.enable()
+
+    def whatif_pass():
+        # Fresh session per pass: time the queries, not a warm cache.
+        session = Session(net, high, low, cost_model="load", cache_size=cache)
+        session.set_weights(base)
+        session.evaluate()  # warm the baseline layers only
+        return timed(lambda link, new_w: session.what_if((link, new_w)))
+
+    def full_pass():
+        full = DualTopologyEvaluator(
+            net, high, low, incremental=False, cache_size=cache
+        )
+        full.evaluate(base, base)
+
+        def query(link, new_w):
+            new = base.copy()
+            new[link] = new_w
+            return full.evaluate(new, new)
+
+        return timed(query)
+
+    whatif_s, full_s = float("inf"), float("inf")
+    results = fulls = None
+    for _ in range(2):  # best-of-2 damps scheduler noise
+        elapsed, results = whatif_pass()
+        whatif_s = min(whatif_s, elapsed)
+        elapsed, fulls = full_pass()
+        full_s = min(full_s, elapsed)
+
+    # Bit-identity: every what-if variant equals the from-scratch evaluation.
+    for query, expected in zip(results, fulls):
+        assert query.variant.phi_high == expected.phi_high
+        assert query.variant.phi_low == expected.phi_low
+        np.testing.assert_array_equal(query.variant.high_loads, expected.high_loads)
+        np.testing.assert_array_equal(query.variant.low_loads, expected.low_loads)
+
+    speedup = full_s / whatif_s
+    _emit_trend(
+        "whatif_queries",
+        {
+            "full_ms_per_query": full_s / NUM_QUERIES * 1e3,
+            "whatif_ms_per_query": whatif_s / NUM_QUERIES * 1e3,
+            "speedup": speedup,
+            "num_nodes": net.num_nodes,
+            "num_links": net.num_links,
+            "num_queries": NUM_QUERIES,
+        },
+    )
+    print()
+    print(
+        f"what-if single-link queries, powerlaw ({net.num_nodes} nodes, "
+        f"{net.num_links} links), {NUM_QUERIES} queries"
+    )
+    print(f"  full re-eval: {full_s / NUM_QUERIES * 1e3:8.3f} ms/query")
+    print(f"  what_if:      {whatif_s / NUM_QUERIES * 1e3:8.3f} ms/query")
+    print(f"  speedup:      {speedup:8.2f}x (required >= {MIN_SPEEDUP}x)")
+    print()
+    assert speedup >= MIN_SPEEDUP, (
+        f"what_if only {speedup:.2f}x faster than full re-evaluation "
+        f"(required >= {MIN_SPEEDUP}x)"
+    )

@@ -1,24 +1,24 @@
 """Quickstart: optimize STR and DTR on the ISP backbone and compare them.
 
 Runs the full pipeline of the paper on the 16-node North-American
-backbone: generate gravity-model low-priority traffic plus random-model
-high-priority traffic (f = 30 %, k = 10 %), scale to a moderate load,
-search STR weights, then search DTR weights seeded with the STR solution,
-and report the paper's R_H / R_L cost ratios.
+backbone through the ``repro.api`` facade: generate gravity-model
+low-priority traffic plus random-model high-priority traffic (f = 30 %,
+k = 10 %), scale to a moderate load, run the ``str`` strategy, then the
+``dtr`` strategy seeded with the STR solution, report the paper's
+R_H / R_L cost ratios, and finish with an incremental what-if query
+around the optimum.
 
 Run:  python examples/quickstart.py
 """
 
 import random
-import time
 
 from repro import (
-    DualTopologyEvaluator,
     SearchParams,
+    Session,
     gravity_traffic_matrix,
     isp_topology,
-    optimize_dtr,
-    optimize_str,
+    optimize_session,
     random_high_priority,
     scale_to_utilization,
 )
@@ -38,27 +38,26 @@ def main() -> None:
         f"({low_tm.total():.0f} Mbps)"
     )
 
-    evaluator = DualTopologyEvaluator(net, high_tm, low_tm, mode="load")
+    session = Session(net, high_tm, low_tm, cost_model="load")
     params = SearchParams.scaled(0.3)
 
-    start = time.time()
-    str_result = optimize_str(evaluator, params, rng)
+    str_result = optimize_session(session, strategy="str", params=params, rng=rng)
     print(
         f"\nSTR  objective {str_result.objective}  "
-        f"({str_result.evaluations} evaluations, {time.time() - start:.1f}s)"
+        f"({str_result.evaluations} evaluations, {str_result.wall_time_s:.1f}s)"
     )
 
-    start = time.time()
-    dtr_result = optimize_dtr(
-        evaluator,
-        params,
-        rng,
+    dtr_result = optimize_session(
+        session,
+        strategy="dtr",
+        params=params,
+        rng=rng,
         initial_high=str_result.weights,
         initial_low=str_result.weights,
     )
     print(
         f"DTR  objective {dtr_result.objective}  "
-        f"({dtr_result.evaluations} evaluations, {time.time() - start:.1f}s)"
+        f"({dtr_result.evaluations} evaluations, {dtr_result.wall_time_s:.1f}s)"
     )
 
     ratio_high = str_result.evaluation.phi_high / dtr_result.evaluation.phi_high
@@ -67,6 +66,12 @@ def main() -> None:
     print(f"R_L = {ratio_low:.2f}  (low-priority: DTR advantage)")
     diverged = int((dtr_result.high_weights != dtr_result.low_weights).sum())
     print(f"links with different weights in the two topologies: {diverged}/{net.num_links}")
+
+    # The session adopted the DTR optimum as its baseline; ask an
+    # incremental what-if question around it (no full re-evaluation).
+    link = 3
+    new_weight = int(dtr_result.high_weights[link]) % 30 + 1
+    print(f"\n{session.what_if((link, new_weight), topology='high').format()}")
 
 
 if __name__ == "__main__":

@@ -7,13 +7,13 @@ traffic models, load-based and SLA-based lexicographic cost functions,
 the STR baseline and the paper's DTR weight-search heuristic, plus an
 evaluation harness that regenerates every figure and table.
 
-Quickstart::
+Quickstart (the ``repro.api`` facade)::
 
     import random
     from repro import (
-        DualTopologyEvaluator, SearchParams,
+        Session, optimize_session,
         gravity_traffic_matrix, random_high_priority,
-        isp_topology, optimize_dtr, optimize_str, scale_to_utilization,
+        isp_topology, scale_to_utilization,
     )
 
     rng = random.Random(7)
@@ -21,15 +21,30 @@ Quickstart::
     low = gravity_traffic_matrix(net.num_nodes, rng)
     high = random_high_priority(low, density=0.1, fraction=0.3, rng=rng)
     high_tm, low_tm = scale_to_utilization(net, high.matrix, low, 0.6)
-    evaluator = DualTopologyEvaluator(net, high_tm, low_tm, mode="load")
-    str_result = optimize_str(evaluator, rng=rng)
-    dtr_result = optimize_dtr(
-        evaluator, rng=rng,
+    session = Session(net, high_tm, low_tm, cost_model="load")
+    str_result = optimize_session(session, strategy="str", rng=rng)
+    dtr_result = optimize_session(
+        session, strategy="dtr", rng=rng,
         initial_high=str_result.weights, initial_low=str_result.weights,
     )
     print(str_result.objective, dtr_result.objective)
+    print(session.what_if((3, 17)).format())   # incremental what-if query
+
+The legacy free functions (``optimize_str``, ``optimize_dtr``,
+``optimize_joint``, ``anneal_str``) remain as deprecation shims that
+delegate to the registered strategies.
 """
 
+from repro.api import (
+    OptimizationResult,
+    Session,
+    WhatIfResult,
+    available_cost_models,
+    available_strategies,
+    register_cost_model,
+    register_strategy,
+)
+from repro.api import optimize as optimize_session
 from repro.core.dtr_search import DtrResult, optimize_dtr
 from repro.core.evaluator import DualTopologyEvaluator
 from repro.core.lexicographic import LexCost
@@ -87,4 +102,12 @@ __all__ = [
     "DtrResult",
     "ExperimentConfig",
     "run_comparison",
+    "Session",
+    "optimize_session",
+    "OptimizationResult",
+    "WhatIfResult",
+    "register_strategy",
+    "register_cost_model",
+    "available_strategies",
+    "available_cost_models",
 ]

@@ -1,0 +1,128 @@
+"""``repro.api`` — the session-oriented facade over the whole library.
+
+One stable surface for every optimization and evaluation workflow:
+
+* :class:`Session` bundles network + traffic + evaluator + cost model +
+  deterministic RNG streams;
+* :func:`optimize` runs any strategy registered in the
+  :data:`~repro.api.strategies.STRATEGIES` registry (``str``, ``dtr``,
+  ``joint``, ``anneal`` built in) and returns a common
+  :class:`OptimizationResult`;
+* ``session.what_if`` / ``session.under_failure`` /
+  ``session.scaled_traffic`` answer incremental what-if queries against
+  the session baseline;
+* :func:`register_strategy` / :func:`register_cost_model` make new
+  strategies and objectives additive plugins instead of cross-cutting
+  edits.
+
+Quickstart::
+
+    from repro.api import Session, optimize
+    from repro.eval.experiment import ExperimentConfig
+
+    session = Session.from_config(ExperimentConfig(topology="isp"))
+    result = optimize(session, strategy="dtr")
+    print(result.objective, result.wall_time_s)
+    print(session.what_if((3, 17)).format())      # one-link what-if
+    print(session.under_failure((0, 4)).format()) # adjacency failure
+    print(session.scaled_traffic(1.2).format())   # 20% traffic growth
+
+See ``docs/api.md`` for the design and the migration guide from the
+legacy free functions (``optimize_str`` et al.), which now delegate
+here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.api.cost_models import (
+    COST_MODELS,
+    CostModel,
+    FortzCostModel,
+    JointCostModel,
+    LoadCostModel,
+    SlaCostModel,
+    available_cost_models,
+    get_cost_model,
+    register_cost_model,
+)
+from repro.api.queries import WhatIfResult
+from repro.api.registry import (
+    DuplicateRegistrationError,
+    Registry,
+    RegistryError,
+    UnknownNameError,
+)
+from repro.api.session import Session
+from repro.api.strategies import (
+    STRATEGIES,
+    OptimizationResult,
+    Strategy,
+    TracePoint,
+    available_strategies,
+    get_strategy,
+    register_strategy,
+)
+from repro.core.search_params import SearchParams
+
+__all__ = [
+    "Session",
+    "optimize",
+    "OptimizationResult",
+    "TracePoint",
+    "Strategy",
+    "STRATEGIES",
+    "register_strategy",
+    "get_strategy",
+    "available_strategies",
+    "CostModel",
+    "COST_MODELS",
+    "register_cost_model",
+    "get_cost_model",
+    "available_cost_models",
+    "LoadCostModel",
+    "SlaCostModel",
+    "FortzCostModel",
+    "JointCostModel",
+    "WhatIfResult",
+    "Registry",
+    "RegistryError",
+    "DuplicateRegistrationError",
+    "UnknownNameError",
+]
+
+
+def optimize(
+    session: Session,
+    strategy: str = "dtr",
+    params: Optional[SearchParams] = None,
+    **options,
+) -> OptimizationResult:
+    """Run one registered strategy on a session.
+
+    The single entry point behind ``repro-dtr optimize``, the experiment
+    harness, and the legacy free functions.  The result's weight setting
+    is adopted as the session baseline, so subsequent
+    ``session.what_if(...)`` queries probe around the optimum.
+
+    Args:
+        session: The optimization context.
+        strategy: Registered strategy name (see
+            :func:`available_strategies`).
+        params: Search budgets shared by all strategies; library
+            defaults if omitted.
+        **options: Strategy-specific options (e.g. ``rng``,
+            ``initial_weights``, ``alpha`` for ``joint``,
+            ``annealing_params`` for ``anneal``, ``progress``).
+
+    Returns:
+        The strategy's :class:`OptimizationResult`.
+
+    Raises:
+        UnknownNameError: for an unregistered strategy name; the message
+            lists the registered alternatives.
+    """
+    result = get_strategy(strategy).run(session, params=params, **options)
+    session.adopt(result)
+    return result

@@ -1,0 +1,154 @@
+"""Pluggable cost models scoring a routing evaluation.
+
+The paper studies two lexicographic objectives — load-based ``A``
+(Eq. 2) and SLA-based ``S`` (Eq. 5) — but the facade treats "how a
+weight setting is scored" as a plugin point, so alternative objectives
+(the undifferentiated Fortz-Thorup cost [FT00], the joint scalar cost of
+Section 3.3.1, or anything a future PR registers) slot in without
+touching the session, the strategies, or the what-if queries.
+
+A cost model declares which evaluator layer it scores
+(``evaluator_mode``: ``"load"`` or ``"sla"``) and maps an
+:class:`~repro.core.evaluator.Evaluation` to a lexicographic
+:class:`~repro.core.lexicographic.LexCost` plus a scalar summary.
+
+References:
+    [FT00] B. Fortz and M. Thorup, "Internet traffic engineering by
+        optimizing OSPF weights", IEEE INFOCOM 2000.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Union, runtime_checkable
+
+from repro.core.evaluator import LOAD_MODE, SLA_MODE, Evaluation
+from repro.core.lexicographic import LexCost
+from repro.costs.fortz import fortz_cost_vector
+from repro.costs.joint import joint_cost
+from repro.network.graph import Network
+from repro.api.registry import Registry
+
+COST_MODELS = Registry("cost model")
+"""The global cost-model registry: name -> factory (class)."""
+
+
+def register_cost_model(name: str, replace: bool = False):
+    """Class decorator registering a :class:`CostModel` factory."""
+    return COST_MODELS.decorator(name, replace=replace)
+
+
+@runtime_checkable
+class CostModel(Protocol):
+    """What a pluggable objective must provide."""
+
+    name: str
+    evaluator_mode: str
+
+    def objective(self, evaluation: Evaluation, net: Network) -> LexCost:
+        """The (possibly degenerate) lexicographic cost of an evaluation."""
+        ...
+
+    def scalar(self, evaluation: Evaluation, net: Network) -> float:
+        """A single-number summary of the same evaluation."""
+        ...
+
+
+@register_cost_model("load")
+@dataclass(frozen=True)
+class LoadCostModel:
+    """The paper's load-based objective ``A = <Phi_H, Phi_L>`` (Eq. 2)."""
+
+    name: str = "load"
+    evaluator_mode: str = LOAD_MODE
+
+    def objective(self, evaluation: Evaluation, net: Network) -> LexCost:
+        return evaluation.objective
+
+    def scalar(self, evaluation: Evaluation, net: Network) -> float:
+        return evaluation.phi_high + evaluation.phi_low
+
+
+@register_cost_model("sla")
+@dataclass(frozen=True)
+class SlaCostModel:
+    """The paper's SLA-based objective ``S = <Lambda, Phi_L>`` (Eq. 5)."""
+
+    name: str = "sla"
+    evaluator_mode: str = SLA_MODE
+
+    def objective(self, evaluation: Evaluation, net: Network) -> LexCost:
+        return evaluation.objective
+
+    def scalar(self, evaluation: Evaluation, net: Network) -> float:
+        return evaluation.penalty + evaluation.phi_low
+
+
+@register_cost_model("fortz")
+@dataclass(frozen=True)
+class FortzCostModel:
+    """The undifferentiated OSPF weight-optimization cost of [FT00].
+
+    Both classes are priced together against full link capacity — the
+    single-class baseline the paper's service differentiation improves
+    on.  Useful for what-if queries that ask "what would a classless
+    operator see?".
+    """
+
+    name: str = "fortz"
+    evaluator_mode: str = LOAD_MODE
+
+    def objective(self, evaluation: Evaluation, net: Network) -> LexCost:
+        return LexCost(self.scalar(evaluation, net), 0.0)
+
+    def scalar(self, evaluation: Evaluation, net: Network) -> float:
+        combined = evaluation.high_loads + evaluation.low_loads
+        return float(fortz_cost_vector(combined, net.capacities()).sum())
+
+
+@register_cost_model("joint")
+@dataclass(frozen=True)
+class JointCostModel:
+    """The joint scalar cost ``J = alpha * Phi_H + Phi_L`` (Section 3.3.1)."""
+
+    alpha: float = 1.0
+    name: str = "joint"
+    evaluator_mode: str = LOAD_MODE
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {self.alpha}")
+
+    def objective(self, evaluation: Evaluation, net: Network) -> LexCost:
+        return LexCost(self.scalar(evaluation, net), 0.0)
+
+    def scalar(self, evaluation: Evaluation, net: Network) -> float:
+        return joint_cost(evaluation, self.alpha)
+
+
+CostModelLike = Union[str, CostModel]
+
+
+def get_cost_model(spec: CostModelLike, **kwargs) -> CostModel:
+    """Resolve a cost model from a registry name or pass one through.
+
+    Args:
+        spec: A registered name (``"load"``, ``"sla"``, ``"fortz"``,
+            ``"joint"``, or any plugin) or an already-built model.
+        **kwargs: Forwarded to the factory when ``spec`` is a name
+            (e.g. ``alpha`` for ``"joint"``).
+
+    Raises:
+        UnknownNameError: for an unregistered name, listing the
+            registered alternatives.
+    """
+    if isinstance(spec, str):
+        return COST_MODELS.get(spec)(**kwargs)
+    if kwargs:
+        raise ValueError("keyword options require a cost model *name*")
+    return spec
+
+
+def available_cost_models() -> tuple[str, ...]:
+    """Sorted names of every registered cost model."""
+    return COST_MODELS.names()

@@ -1,0 +1,128 @@
+"""What-if query results: per-class cost and utilization deltas.
+
+Every :class:`~repro.api.session.Session` query — a weight move, a link
+failure, a traffic rescale — answers with one :class:`WhatIfResult`
+comparing a *variant* evaluation against the session's baseline, scored
+by the session's cost model.  Deltas are reported in the intact
+network's link space even for failure queries (failed links show their
+lost load as a negative delta).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.evaluator import Evaluation
+from repro.core.lexicographic import LexCost
+
+KIND_WEIGHTS = "weights"
+KIND_FAILURE = "failure"
+KIND_TRAFFIC = "traffic"
+
+
+@dataclass(frozen=True)
+class WhatIfResult:
+    """Outcome of one what-if query against a session baseline.
+
+    Attributes:
+        kind: ``"weights"``, ``"failure"``, or ``"traffic"``.
+        description: Human-readable query summary (CLI output).
+        baseline: Evaluation of the session's baseline weight setting.
+        variant: Evaluation under the queried change (for failure
+            queries, over the degraded network's link space).
+        baseline_objective: Cost-model objective of the baseline.
+        variant_objective: Cost-model objective of the variant.
+        high_utilization_delta: Per-link change of high-priority
+            utilization ``H_l / C_l``, intact link indexing.
+        low_utilization_delta: Per-link change of low-priority
+            utilization ``L_l / C_l``, intact link indexing.
+        utilization_delta: Per-link change of total utilization.
+    """
+
+    kind: str
+    description: str
+    baseline: Evaluation
+    variant: Evaluation
+    baseline_objective: LexCost
+    variant_objective: LexCost
+    high_utilization_delta: np.ndarray
+    low_utilization_delta: np.ndarray
+    utilization_delta: np.ndarray
+
+    @property
+    def primary_delta(self) -> float:
+        """Change of the objective's primary component."""
+        return self.variant_objective.primary - self.baseline_objective.primary
+
+    @property
+    def secondary_delta(self) -> float:
+        """Change of the objective's secondary component."""
+        return self.variant_objective.secondary - self.baseline_objective.secondary
+
+    @property
+    def max_utilization_delta(self) -> float:
+        """Change of the worst total link utilization."""
+        return self.variant.max_utilization - self.baseline.max_utilization
+
+    @property
+    def improves(self) -> bool:
+        """Whether the variant beats the baseline lexicographically."""
+        return self.variant_objective < self.baseline_objective
+
+    def format(self) -> str:
+        """A compact multi-line summary (used by ``repro-dtr whatif``)."""
+        worst = int(np.argmax(np.abs(self.utilization_delta)))
+        return "\n".join(
+            [
+                f"what-if [{self.kind}] {self.description}",
+                f"  objective: {self.baseline_objective} -> {self.variant_objective}"
+                f"  (primary {self.primary_delta:+.4f}, "
+                f"secondary {self.secondary_delta:+.4f})",
+                f"  max utilization: {self.baseline.max_utilization:.4f} -> "
+                f"{self.variant.max_utilization:.4f} "
+                f"({self.max_utilization_delta:+.4f})",
+                f"  largest per-link shift: link {worst} "
+                f"({self.utilization_delta[worst]:+.4f} total, "
+                f"{self.high_utilization_delta[worst]:+.4f} high, "
+                f"{self.low_utilization_delta[worst]:+.4f} low)",
+                f"  verdict: {'improves' if self.improves else 'does not improve'}"
+                " the baseline",
+            ]
+        )
+
+
+def utilization_deltas(
+    capacities: np.ndarray,
+    baseline: Evaluation,
+    variant_high_loads: np.ndarray,
+    variant_low_loads: np.ndarray,
+    baseline_high_loads: Optional[np.ndarray] = None,
+    baseline_low_loads: Optional[np.ndarray] = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-class and total utilization deltas in the intact link space.
+
+    Args:
+        capacities: Intact-network link capacities.
+        baseline: Baseline evaluation (intact link space).
+        variant_high_loads: Variant high-priority loads, intact indexing
+            (failure callers project degraded loads back first).
+        variant_low_loads: Variant low-priority loads, intact indexing.
+        baseline_high_loads: Override for the baseline loads (defaults
+            to ``baseline.high_loads``).
+        baseline_low_loads: Override for the baseline low loads.
+
+    Returns:
+        ``(high_delta, low_delta, total_delta)`` arrays.
+    """
+    base_high = (
+        baseline_high_loads if baseline_high_loads is not None else baseline.high_loads
+    )
+    base_low = (
+        baseline_low_loads if baseline_low_loads is not None else baseline.low_loads
+    )
+    high_delta = (variant_high_loads - base_high) / capacities
+    low_delta = (variant_low_loads - base_low) / capacities
+    return high_delta, low_delta, high_delta + low_delta

@@ -1,0 +1,103 @@
+"""Plugin registries backing the ``repro.api`` facade.
+
+One small mechanism serves both the strategy and the cost-model plugin
+points: a named table of entries with loud, actionable error paths.  An
+unknown name always reports the registered alternatives (the CLI
+surfaces that message verbatim), and duplicate registration fails
+instead of silently shadowing an existing plugin.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+
+class RegistryError(ValueError):
+    """Base class for registry failures."""
+
+
+class DuplicateRegistrationError(RegistryError):
+    """A name was registered twice without ``replace=True``."""
+
+
+class UnknownNameError(RegistryError):
+    """A lookup named an entry that is not registered.
+
+    The message lists every registered name so callers (and CLI users)
+    can see the valid choices without consulting the docs.
+    """
+
+
+class Registry:
+    """A named table of plugin entries.
+
+    Args:
+        kind: Human-readable entry kind (``"strategy"``, ``"cost model"``)
+            used in error messages.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: dict[str, Any] = {}
+
+    def register(self, name: str, entry: Any, replace: bool = False) -> Any:
+        """Add an entry under ``name``.
+
+        Args:
+            name: Registry key (non-empty).
+            entry: The plugin object or factory.
+            replace: Allow overwriting an existing entry (tests use this
+                to swap in instrumented plugins).
+
+        Returns:
+            ``entry``, so this can back a decorator.
+
+        Raises:
+            DuplicateRegistrationError: if ``name`` is taken and
+                ``replace`` is false.
+        """
+        if not name:
+            raise RegistryError(f"{self.kind} name must be non-empty")
+        if name in self._entries and not replace:
+            raise DuplicateRegistrationError(
+                f"{self.kind} {name!r} is already registered; "
+                f"pass replace=True to override it"
+            )
+        self._entries[name] = entry
+        return entry
+
+    def unregister(self, name: str) -> None:
+        """Remove an entry (missing names are ignored)."""
+        self._entries.pop(name, None)
+
+    def get(self, name: str) -> Any:
+        """Look up an entry by name.
+
+        Raises:
+            UnknownNameError: naming the registered alternatives.
+        """
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise UnknownNameError(
+                f"unknown {self.kind} {name!r}; registered {self.kind} names: "
+                f"{', '.join(self.names()) or '(none)'}"
+            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        """All registered names, sorted."""
+        return tuple(sorted(self._entries))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def decorator(self, name: str, replace: bool = False) -> Callable[[Any], Any]:
+        """A class/function decorator registering its target under ``name``."""
+
+        def register(entry: Any) -> Any:
+            return self.register(name, entry, replace=replace)
+
+        return register

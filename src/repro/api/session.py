@@ -1,0 +1,524 @@
+"""The optimization session: one network + traffic + objective context.
+
+A :class:`Session` bundles everything one optimization/evaluation
+context needs — the network, the two traffic matrices, the (cached,
+delta-aware) :class:`~repro.core.evaluator.DualTopologyEvaluator`, a
+pluggable cost model, and deterministic named RNG streams — and exposes:
+
+* :meth:`Session.optimize`: run any registered strategy by name;
+* the incremental what-if queries :meth:`Session.what_if`,
+  :meth:`Session.under_failure`, and :meth:`Session.scaled_traffic`,
+  which answer "what changes if ...?" against the session's baseline
+  weight setting without rebuilding routing state that cannot change.
+
+``what_if`` routes one/two-link weight moves through
+:mod:`repro.routing.incremental`, so an interactive query costs a
+restricted Dijkstra over the few affected destinations instead of a full
+re-evaluation — the same speedup the searches enjoy — while remaining
+bit-identical to a from-scratch evaluation.
+
+References:
+    [FT00] B. Fortz and M. Thorup, "Internet traffic engineering by
+        optimizing OSPF weights", IEEE INFOCOM 2000.
+    [RFC4915] P. Psenak et al., "Multi-Topology (MT) Routing in OSPF",
+        RFC 4915, 2007 — the deployment vehicle for per-class weight
+        vectors that DTR assumes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.api.cost_models import CostModel, CostModelLike, get_cost_model
+from repro.api.queries import (
+    KIND_FAILURE,
+    KIND_TRAFFIC,
+    KIND_WEIGHTS,
+    WhatIfResult,
+    utilization_deltas,
+)
+from repro.core.evaluator import (
+    LOAD_MODE,
+    DualTopologyEvaluator,
+    Evaluation,
+)
+from repro.costs.load_cost import evaluate_load_cost, load_cost_from_loads
+from repro.costs.sla import SlaParams, evaluate_sla_cost, sla_cost_from_loads
+from repro.network.failures import FailureScenario, remove_adjacency
+from repro.network.graph import Network
+from repro.routing.incremental import WeightDelta
+from repro.routing.state import Routing
+from repro.routing.weights import weights_key
+from repro.traffic.matrix import TrafficMatrix
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.api.strategies import OptimizationResult
+    from repro.eval.experiment import ExperimentConfig
+
+DeltaLike = Union[WeightDelta, tuple[int, int], dict[int, int]]
+"""A weight change: a :class:`WeightDelta`, a ``(link, new_weight)``
+pair, or a ``{link: new_weight}`` mapping."""
+
+ScenarioLike = Union[FailureScenario, tuple[int, int]]
+"""A failure: a prebuilt scenario or the ``(u, v)`` adjacency to fail."""
+
+
+class Session:
+    """One optimization/evaluation context over a fixed network + traffic.
+
+    Args:
+        net: The network.
+        high_traffic: High-priority traffic matrix ``T_H``.
+        low_traffic: Low-priority traffic matrix ``T_L``.
+        cost_model: A registered cost-model name (``"load"``, ``"sla"``,
+            ``"fortz"``, ``"joint"``) or a :class:`CostModel` instance;
+            selects the evaluator mode and scores what-if queries.
+        sla_params: SLA bound/penalty parameters (SLA-mode models only).
+        seed: Base seed of the session's named RNG streams.
+        cache_size: Evaluator cache entries per layer.
+        incremental: Evaluate weight deltas via incremental SPF.
+        verify_incremental: Cross-check every derived layer (tests only).
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        high_traffic: TrafficMatrix,
+        low_traffic: TrafficMatrix,
+        *,
+        cost_model: CostModelLike = "load",
+        sla_params: Optional[SlaParams] = None,
+        seed: int = 1,
+        cache_size: int = 128,
+        incremental: bool = True,
+        verify_incremental: bool = False,
+        _evaluator: Optional[DualTopologyEvaluator] = None,
+    ) -> None:
+        self.cost_model: CostModel = get_cost_model(cost_model)
+        self.seed = int(seed)
+        if _evaluator is not None:
+            if _evaluator.mode != self.cost_model.evaluator_mode:
+                raise ValueError(
+                    f"evaluator mode {_evaluator.mode!r} does not match cost "
+                    f"model {self.cost_model.name!r} "
+                    f"({self.cost_model.evaluator_mode!r})"
+                )
+            self.evaluator = _evaluator
+        else:
+            self.evaluator = DualTopologyEvaluator(
+                net,
+                high_traffic,
+                low_traffic,
+                mode=self.cost_model.evaluator_mode,
+                sla_params=sla_params,
+                cache_size=cache_size,
+                incremental=incremental,
+                verify_incremental=verify_incremental,
+            )
+        self._baseline: Optional[tuple[np.ndarray, np.ndarray]] = None
+        self._direct_cache: dict[bytes, Evaluation] = {}
+        self.config: Optional["ExperimentConfig"] = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_config(cls, config: "ExperimentConfig") -> "Session":
+        """Build a session from one :class:`ExperimentConfig`.
+
+        The network and (scaled) traffic matrices are derived exactly as
+        :func:`repro.eval.experiment.run_comparison` always did: the
+        topology from ``(topology, seed)`` and the traffic from the
+        deterministic ``(seed, "traffic")`` RNG stream, so a session is a
+        pure function of its config.
+        """
+        from repro.eval.experiment import (
+            build_network,
+            build_traffic,
+            derive_rng,
+            make_evaluator,
+        )
+
+        net = build_network(config.topology, config.seed)
+        high, low, _meta = build_traffic(net, config, derive_rng(config.seed, "traffic"))
+        session = cls(
+            net,
+            high,
+            low,
+            cost_model=config.mode,
+            seed=config.seed,
+            _evaluator=make_evaluator(net, high, low, config),
+        )
+        session.config = config
+        return session
+
+    @classmethod
+    def from_evaluator(
+        cls,
+        evaluator: DualTopologyEvaluator,
+        seed: int = 1,
+        cost_model: Optional[CostModelLike] = None,
+    ) -> "Session":
+        """Wrap an existing evaluator (the legacy entry points use this).
+
+        The evaluator instance is shared, not copied, so its caches and
+        evaluation counters keep working exactly as before.
+        """
+        return cls(
+            evaluator.network,
+            evaluator.high_traffic,
+            evaluator.low_traffic,
+            cost_model=cost_model if cost_model is not None else evaluator.mode,
+            seed=seed,
+            _evaluator=evaluator,
+        )
+
+    # ------------------------------------------------------------------
+    # Context accessors
+    # ------------------------------------------------------------------
+    @property
+    def network(self) -> Network:
+        """The network being optimized."""
+        return self.evaluator.network
+
+    @property
+    def high_traffic(self) -> TrafficMatrix:
+        """High-priority traffic matrix."""
+        return self.evaluator.high_traffic
+
+    @property
+    def low_traffic(self) -> TrafficMatrix:
+        """Low-priority traffic matrix."""
+        return self.evaluator.low_traffic
+
+    @property
+    def sla_params(self) -> SlaParams:
+        """SLA parameters in force (defaults when not in SLA mode)."""
+        return self.evaluator.sla_params
+
+    def derive_rng(self, stream: str) -> random.Random:
+        """A deterministic RNG for one named stream of this session."""
+        from repro.eval.experiment import derive_rng
+
+        return derive_rng(self.seed, stream)
+
+    # ------------------------------------------------------------------
+    # Baseline weight setting
+    # ------------------------------------------------------------------
+    def set_weights(
+        self,
+        high_weights: Sequence[int],
+        low_weights: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Pin the baseline weight setting what-if queries compare against.
+
+        Args:
+            high_weights: High-priority weights (both classes when
+                ``low_weights`` is omitted — the STR deployment).
+            low_weights: Low-priority weights, for a dual setting.
+        """
+        wh = np.asarray(high_weights, dtype=np.int64)
+        wl = wh if low_weights is None else np.asarray(low_weights, dtype=np.int64)
+        if wh.shape != (self.network.num_links,) or wl.shape != wh.shape:
+            raise ValueError(
+                f"expected weight vectors of length {self.network.num_links}"
+            )
+        self._baseline = (wh, wl)
+
+    def adopt(self, result: "OptimizationResult") -> None:
+        """Adopt an optimization result as the baseline weight setting."""
+        self.set_weights(result.high_weights, result.low_weights)
+
+    @property
+    def high_weights(self) -> np.ndarray:
+        """Baseline high-priority weights."""
+        return self._require_baseline()[0]
+
+    @property
+    def low_weights(self) -> np.ndarray:
+        """Baseline low-priority weights."""
+        return self._require_baseline()[1]
+
+    def _require_baseline(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._baseline is None:
+            raise ValueError(
+                "no baseline weight setting: call session.optimize(...) or "
+                "session.set_weights(...) first"
+            )
+        return self._baseline
+
+    # ------------------------------------------------------------------
+    # Optimization and evaluation
+    # ------------------------------------------------------------------
+    def optimize(
+        self, strategy: str = "dtr", params=None, **options
+    ) -> "OptimizationResult":
+        """Run a registered strategy; adopts the result as the baseline.
+
+        See :func:`repro.api.optimize` for the argument contract.
+        """
+        from repro.api import optimize as api_optimize
+
+        return api_optimize(self, strategy=strategy, params=params, **options)
+
+    def evaluate(self) -> Evaluation:
+        """(Cached) full evaluation of the baseline weight setting."""
+        wh, wl = self._require_baseline()
+        return self.evaluator.evaluate(wh, wl)
+
+    def objective(self):
+        """Cost-model objective of the baseline."""
+        return self.cost_model.objective(self.evaluate(), self.network)
+
+    # ------------------------------------------------------------------
+    # What-if queries
+    # ------------------------------------------------------------------
+    def what_if(
+        self, delta: DeltaLike, topology: Optional[str] = None
+    ) -> WhatIfResult:
+        """Cost/utilization deltas of a small weight change, incrementally.
+
+        The variant is evaluated through the incremental-SPF delta path:
+        only destinations whose shortest-path structure can change under
+        the move are recomputed, so a one/two-link query is several times
+        faster than a full re-evaluation yet bit-identical to one.
+
+        Args:
+            delta: The change — a :class:`WeightDelta`, a
+                ``(link, new_weight)`` pair, or ``{link: new_weight}``.
+            topology: ``"high"``, ``"low"``, or ``"both"`` (default:
+                ``"both"``, i.e. the move applies to each class's vector).
+
+        Returns:
+            A :class:`WhatIfResult` with ``kind="weights"``.
+        """
+        wh, wl = self._require_baseline()
+        topology = topology or "both"
+        if topology not in ("high", "low", "both"):
+            raise ValueError("topology must be 'high', 'low', or 'both'")
+        baseline = self.evaluate()  # also primes the evaluator's parent layers
+
+        hints: dict = {}
+        new_wh, new_wl = wh, wl
+        dh = dl = None
+        if topology in ("high", "both"):
+            dh = self._coerce_delta(wh, delta)
+            new_wh = dh.apply(wh)
+            hints.update(high_base=wh, high_delta=dh)
+        if topology in ("low", "both"):
+            dl = self._coerce_delta(wl, delta)
+            new_wl = dl.apply(wl)
+            hints.update(low_base=wl, low_delta=dl)
+        variant = self.evaluator.evaluate(new_wh, new_wl, **hints)
+
+        high_d, low_d, total_d = utilization_deltas(
+            self.network.capacities(), baseline, variant.high_loads, variant.low_loads
+        )
+
+        def moves(delta: WeightDelta) -> str:
+            return ", ".join(
+                f"link {link}: {old} -> {new}" for link, old, new in delta.changes
+            ) or "(no-op)"
+
+        if topology == "both" and dh.changes != dl.changes:
+            description = (
+                f"both weight change high[{moves(dh)}], low[{moves(dl)}]"
+            )
+        else:
+            description = f"{topology} weight change {moves(dh if dh is not None else dl)}"
+        return WhatIfResult(
+            kind=KIND_WEIGHTS,
+            description=description,
+            baseline=baseline,
+            variant=variant,
+            baseline_objective=self.cost_model.objective(baseline, self.network),
+            variant_objective=self.cost_model.objective(variant, self.network),
+            high_utilization_delta=high_d,
+            low_utilization_delta=low_d,
+            utilization_delta=total_d,
+        )
+
+    def under_failure(self, scenario: Optional[ScenarioLike]) -> WhatIfResult:
+        """Cost/utilization impact of one duplex-adjacency failure.
+
+        Survivor links keep their baseline weights and OSPF/MT-OSPF
+        reconverges — exactly the deployed behavior [RFC4915].  Both the
+        intact baseline and the degraded variant are evaluated through
+        the same direct routing path, so the deltas are internally
+        consistent (this is what :func:`repro.eval.robustness` folds
+        into its sweep reports).
+
+        Args:
+            scenario: A :class:`FailureScenario`, the ``(u, v)``
+                adjacency to fail, or ``None`` for the intact network
+                (zero deltas; the sweep's baseline row).
+
+        Returns:
+            A :class:`WhatIfResult` with ``kind="failure"``; for a real
+            failure, ``variant`` is an evaluation over the *degraded*
+            network while the utilization deltas are projected back to
+            intact link indexing (failed links show their lost load).
+        """
+        wh, wl = self._require_baseline()
+        baseline = self._direct_evaluation(self.network, wh, wl, cache=True)
+        if scenario is None:
+            high_d, low_d, total_d = utilization_deltas(
+                self.network.capacities(), baseline, baseline.high_loads,
+                baseline.low_loads,
+            )
+            return WhatIfResult(
+                kind=KIND_FAILURE,
+                description="intact network",
+                baseline=baseline,
+                variant=baseline,
+                baseline_objective=self.cost_model.objective(baseline, self.network),
+                variant_objective=self.cost_model.objective(baseline, self.network),
+                high_utilization_delta=high_d,
+                low_utilization_delta=low_d,
+                utilization_delta=total_d,
+            )
+        if not isinstance(scenario, FailureScenario):
+            u, v = scenario
+            scenario = remove_adjacency(self.network, int(u), int(v))
+        variant = self._direct_evaluation(
+            scenario.network,
+            scenario.project_weights(wh),
+            scenario.project_weights(wl),
+        )
+        num_links = self.network.num_links
+        high_d, low_d, total_d = utilization_deltas(
+            self.network.capacities(),
+            baseline,
+            scenario.project_loads_back(variant.high_loads, num_links),
+            scenario.project_loads_back(variant.low_loads, num_links),
+        )
+        return WhatIfResult(
+            kind=KIND_FAILURE,
+            description=f"failure of adjacency {scenario.failed_pair}",
+            baseline=baseline,
+            variant=variant,
+            baseline_objective=self.cost_model.objective(baseline, self.network),
+            variant_objective=self.cost_model.objective(variant, scenario.network),
+            high_utilization_delta=high_d,
+            low_utilization_delta=low_d,
+            utilization_delta=total_d,
+        )
+
+    def scaled_traffic(self, factor: float) -> WhatIfResult:
+        """Cost/utilization impact of scaling both traffic classes.
+
+        Routing depends only on weights, so no SPF runs at all: the
+        baseline's per-link class loads are rescaled and only the O(|E|)
+        costing pass (plus, in SLA mode, the per-pair delay fold over the
+        cached routing) is recomputed.
+
+        Args:
+            factor: Non-negative multiplier on both matrices.
+
+        Returns:
+            A :class:`WhatIfResult` with ``kind="traffic"``.
+        """
+        if factor < 0:
+            raise ValueError(f"traffic scale factor must be non-negative, got {factor}")
+        wh, _wl = self._require_baseline()
+        baseline = self.evaluate()
+        net = self.network
+        high_loads = baseline.high_loads * factor
+        low_loads = baseline.low_loads * factor
+
+        if self.evaluator.mode == LOAD_MODE:
+            variant: Evaluation = load_cost_from_loads(net, high_loads, low_loads)
+        else:
+            variant = sla_cost_from_loads(
+                net,
+                high_loads,
+                low_loads,
+                self.high_traffic,
+                self.evaluator.high_routing(wh).pair_link_fractions,
+                params=self.sla_params,
+            )
+
+        high_d, low_d, total_d = utilization_deltas(
+            net.capacities(), baseline, high_loads, low_loads
+        )
+        return WhatIfResult(
+            kind=KIND_TRAFFIC,
+            description=f"traffic scaled by {factor:g}x",
+            baseline=baseline,
+            variant=variant,
+            baseline_objective=self.cost_model.objective(baseline, net),
+            variant_objective=self.cost_model.objective(variant, net),
+            high_utilization_delta=high_d,
+            low_utilization_delta=low_d,
+            utilization_delta=total_d,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _coerce_delta(base: np.ndarray, spec: DeltaLike) -> WeightDelta:
+        """Normalize a delta spec against one baseline vector."""
+        if isinstance(spec, WeightDelta):
+            return spec
+        if isinstance(spec, dict):
+            items = spec.items()
+        else:
+            try:
+                link, new_weight = spec
+            except (TypeError, ValueError):
+                raise TypeError(
+                    "delta must be a WeightDelta, a (link, new_weight) pair, "
+                    "or a {link: new_weight} mapping"
+                ) from None
+            items = [(link, new_weight)]
+        new = base.copy()
+        for link, new_weight in items:
+            link = int(link)
+            if not 0 <= link < base.size:
+                raise ValueError(
+                    f"link index {link} out of range [0, {base.size})"
+                )
+            new[link] = int(new_weight)
+        return WeightDelta.from_weights(base, new)
+
+    def _direct_evaluation(
+        self,
+        net: Network,
+        wh: np.ndarray,
+        wl: np.ndarray,
+        cache: bool = False,
+    ) -> Evaluation:
+        """From-scratch evaluation via plain routings (failure queries).
+
+        Both the intact baseline and every degraded variant use this
+        path, keeping a failure sweep's ratios free of cross-path
+        floating-point noise.
+        """
+        if cache:
+            key = weights_key(wh) + b"|" + weights_key(wl)
+            hit = self._direct_cache.get(key)
+            if hit is not None:
+                return hit
+        high_routing = Routing(net, wh)
+        low_routing = high_routing if np.array_equal(wh, wl) else Routing(net, wl)
+        if self.evaluator.mode == LOAD_MODE:
+            evaluation: Evaluation = evaluate_load_cost(
+                net, high_routing, low_routing, self.high_traffic, self.low_traffic
+            )
+        else:
+            evaluation = evaluate_sla_cost(
+                net,
+                high_routing,
+                low_routing,
+                self.high_traffic,
+                self.low_traffic,
+                params=self.sla_params,
+            )
+        if cache:
+            self._direct_cache.clear()  # single-slot: a new baseline evicts the old
+            self._direct_cache[key] = evaluation
+        return evaluation

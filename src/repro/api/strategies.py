@@ -1,0 +1,347 @@
+"""The strategy registry: every weight search behind one ``run`` shape.
+
+The paper's contribution is a *family* of weight-search strategies — the
+STR baseline [FT00], the DTR heuristic (Algorithms 1-2), the joint-cost
+search (Section 3.3.1), and the simulated-annealing baseline.  Each is
+registered here as a :class:`Strategy` plugin producing one common
+:class:`OptimizationResult`, so callers (experiments, campaigns, the
+CLI) pick strategies by name and new ones plug in without touching any
+caller.
+
+References:
+    [FT00] B. Fortz and M. Thorup, "Internet traffic engineering by
+        optimizing OSPF weights", IEEE INFOCOM 2000.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable, Optional, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.api.registry import Registry
+from repro.core.annealing import AnnealingParams, _anneal_str_impl
+from repro.core.dtr_search import _optimize_dtr_impl
+from repro.core.evaluator import Evaluation
+from repro.core.joint_search import _optimize_joint_impl
+from repro.core.lexicographic import LexCost
+from repro.core.progress import ProgressFn
+from repro.core.search_params import SearchParams
+from repro.core.str_search import _optimize_str_impl
+from repro.routing.state import Routing
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.api.session import Session
+
+STRATEGIES = Registry("strategy")
+"""The global strategy registry: name -> :class:`Strategy` instance."""
+
+
+def register_strategy(name: str, replace: bool = False):
+    """Decorator registering a strategy class (instantiated) or instance."""
+
+    def register(obj: Any) -> Any:
+        STRATEGIES.register(name, obj() if isinstance(obj, type) else obj, replace=replace)
+        return obj
+
+    return register
+
+
+def get_strategy(name: str) -> "Strategy":
+    """Look up a registered strategy.
+
+    Raises:
+        UnknownNameError: for an unregistered name, listing the
+            registered alternatives.
+    """
+    return STRATEGIES.get(name)
+
+
+def available_strategies() -> tuple[str, ...]:
+    """Sorted names of every registered strategy."""
+    return STRATEGIES.names()
+
+
+@dataclass(frozen=True)
+class TracePoint:
+    """One improvement event in a search's cost trace.
+
+    ``primary``/``secondary`` are the strategy's own objective at the
+    improvement: the lexicographic components for ``str``/``dtr``/
+    ``anneal``, and ``(J, 0.0)`` for ``joint`` (which optimizes a
+    scalar).
+    """
+
+    phase: str
+    iteration: int
+    primary: float
+    secondary: float
+
+
+@dataclass
+class OptimizationResult:
+    """The common outcome every strategy produces.
+
+    Attributes:
+        strategy: Registry name of the strategy that produced this.
+        high_weights: Best high-priority weight vector (for
+            single-topology strategies, identical to ``low_weights``).
+        low_weights: Best low-priority weight vector.
+        objective: Lexicographic cost of the best setting.
+        evaluation: Full evaluation of the best setting.
+        cost_trace: Normalized improvement history.
+        evaluations: Weight settings evaluated during the search.
+        wall_time_s: Wall-clock seconds spent inside the strategy.
+        metadata: Strategy-specific extras (budgets, alpha, acceptance
+            counts, ...), JSON-friendly where possible.
+        raw: The legacy result dataclass (``StrResult``, ``DtrResult``,
+            ``JointResult``, or ``AnnealingResult``) for callers that
+            still need strategy-specific fields.
+    """
+
+    strategy: str
+    high_weights: np.ndarray
+    low_weights: np.ndarray
+    objective: LexCost
+    evaluation: Evaluation
+    cost_trace: tuple[TracePoint, ...]
+    evaluations: int
+    wall_time_s: float
+    metadata: dict[str, Any] = field(default_factory=dict)
+    raw: Any = None
+
+    @property
+    def dual(self) -> bool:
+        """Whether the high and low topologies use different weights."""
+        return not np.array_equal(self.high_weights, self.low_weights)
+
+    @property
+    def weights(self) -> np.ndarray:
+        """The single weight vector of a single-topology result.
+
+        Raises:
+            ValueError: for a dual result — use ``high_weights`` /
+                ``low_weights`` there.
+        """
+        if self.dual:
+            raise ValueError(
+                f"{self.strategy} produced a dual setting; "
+                "use high_weights / low_weights"
+            )
+        return self.high_weights
+
+    def routing(self, session: "Session") -> tuple[Routing, Routing]:
+        """The (cached) high and low routings of the best setting."""
+        evaluator = session.evaluator
+        return (
+            evaluator.high_routing(self.high_weights),
+            evaluator.low_routing(self.low_weights),
+        )
+
+
+@runtime_checkable
+class Strategy(Protocol):
+    """What a pluggable weight-search strategy must provide."""
+
+    name: str
+
+    def run(
+        self,
+        session: "Session",
+        params: Optional[SearchParams] = None,
+        **options: Any,
+    ) -> OptimizationResult:
+        """Search the session's network/traffic and return the best setting."""
+        ...
+
+
+def _timed(session: "Session"):
+    """Start an (evaluations, wall-time) measurement around one search."""
+    return session.evaluator.evaluations, time.perf_counter()
+
+
+def _search_rng(session: "Session", rng: Optional[random.Random]) -> random.Random:
+    """Default to the session's deterministic ``"search"`` stream."""
+    return rng if rng is not None else session.derive_rng("search")
+
+
+@register_strategy("str")
+class StrStrategy:
+    """Single-topology local search (the Fortz-Thorup-style baseline)."""
+
+    name = "str"
+
+    def run(
+        self,
+        session: "Session",
+        params: Optional[SearchParams] = None,
+        *,
+        rng: Optional[random.Random] = None,
+        initial_weights: Optional[Sequence[int]] = None,
+        relaxation_epsilons: Iterable[float] = (),
+        progress: Optional[ProgressFn] = None,
+    ) -> OptimizationResult:
+        _, t0 = _timed(session)
+        raw = _optimize_str_impl(
+            session.evaluator,
+            params=params,
+            rng=_search_rng(session, rng),
+            initial_weights=initial_weights,
+            relaxation_epsilons=relaxation_epsilons,
+            progress=progress,
+        )
+        return OptimizationResult(
+            strategy=self.name,
+            high_weights=raw.weights,
+            low_weights=raw.weights,
+            objective=raw.objective,
+            evaluation=raw.evaluation,
+            cost_trace=tuple(
+                TracePoint("str", it, cost.primary, cost.secondary)
+                for it, cost in raw.history
+            ),
+            evaluations=raw.evaluations,
+            wall_time_s=time.perf_counter() - t0,
+            metadata={
+                "iterations": raw.iterations,
+                "relaxation_epsilons": sorted(raw.relaxed),
+            },
+            raw=raw,
+        )
+
+
+@register_strategy("dtr")
+class DtrStrategy:
+    """The paper's dual-topology search (Algorithms 1-2)."""
+
+    name = "dtr"
+
+    def run(
+        self,
+        session: "Session",
+        params: Optional[SearchParams] = None,
+        *,
+        rng: Optional[random.Random] = None,
+        initial_high: Optional[Sequence[int]] = None,
+        initial_low: Optional[Sequence[int]] = None,
+        progress: Optional[ProgressFn] = None,
+    ) -> OptimizationResult:
+        _, t0 = _timed(session)
+        raw = _optimize_dtr_impl(
+            session.evaluator,
+            params=params,
+            rng=_search_rng(session, rng),
+            initial_high=initial_high,
+            initial_low=initial_low,
+            progress=progress,
+        )
+        return OptimizationResult(
+            strategy=self.name,
+            high_weights=raw.high_weights,
+            low_weights=raw.low_weights,
+            objective=raw.objective,
+            evaluation=raw.evaluation,
+            cost_trace=tuple(
+                TracePoint(phase, it, cost.primary, cost.secondary)
+                for phase, it, cost in raw.history
+            ),
+            evaluations=raw.evaluations,
+            wall_time_s=time.perf_counter() - t0,
+            metadata={"seeded": initial_high is not None},
+            raw=raw,
+        )
+
+
+@register_strategy("joint")
+class JointStrategy:
+    """STR search under the joint scalar cost ``J = alpha*Phi_H + Phi_L``."""
+
+    name = "joint"
+
+    def run(
+        self,
+        session: "Session",
+        params: Optional[SearchParams] = None,
+        *,
+        alpha: Optional[float] = None,
+        rng: Optional[random.Random] = None,
+        initial_weights: Optional[Sequence[int]] = None,
+        progress: Optional[ProgressFn] = None,
+    ) -> OptimizationResult:
+        if alpha is None:
+            alpha = float(getattr(session.cost_model, "alpha", 1.0))
+        start_evals, t0 = _timed(session)
+        raw = _optimize_joint_impl(
+            session.evaluator,
+            alpha,
+            params=params,
+            rng=_search_rng(session, rng),
+            initial_weights=initial_weights,
+            progress=progress,
+        )
+        return OptimizationResult(
+            strategy=self.name,
+            high_weights=raw.weights,
+            low_weights=raw.weights,
+            objective=raw.lexicographic,
+            evaluation=session.evaluator.evaluate_str(raw.weights),
+            cost_trace=tuple(
+                TracePoint("joint", it, j, 0.0) for it, j in raw.history
+            ),
+            evaluations=session.evaluator.evaluations - start_evals,
+            wall_time_s=time.perf_counter() - t0,
+            metadata={"alpha": raw.alpha, "joint_cost": raw.joint_cost},
+            raw=raw,
+        )
+
+
+@register_strategy("anneal")
+class AnnealStrategy:
+    """Simulated-annealing baseline over the STR solution space."""
+
+    name = "anneal"
+
+    def run(
+        self,
+        session: "Session",
+        params: Optional[SearchParams] = None,
+        *,
+        annealing_params: Optional[AnnealingParams] = None,
+        rng: Optional[random.Random] = None,
+        initial_weights: Optional[Sequence[int]] = None,
+        progress: Optional[ProgressFn] = None,
+    ) -> OptimizationResult:
+        start_evals, t0 = _timed(session)
+        schedule = annealing_params or AnnealingParams()
+        raw = _anneal_str_impl(
+            session.evaluator,
+            params=schedule,
+            search_params=params,
+            rng=_search_rng(session, rng),
+            initial_weights=initial_weights,
+            progress=progress,
+        )
+        return OptimizationResult(
+            strategy=self.name,
+            high_weights=raw.weights,
+            low_weights=raw.weights,
+            objective=raw.objective,
+            evaluation=raw.evaluation,
+            cost_trace=tuple(
+                TracePoint("anneal", it, cost.primary, cost.secondary)
+                for it, cost in raw.history
+            ),
+            evaluations=session.evaluator.evaluations - start_evals,
+            wall_time_s=time.perf_counter() - t0,
+            metadata={
+                "accepted": raw.accepted,
+                "rejected": raw.rejected,
+                "iterations": schedule.iterations,
+                "initial_temperature": schedule.initial_temperature,
+                "cooling": schedule.cooling,
+            },
+            raw=raw,
+        )

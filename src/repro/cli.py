@@ -6,6 +6,11 @@ Subcommands::
     repro-dtr figure    --id fig2a --scale 0.2 --seed 1 [--json out.json]
     repro-dtr compare   --topology random --mode load --utilization 0.6 \
                         [--incremental | --full]
+    repro-dtr optimize  --strategy dtr --topology isp --scale 0.1 \
+                        [--alpha 2.0] [--json out.json]
+    repro-dtr whatif    --topology isp --link 3 --new-weight 17
+    repro-dtr whatif    --topology isp --failure 0 4
+    repro-dtr whatif    --topology isp --traffic-scale 1.2
     repro-dtr campaign run       --out DIR [--spec spec.json] [--workers 4] ...
     repro-dtr campaign status    --out DIR
     repro-dtr campaign aggregate --out DIR [--json agg.json]
@@ -13,11 +18,17 @@ Subcommands::
 ``figure`` accepts: fig2a..fig2f, fig3a..fig3c, fig4, fig5a, fig5b, fig6,
 fig7, fig8a, fig8b, fig9, table1.  ``compare`` evaluates neighbor moves
 via incremental SPF by default; ``--full`` forces the from-scratch
-verification fallback.  ``campaign`` expands a declarative sweep spec
-into experiment configs, fans them out across a worker pool into a
-content-addressed result store, and aggregates the stored records;
-re-running a partially completed campaign executes only the missing
-configs.
+verification fallback.  ``optimize`` runs any strategy registered in the
+``repro.api`` registry (``str``, ``dtr``, ``joint``, ``anneal`` built
+in) on a session built from the experiment flags; an unknown strategy
+name lists the registered alternatives.  ``whatif`` answers incremental
+queries — a one-link weight move, an adjacency failure, or a traffic
+rescale — against a baseline weight setting (``--weights`` JSON, or
+hop-count weights by default) without a full re-evaluation.
+``campaign`` expands a declarative sweep spec into experiment configs,
+fans them out across a worker pool into a content-addressed result
+store, and aggregates the stored records; re-running a partially
+completed campaign executes only the missing configs.
 """
 
 from __future__ import annotations
@@ -106,6 +117,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="recompute every neighbor evaluation from scratch (verification fallback)",
     )
 
+    opt = sub.add_parser(
+        "optimize", help="run one registered strategy via the repro.api facade"
+    )
+    opt.add_argument(
+        "--strategy",
+        default="dtr",
+        help="registered strategy name (str, dtr, joint, anneal, or a plugin)",
+    )
+    opt.add_argument("--topology", choices=["random", "powerlaw", "isp"], default="random")
+    opt.add_argument("--mode", choices=[LOAD_MODE, SLA_MODE], default=LOAD_MODE)
+    opt.add_argument("--utilization", type=float, default=0.6)
+    opt.add_argument("--fraction", type=float, default=0.30, help="high-priority volume fraction f")
+    opt.add_argument("--density", type=float, default=0.10, help="high-priority SD-pair density k")
+    opt.add_argument("--scale", type=float, default=1.0, help="search budget scale")
+    opt.add_argument("--seed", type=int, default=1)
+    opt.add_argument("--alpha", type=float, default=None,
+                     help="joint-cost trade-off (joint strategy only)")
+    opt.add_argument("--json", dest="json_out", default=None, help="also save JSON here")
+
+    wif = sub.add_parser(
+        "whatif", help="incremental what-if query against a baseline weight setting"
+    )
+    wif.add_argument("--topology", choices=["random", "powerlaw", "isp"], default="random")
+    wif.add_argument("--mode", choices=[LOAD_MODE, SLA_MODE], default=LOAD_MODE)
+    wif.add_argument("--utilization", type=float, default=0.6)
+    wif.add_argument("--fraction", type=float, default=0.30)
+    wif.add_argument("--density", type=float, default=0.10)
+    wif.add_argument("--seed", type=int, default=1)
+    wif.add_argument(
+        "--weights", default=None,
+        help="baseline weights JSON: a list (both classes) or "
+             '{"high": [...], "low": [...]}; hop-count weights if omitted',
+    )
+    query = wif.add_mutually_exclusive_group(required=True)
+    query.add_argument("--link", type=int, default=None, help="link index of a weight move")
+    query.add_argument("--failure", type=int, nargs=2, metavar=("U", "V"),
+                       help="fail the duplex adjacency between nodes U and V")
+    query.add_argument("--traffic-scale", type=float, default=None,
+                       help="rescale both traffic classes by this factor")
+    wif.add_argument("--new-weight", type=int, default=None,
+                     help="new weight of --link")
+    wif.add_argument("--apply-to", choices=["high", "low", "both"], default=None,
+                     help="which class's weight vector the move applies to "
+                          "(default: both)")
+
     camp = sub.add_parser(
         "campaign", help="run, inspect, or aggregate an experiment campaign"
     )
@@ -185,6 +241,117 @@ def _run_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _session_from_args(args: argparse.Namespace, scale: float = 1.0):
+    """Build a ``repro.api`` session from the shared experiment flags."""
+    from repro.api import Session
+
+    config = scaled_config(
+        ExperimentConfig(
+            topology=args.topology,
+            mode=args.mode,
+            target_utilization=args.utilization,
+            high_fraction=args.fraction,
+            high_density=args.density,
+            seed=args.seed,
+        ),
+        scale,
+    )
+    return Session.from_config(config), config
+
+
+def _run_optimize(args: argparse.Namespace) -> int:
+    from repro.api import UnknownNameError, get_strategy, optimize
+    from repro.core.annealing import AnnealingParams
+
+    try:
+        get_strategy(args.strategy)  # fail fast, before building the session
+    except UnknownNameError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    session, config = _session_from_args(args, args.scale)
+    options = {}
+    if args.alpha is not None:
+        options["alpha"] = args.alpha
+    if args.strategy == "anneal":
+        # Scale the annealing budget like the local searches' budgets.
+        options["annealing_params"] = AnnealingParams(
+            iterations=max(1, round(AnnealingParams().iterations * args.scale))
+        )
+    try:
+        result = optimize(
+            session, strategy=args.strategy, params=config.search_params, **options
+        )
+    except UnknownNameError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"strategy={result.strategy} topology={args.topology} mode={args.mode} "
+        f"seed={args.seed}"
+    )
+    print(f"objective: {result.objective}")
+    print(
+        f"evaluations={result.evaluations} wall_time={result.wall_time_s:.2f}s "
+        f"dual={result.dual}"
+    )
+    if args.json_out:
+        payload = {
+            "strategy": result.strategy,
+            "objective": list(result.objective.values),
+            "high_weights": result.high_weights.tolist(),
+            "low_weights": result.low_weights.tolist(),
+            "evaluations": result.evaluations,
+            "wall_time_s": result.wall_time_s,
+            "metadata": result.metadata,
+        }
+        with open(args.json_out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"saved JSON to {args.json_out}")
+    return 0
+
+
+def _run_whatif(args: argparse.Namespace) -> int:
+    from repro.routing.weights import unit_weights
+
+    if args.link is None and (args.new_weight is not None or args.apply_to is not None):
+        print(
+            "error: --new-weight/--apply-to only apply to --link queries",
+            file=sys.stderr,
+        )
+        return 2
+    if args.link is not None and args.new_weight is None:
+        print("error: --link requires --new-weight", file=sys.stderr)
+        return 2
+
+    try:
+        session, _config = _session_from_args(args)
+        if args.weights:
+            with open(args.weights) as handle:
+                data = json.load(handle)
+            if isinstance(data, dict):
+                session.set_weights(data["high"], data.get("low"))
+            else:
+                session.set_weights(data)
+        else:
+            session.set_weights(unit_weights(session.network.num_links))
+
+        if args.link is not None:
+            result = session.what_if(
+                (args.link, args.new_weight), topology=args.apply_to or "both"
+            )
+        elif args.failure is not None:
+            result = session.under_failure(tuple(args.failure))
+        else:
+            result = session.scaled_traffic(args.traffic_scale)
+    except (KeyError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(result.format())
+    return 0
+
+
 def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
     if args.spec:
         with open(args.spec) as handle:
@@ -250,6 +417,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_figure(args)
     if args.command == "compare":
         return _run_compare(args)
+    if args.command == "optimize":
+        return _run_optimize(args)
+    if args.command == "whatif":
+        return _run_whatif(args)
     if args.command == "campaign":
         if args.campaign_command == "run":
             return _run_campaign_run(args)

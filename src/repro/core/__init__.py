@@ -7,6 +7,7 @@ its epsilon-relaxed variant (Sections 3.3.2 and 5.3).
 """
 
 from repro.core.lexicographic import LexCost
+from repro.core.progress import ProgressFn, ProgressTicker
 from repro.core.search_params import SearchParams
 from repro.core.evaluator import DualTopologyEvaluator
 from repro.core.rank_selection import draw_rank, rank_probabilities
@@ -29,6 +30,8 @@ __all__ = [
     "AnnealingResult",
     "anneal_str",
     "LexCost",
+    "ProgressFn",
+    "ProgressTicker",
     "SearchParams",
     "DualTopologyEvaluator",
     "draw_rank",

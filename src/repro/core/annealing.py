@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import math
 import random
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -20,6 +21,7 @@ import numpy as np
 
 from repro.core.evaluator import DualTopologyEvaluator, Evaluation
 from repro.core.lexicographic import LexCost
+from repro.core.progress import ProgressFn, ProgressTicker
 from repro.core.search_params import SearchParams
 from repro.routing.incremental import WeightDelta
 from repro.routing.weights import random_weights
@@ -91,16 +93,60 @@ def anneal_str(
     search_params: Optional[SearchParams] = None,
     rng: Optional[random.Random] = None,
     initial_weights: Optional[Sequence[int]] = None,
+    progress: Optional[ProgressFn] = None,
+) -> AnnealingResult:
+    """Deprecated entry point: delegates to the ``"anneal"`` strategy.
+
+    Use :func:`repro.api.optimize` with ``strategy="anneal"`` instead;
+    this shim wraps the evaluator in a :class:`repro.api.Session`, routes
+    the call through the strategy registry, and unwraps the legacy
+    :class:`AnnealingResult` — results are identical for a fixed ``rng``.
+    """
+    warnings.warn(
+        "anneal_str is deprecated; use "
+        "repro.api.optimize(session, strategy='anneal')",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api import optimize as api_optimize
+    from repro.api.session import Session
+
+    result = api_optimize(
+        Session.from_evaluator(evaluator),
+        strategy="anneal",
+        params=search_params,
+        annealing_params=params,
+        rng=rng or random.Random(),
+        initial_weights=initial_weights,
+        progress=progress,
+    )
+    return result.raw
+
+
+def _anneal_str_impl(
+    evaluator: DualTopologyEvaluator,
+    params: Optional[AnnealingParams] = None,
+    search_params: Optional[SearchParams] = None,
+    rng: Optional[random.Random] = None,
+    initial_weights: Optional[Sequence[int]] = None,
+    progress: Optional[ProgressFn] = None,
 ) -> AnnealingResult:
     """Simulated-annealing search for a single (STR) weight vector.
+
+    The implementation behind the registered ``"anneal"`` strategy.
 
     Args:
         evaluator: Cost evaluator (load or SLA mode).
         params: Annealing schedule; defaults roughly match the evaluation
             budget of the default :class:`SearchParams` local search.
-        search_params: Supplies the weight range; defaults if omitted.
+        search_params: Supplies the weight range and progress interval;
+            defaults if omitted.
         rng: Source of randomness; a fresh unseeded one is created if omitted.
         initial_weights: Starting point; random weights if omitted.
+        progress: Optional heartbeat callback, called as
+            ``progress("anneal", iteration, total)`` every
+            ``search_params.progress_interval`` iterations and once at
+            termination.
 
     Returns:
         An :class:`AnnealingResult` with the best (not final) state.
@@ -124,8 +170,10 @@ def anneal_str(
     temperature = params.initial_temperature
     accepted = 0
     rejected = 0
+    ticker = ProgressTicker(progress, search_params.progress_interval)
 
     for iteration in range(1, params.iterations + 1):
+        ticker.tick("anneal", iteration, params.iterations)
         candidate = current.copy()
         for _ in range(params.moves_per_proposal):
             link = rng.randrange(num_links)
@@ -155,6 +203,7 @@ def anneal_str(
             rejected += 1
         temperature *= params.cooling
 
+    ticker.finish("anneal", params.iterations)
     return AnnealingResult(
         weights=best,
         objective=best_objective,

@@ -12,6 +12,7 @@ randomly perturbing a fraction of weights after ``M`` stale iterations.
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -21,8 +22,8 @@ from repro.core.evaluator import DualTopologyEvaluator, Evaluation
 from repro.core.lexicographic import LexCost
 from repro.core.neighborhood import NeighborhoodSampler
 from repro.core.perturbation import perturb_weights
+from repro.core.progress import ProgressFn, ProgressTicker
 from repro.core.search_params import SearchParams
-from repro.core.str_search import ProgressFn
 from repro.routing.weights import random_weights
 
 PHASE_HIGH = "high"
@@ -66,7 +67,7 @@ class _DtrSearch:
         self.evaluator = evaluator
         self.params = params
         self.rng = rng
-        self.progress = progress
+        self.ticker = ProgressTicker(progress, params.progress_interval)
         self.sampler = NeighborhoodSampler(params, rng)
         self.wh = initial_high.copy()
         self.wl = initial_low.copy()
@@ -79,10 +80,7 @@ class _DtrSearch:
 
     def _tick(self, phase: str, iteration: int, total: int) -> None:
         """Invoke the progress callback on heartbeat iterations."""
-        if self.progress is not None and (
-            iteration % self.params.progress_interval == 0 or iteration == total
-        ):
-            self.progress(phase, iteration, total)
+        self.ticker.tick(phase, iteration, total)
 
     # -- Algorithm 2 -----------------------------------------------------
     def find_step(self, which: str) -> None:
@@ -142,6 +140,7 @@ class _DtrSearch:
             if stale >= self.params.diversification_interval:
                 self.wh = self._perturb(self.wh, self.params.perturb_high_fraction)
                 stale = 0
+        self.ticker.finish(PHASE_HIGH, self.params.iterations_high)
 
     def routine_low(self) -> None:
         """Routine 2: freeze ``W_H*``, optimize ``W_L`` by ``Phi_L`` (lines 13-24)."""
@@ -164,6 +163,7 @@ class _DtrSearch:
             if stale >= self.params.diversification_interval:
                 self.wl = self._perturb(self.wl, self.params.perturb_low_fraction)
                 stale = 0
+        self.ticker.finish(PHASE_LOW, self.params.iterations_low)
 
     def routine_refine(self) -> None:
         """Routine 3: joint refinement around the incumbent (lines 25-38)."""
@@ -187,6 +187,7 @@ class _DtrSearch:
                 self.wh = self._perturb(self.best_wh, self.params.perturb_refine_fraction)
                 self.wl = self._perturb(self.best_wl, self.params.perturb_refine_fraction)
                 stale = 0
+        self.ticker.finish(PHASE_REFINE, self.params.iterations_refine)
 
     def _perturb(self, weights: np.ndarray, fraction: float) -> np.ndarray:
         return perturb_weights(
@@ -202,7 +203,46 @@ def optimize_dtr(
     initial_low: Optional[Sequence[int]] = None,
     progress: Optional[ProgressFn] = None,
 ) -> DtrResult:
+    """Deprecated entry point: delegates to the ``"dtr"`` strategy.
+
+    Use :func:`repro.api.optimize` with ``strategy="dtr"`` instead; this
+    shim wraps the evaluator in a :class:`repro.api.Session`, routes the
+    call through the strategy registry, and unwraps the legacy
+    :class:`DtrResult` — results are identical for a fixed ``rng``.
+    """
+    warnings.warn(
+        "optimize_dtr is deprecated; use "
+        "repro.api.optimize(session, strategy='dtr')",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api import optimize as api_optimize
+    from repro.api.session import Session
+
+    result = api_optimize(
+        Session.from_evaluator(evaluator),
+        strategy="dtr",
+        params=params,
+        rng=rng or random.Random(),
+        initial_high=initial_high,
+        initial_low=initial_low,
+        progress=progress,
+    )
+    return result.raw
+
+
+def _optimize_dtr_impl(
+    evaluator: DualTopologyEvaluator,
+    params: Optional[SearchParams] = None,
+    rng: Optional[random.Random] = None,
+    initial_high: Optional[Sequence[int]] = None,
+    initial_low: Optional[Sequence[int]] = None,
+    progress: Optional[ProgressFn] = None,
+) -> DtrResult:
     """Search for a dual weight setting minimizing the lexicographic objective.
+
+    The implementation behind the registered ``"dtr"`` strategy (the
+    paper's Algorithms 1-2).
 
     Args:
         evaluator: Cost evaluator (load or SLA mode).

@@ -14,6 +14,7 @@ relative to the lexicographic solution.
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
@@ -23,6 +24,7 @@ from repro.core.evaluator import LOAD_MODE, DualTopologyEvaluator
 from repro.core.lexicographic import LexCost
 from repro.core.neighborhood import NeighborhoodSampler
 from repro.core.perturbation import perturb_weights
+from repro.core.progress import ProgressFn, ProgressTicker
 from repro.core.search_params import SearchParams
 from repro.costs.load_cost import LoadCostEvaluation
 from repro.routing.weights import random_weights
@@ -60,8 +62,47 @@ def optimize_joint(
     params: Optional[SearchParams] = None,
     rng: Optional[random.Random] = None,
     initial_weights: Optional[Sequence[int]] = None,
+    progress: Optional[ProgressFn] = None,
+) -> JointResult:
+    """Deprecated entry point: delegates to the ``"joint"`` strategy.
+
+    Use :func:`repro.api.optimize` with ``strategy="joint"`` instead;
+    this shim wraps the evaluator in a :class:`repro.api.Session`, routes
+    the call through the strategy registry, and unwraps the legacy
+    :class:`JointResult` — results are identical for a fixed ``rng``.
+    """
+    warnings.warn(
+        "optimize_joint is deprecated; use "
+        "repro.api.optimize(session, strategy='joint')",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api import optimize as api_optimize
+    from repro.api.session import Session
+
+    result = api_optimize(
+        Session.from_evaluator(evaluator),
+        strategy="joint",
+        alpha=alpha,
+        params=params,
+        rng=rng or random.Random(),
+        initial_weights=initial_weights,
+        progress=progress,
+    )
+    return result.raw
+
+
+def _optimize_joint_impl(
+    evaluator: DualTopologyEvaluator,
+    alpha: float,
+    params: Optional[SearchParams] = None,
+    rng: Optional[random.Random] = None,
+    initial_weights: Optional[Sequence[int]] = None,
+    progress: Optional[ProgressFn] = None,
 ) -> JointResult:
     """Search a single weight vector minimizing ``J = alpha*Phi_H + Phi_L``.
+
+    The implementation behind the registered ``"joint"`` strategy.
 
     Args:
         evaluator: A *load-mode* evaluator (the joint cost is defined on
@@ -70,6 +111,10 @@ def optimize_joint(
         params: Search budgets; library defaults if omitted.
         rng: Source of randomness; a fresh unseeded one is created if omitted.
         initial_weights: Starting point; random weights if omitted.
+        progress: Optional heartbeat callback, called as
+            ``progress("joint", iteration, total)`` every
+            ``params.progress_interval`` iterations and once at
+            termination.
 
     Returns:
         A :class:`JointResult`.
@@ -100,8 +145,11 @@ def optimize_joint(
     best_evaluation = evaluation
     history = [(0, best_joint)]
     stale = 0
+    ticker = ProgressTicker(progress, params.progress_interval)
+    total_iterations = params.total_iterations()
 
-    for iteration in range(1, params.total_iterations() + 1):
+    for iteration in range(1, total_iterations + 1):
+        ticker.tick("joint", iteration, total_iterations)
         per_link = alpha * evaluation.per_link_high + evaluation.per_link_low
         order = list(np.argsort(-per_link, kind="stable"))
         improved = False
@@ -130,6 +178,7 @@ def optimize_joint(
             evaluation = evaluator.evaluate_str(current)
             stale = 0
 
+    ticker.finish("joint", total_iterations)
     return JointResult(
         alpha=alpha,
         weights=best_weights,
@@ -178,7 +227,7 @@ def alpha_sweep(
     """
     points = []
     for i, alpha in enumerate(alphas):
-        result = optimize_joint(
+        result = _optimize_joint_impl(
             evaluator, float(alpha), params=params, rng=random.Random(seed + i)
         )
         inversion = result.phi_high > reference_phi_high * (1.0 + inversion_tolerance)

@@ -1,0 +1,62 @@
+"""Progress-event plumbing shared by every search strategy.
+
+All searches report liveness through one callback shape so callers
+(campaign heartbeat writers, CLI spinners, the ``repro.api`` facade)
+never need per-strategy plumbing.  The contract:
+
+* an event fires every ``SearchParams.progress_interval`` iterations;
+* one *terminal* event ``(phase, total, total)`` is always emitted when a
+  phase ends — including zero-iteration phases, where it is the only
+  event — so a consumer can rely on seeing completion without tracking
+  interval alignment;
+* callbacks observe the search only: they never consume randomness and
+  must not mutate search state, so attaching one cannot change the
+  trajectory.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+ProgressFn = Callable[[str, int, int], None]
+"""Progress callback ``(phase, iteration, total_iterations)``."""
+
+
+class ProgressTicker:
+    """Emits interval-aligned heartbeats plus a guaranteed terminal event.
+
+    Searches call :meth:`tick` once per iteration and :meth:`finish` once
+    when a phase terminates.  ``finish`` emits ``(phase, total, total)``
+    unless the final iteration's tick already did, so consumers see the
+    terminal event exactly once per phase.
+
+    Args:
+        progress: The callback, or ``None`` to disable all events.
+        interval: Iterations between heartbeats (>= 1).
+    """
+
+    def __init__(self, progress: Optional[ProgressFn], interval: int) -> None:
+        if interval < 1:
+            raise ValueError("progress interval must be >= 1")
+        self._progress = progress
+        self._interval = interval
+        self._last: Optional[tuple[str, int]] = None
+
+    def tick(self, phase: str, iteration: int, total: int) -> None:
+        """Heartbeat for one iteration; fires on interval alignment or at the end."""
+        if self._progress is None:
+            return
+        if iteration % self._interval == 0 or iteration == total:
+            self._emit(phase, iteration, total)
+
+    def finish(self, phase: str, total: int) -> None:
+        """Terminal event for a phase; always fires unless the tick at
+        ``iteration == total`` already emitted it."""
+        if self._progress is None:
+            return
+        if self._last != (phase, total):
+            self._emit(phase, total, total)
+
+    def _emit(self, phase: str, iteration: int, total: int) -> None:
+        self._last = (phase, iteration)
+        self._progress(phase, iteration, total)

@@ -14,8 +14,9 @@ best high-priority cost seen so far.
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -23,17 +24,11 @@ from repro.core.evaluator import DualTopologyEvaluator, Evaluation
 from repro.core.lexicographic import LexCost
 from repro.core.neighborhood import NeighborhoodSampler
 from repro.core.perturbation import perturb_weights
+from repro.core.progress import ProgressFn, ProgressTicker
 from repro.core.search_params import SearchParams
 from repro.routing.weights import random_weights
 
-ProgressFn = Callable[[str, int, int], None]
-"""Progress callback ``(phase, iteration, total_iterations)``.
-
-Invoked every ``SearchParams.progress_interval`` iterations and once at
-the final iteration of each phase.  Callbacks observe the search; they
-must not mutate search state, and they never consume randomness, so
-passing one cannot change the trajectory.
-"""
+__all__ = ["ProgressFn", "RelaxedSolution", "StrResult", "optimize_str"]
 
 
 @dataclass(frozen=True)
@@ -89,19 +84,70 @@ def optimize_str(
     relaxation_epsilons: Iterable[float] = (),
     progress: Optional[ProgressFn] = None,
 ) -> StrResult:
-    """Search for a single weight vector minimizing the lexicographic objective.
+    """Deprecated entry point: delegates to the ``"str"`` strategy.
+
+    Use :func:`repro.api.optimize` with ``strategy="str"`` instead; this
+    shim wraps the evaluator in a :class:`repro.api.Session`, routes the
+    call through the strategy registry, and unwraps the legacy
+    :class:`StrResult` — results are identical for a fixed ``rng``.
 
     Args:
         evaluator: Cost evaluator (load or SLA mode).
-        params: Search budgets; library defaults if omitted.  The STR
-            search runs for the combined budget of the three DTR routines
-            so the two schemes receive comparable computational effort.
+        params: Search budgets; library defaults if omitted.
+        rng: Source of randomness; a fresh unseeded one is created if omitted.
+        initial_weights: Starting point; random weights if omitted.
+        relaxation_epsilons: Epsilons for which relaxed solutions are tracked.
+        progress: Optional heartbeat callback.
+
+    Returns:
+        A :class:`StrResult`.
+    """
+    warnings.warn(
+        "optimize_str is deprecated; use "
+        "repro.api.optimize(session, strategy='str')",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api import optimize as api_optimize
+    from repro.api.session import Session
+
+    result = api_optimize(
+        Session.from_evaluator(evaluator),
+        strategy="str",
+        params=params,
+        rng=rng or random.Random(),
+        initial_weights=initial_weights,
+        relaxation_epsilons=relaxation_epsilons,
+        progress=progress,
+    )
+    return result.raw
+
+
+def _optimize_str_impl(
+    evaluator: DualTopologyEvaluator,
+    params: Optional[SearchParams] = None,
+    rng: Optional[random.Random] = None,
+    initial_weights: Optional[Sequence[int]] = None,
+    relaxation_epsilons: Iterable[float] = (),
+    progress: Optional[ProgressFn] = None,
+) -> StrResult:
+    """Search for a single weight vector minimizing the lexicographic objective.
+
+    The implementation behind the registered ``"str"`` strategy: the
+    single-weight-change local search of Fortz & Thorup [FT00] run for
+    the combined budget of the three DTR routines, so STR and DTR receive
+    comparable computational effort.
+
+    Args:
+        evaluator: Cost evaluator (load or SLA mode).
+        params: Search budgets; library defaults if omitted.
         rng: Source of randomness; a fresh unseeded one is created if omitted.
         initial_weights: Starting point; random weights if omitted.
         relaxation_epsilons: Epsilons for which relaxed solutions are tracked.
         progress: Optional heartbeat callback, called as
             ``progress("str", iteration, total)`` every
-            ``params.progress_interval`` iterations.
+            ``params.progress_interval`` iterations and once when the
+            search terminates.
 
     Returns:
         A :class:`StrResult`.
@@ -144,12 +190,10 @@ def optimize_str(
 
     consider_relaxed(current, evaluation)
     stale = 0
+    ticker = ProgressTicker(progress, params.progress_interval)
     total_iterations = params.total_iterations()
     for iteration in range(1, total_iterations + 1):
-        if progress is not None and (
-            iteration % params.progress_interval == 0 or iteration == total_iterations
-        ):
-            progress("str", iteration, total_iterations)
+        ticker.tick("str", iteration, total_iterations)
         order = _descending_link_order(evaluation)
         improved = False
         base = current
@@ -179,6 +223,7 @@ def optimize_str(
             consider_relaxed(current, evaluation)
             stale = 0
 
+    ticker.finish("str", total_iterations)
     return StrResult(
         weights=best_weights,
         objective=best_objective,

@@ -61,31 +61,19 @@ class LoadCostEvaluation:
         return self.per_link_low
 
 
-def evaluate_load_cost(
-    net: Network,
-    high_routing: Routing,
-    low_routing: Routing,
-    high_traffic: DemandsLike,
-    low_traffic: DemandsLike,
+def load_cost_from_loads(
+    net: Network, high_loads: np.ndarray, low_loads: np.ndarray
 ) -> LoadCostEvaluation:
-    """Evaluate the load-based cost of a (possibly dual) routing.
+    """The load-based cost of already-computed per-link class loads.
 
-    High-priority loads are priced against full link capacity; low-priority
-    loads against the residual capacity the priority queue leaves them.
-
-    Args:
-        net: The network.
-        high_routing: Routing of the high-priority class.
-        low_routing: Routing of the low-priority class (same object for STR).
-        high_traffic: High-priority traffic matrix ``T_H``.
-        low_traffic: Low-priority traffic matrix ``T_L``.
-
-    Returns:
-        A :class:`LoadCostEvaluation`.
+    The single source of the Eq. 2 costing pass: high-priority loads are
+    priced against full link capacity, low-priority loads against the
+    residual capacity the priority queue leaves them.  Shared by
+    :func:`evaluate_load_cost` (routed loads) and
+    ``Session.scaled_traffic`` (rescaled loads), so the formula cannot
+    diverge between evaluation paths.
     """
     capacities = net.capacities()
-    high_loads = high_routing.link_loads(high_traffic)
-    low_loads = low_routing.link_loads(low_traffic)
     residual = residual_capacities(capacities, high_loads)
     per_link_high = fortz_cost_vector(high_loads, capacities)
     per_link_low = fortz_cost_vector(low_loads, residual)
@@ -98,4 +86,30 @@ def evaluate_load_cost(
         low_loads=low_loads,
         residual=residual,
         utilization=(high_loads + low_loads) / capacities,
+    )
+
+
+def evaluate_load_cost(
+    net: Network,
+    high_routing: Routing,
+    low_routing: Routing,
+    high_traffic: DemandsLike,
+    low_traffic: DemandsLike,
+) -> LoadCostEvaluation:
+    """Evaluate the load-based cost of a (possibly dual) routing.
+
+    Args:
+        net: The network.
+        high_routing: Routing of the high-priority class.
+        low_routing: Routing of the low-priority class (same object for STR).
+        high_traffic: High-priority traffic matrix ``T_H``.
+        low_traffic: Low-priority traffic matrix ``T_L``.
+
+    Returns:
+        A :class:`LoadCostEvaluation`.
+    """
+    return load_cost_from_loads(
+        net,
+        high_routing.link_loads(high_traffic),
+        low_routing.link_loads(low_traffic),
     )

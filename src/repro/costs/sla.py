@@ -140,6 +140,63 @@ class SlaCostEvaluation:
         return self.per_link_low
 
 
+def sla_cost_from_loads(
+    net: Network,
+    high_loads: np.ndarray,
+    low_loads: np.ndarray,
+    high_traffic: TrafficMatrix,
+    pair_fractions,
+    params: SlaParams = SlaParams(),
+) -> SlaCostEvaluation:
+    """The SLA-based cost of already-computed per-link class loads.
+
+    The single source of the Eq. 3-5 costing pass, shared by
+    :func:`evaluate_sla_cost` (routed loads) and
+    ``Session.scaled_traffic`` (rescaled loads), so the delay/penalty
+    formula cannot diverge between evaluation paths.
+
+    Args:
+        net: The network.
+        high_loads: Per-link high-priority loads.
+        low_loads: Per-link low-priority loads.
+        high_traffic: High-priority traffic matrix (its pairs incur the
+            per-pair penalties).
+        pair_fractions: ``(s, t) -> per-link flow-fraction vector`` over
+            the high-priority routing's ECMP paths.
+        params: SLA bound and penalty parameters.
+    """
+    capacities = net.capacities()
+    residual = residual_capacities(capacities, high_loads)
+    per_link_high = fortz_cost_vector(high_loads, capacities)
+    per_link_low = fortz_cost_vector(low_loads, residual)
+    delays = link_delays_ms(net, high_loads, per_link_high, params.packet_size_bits)
+
+    pair_delays: dict[tuple[int, int], float] = {}
+    penalty = 0.0
+    violations = 0
+    for s, t, _rate in high_traffic.pairs():
+        xi = float(pair_fractions(s, t) @ delays)
+        pair_delays[(s, t)] = xi
+        pair_penalty = params.pair_penalty(xi)
+        if pair_penalty > 0:
+            violations += 1
+            penalty += pair_penalty
+
+    return SlaCostEvaluation(
+        penalty=penalty,
+        phi_low=float(per_link_low.sum()),
+        violations=violations,
+        pair_delays_ms=pair_delays,
+        link_delays=delays,
+        per_link_low=per_link_low,
+        high_loads=high_loads,
+        low_loads=low_loads,
+        residual=residual,
+        utilization=(high_loads + low_loads) / capacities,
+        params=params,
+    )
+
+
 def evaluate_sla_cost(
     net: Network,
     high_routing: Routing,
@@ -164,36 +221,11 @@ def evaluate_sla_cost(
     Returns:
         A :class:`SlaCostEvaluation`.
     """
-    capacities = net.capacities()
-    high_loads = high_routing.link_loads(high_traffic)
-    low_loads = low_routing.link_loads(low_traffic)
-    residual = residual_capacities(capacities, high_loads)
-    per_link_high = fortz_cost_vector(high_loads, capacities)
-    per_link_low = fortz_cost_vector(low_loads, residual)
-    delays = link_delays_ms(net, high_loads, per_link_high, params.packet_size_bits)
-
-    pair_delays: dict[tuple[int, int], float] = {}
-    penalty = 0.0
-    violations = 0
-    for s, t, _rate in high_traffic.pairs():
-        fractions = high_routing.pair_link_fractions(s, t)
-        xi = float(fractions @ delays)
-        pair_delays[(s, t)] = xi
-        pair_penalty = params.pair_penalty(xi)
-        if pair_penalty > 0:
-            violations += 1
-            penalty += pair_penalty
-
-    return SlaCostEvaluation(
-        penalty=penalty,
-        phi_low=float(per_link_low.sum()),
-        violations=violations,
-        pair_delays_ms=pair_delays,
-        link_delays=delays,
-        per_link_low=per_link_low,
-        high_loads=high_loads,
-        low_loads=low_loads,
-        residual=residual,
-        utilization=(high_loads + low_loads) / capacities,
+    return sla_cost_from_loads(
+        net,
+        high_routing.link_loads(high_traffic),
+        low_routing.link_loads(low_traffic),
+        high_traffic,
+        high_routing.pair_link_fractions,
         params=params,
     )

@@ -22,7 +22,11 @@ from repro.eval.campaign import (
 )
 from repro.eval.convergence import ConvergenceTrace, relative_gap, trace_from_history
 from repro.eval.drift import DriftReport, drift_sweep
-from repro.eval.robustness import RobustnessReport, failure_sweep
+from repro.eval.robustness import (
+    RobustnessReport,
+    failure_sweep,
+    failure_sweep_session,
+)
 
 __all__ = [
     "CampaignSpec",
@@ -46,4 +50,5 @@ __all__ = [
     "drift_sweep",
     "RobustnessReport",
     "failure_sweep",
+    "failure_sweep_session",
 ]

@@ -224,7 +224,8 @@ def build_record(
 
 def _failure_robustness(config: ExperimentConfig, result: ComparisonResult) -> dict:
     """Single-adjacency failure degradation of the STR and DTR settings."""
-    from repro.eval.robustness import failure_sweep
+    from repro.api.session import Session
+    from repro.eval.robustness import failure_sweep_session
 
     net = build_network(config.topology, config.seed)
     summaries = {}
@@ -232,7 +233,11 @@ def _failure_robustness(config: ExperimentConfig, result: ComparisonResult) -> d
         ("str", result.str_result.weights, result.str_result.weights),
         ("dtr", result.dtr_result.high_weights, result.dtr_result.low_weights),
     ):
-        report = failure_sweep(net, high_w, low_w, result.high_traffic, result.low_traffic)
+        session = Session(
+            net, result.high_traffic, result.low_traffic, cost_model="load"
+        )
+        session.set_weights(high_w, low_w)
+        report = failure_sweep_session(session)
         summaries[label] = {
             "scenarios": len(report.outcomes),
             "skipped_disconnecting": report.skipped_disconnecting,

@@ -7,10 +7,11 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Optional
 
-from repro.core.dtr_search import DtrResult, optimize_dtr
+from repro.core.dtr_search import DtrResult
 from repro.core.evaluator import LOAD_MODE, SLA_MODE, DualTopologyEvaluator, Evaluation
+from repro.core.progress import ProgressFn
 from repro.core.search_params import SearchParams
-from repro.core.str_search import ProgressFn, StrResult, optimize_str
+from repro.core.str_search import StrResult
 from repro.costs.sla import SlaParams
 from repro.eval.metrics import safe_ratio
 from repro.network.graph import Network
@@ -191,9 +192,11 @@ def run_comparison(
 ) -> ComparisonResult:
     """Run STR and DTR on one configuration and compare their costs.
 
-    The STR baseline runs first; the DTR search is seeded with the STR
-    solution, so the DTR result can never be lexicographically worse —
-    matching the paper's consistent ``R_H ≈ 1``, ``R_L >= 1`` findings.
+    Both searches run through the :mod:`repro.api` strategy registry on
+    one shared :class:`~repro.api.Session`.  The STR baseline runs
+    first; the DTR search is seeded with the STR solution, so the DTR
+    result can never be lexicographically worse — matching the paper's
+    consistent ``R_H ≈ 1``, ``R_L >= 1`` findings.
 
     All randomness is drawn from per-config streams derived by
     :func:`derive_rng`: the traffic matrices depend only on
@@ -205,20 +208,21 @@ def run_comparison(
     ``progress``, if given, receives ``(phase, iteration, total)``
     heartbeats from both searches.
     """
-    net = build_network(config.topology, config.seed)
-    high, low, _meta = build_traffic(net, config, derive_rng(config.seed, "traffic"))
-    evaluator = make_evaluator(net, high, low, config)
+    from repro.api import Session, optimize
 
-    rng_search = derive_rng(config.seed, "search")
-    str_result = optimize_str(
-        evaluator,
+    session = Session.from_config(config)
+    rng_search = session.derive_rng("search")
+    str_result = optimize(
+        session,
+        strategy="str",
         params=config.search_params,
         rng=rng_search,
         relaxation_epsilons=config.relaxation_epsilons,
         progress=progress,
     )
-    dtr_result = optimize_dtr(
-        evaluator,
+    dtr_result = optimize(
+        session,
+        strategy="dtr",
         params=config.search_params,
         rng=rng_search,
         initial_high=str_result.weights,
@@ -227,12 +231,12 @@ def run_comparison(
     )
     return ComparisonResult(
         config=config,
-        str_result=str_result,
-        dtr_result=dtr_result,
+        str_result=str_result.raw,
+        dtr_result=dtr_result.raw,
         str_evaluation=str_result.evaluation,
         dtr_evaluation=dtr_result.evaluation,
-        high_traffic=high,
-        low_traffic=low,
+        high_traffic=session.high_traffic,
+        low_traffic=session.low_traffic,
     )
 
 

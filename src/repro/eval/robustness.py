@@ -5,22 +5,29 @@ link failure — OSPF simply recomputes shortest paths over the survivors.
 This module evaluates how STR and DTR weight settings degrade across all
 single-adjacency failures, the robustness criterion of Nucci et al. [5]
 and a natural companion to the paper's MTR deployment argument.
+
+The sweep itself runs through the :mod:`repro.api` facade: each scenario
+is one :meth:`~repro.api.Session.under_failure` query, so the same code
+path serves batch robustness records and interactive
+``repro-dtr whatif --failure`` queries.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from repro.core.lexicographic import LexCost
-from repro.costs.load_cost import evaluate_load_cost
-from repro.network.failures import FailureScenario, single_failure_scenarios
+from repro.network.failures import single_failure_scenarios
 from repro.network.graph import Network
 from repro.routing.spf import RoutingError
-from repro.routing.state import Routing
 from repro.traffic.matrix import TrafficMatrix
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.api.queries import WhatIfResult
+    from repro.api.session import Session
 
 
 @dataclass(frozen=True)
@@ -84,34 +91,47 @@ class RobustnessReport:
         return self.worst_phi_low / self.baseline.phi_low
 
 
-def _evaluate_scenario(
-    net: Network,
-    scenario: Optional[FailureScenario],
-    high_weights: Sequence[int],
-    low_weights: Sequence[int],
-    high_traffic: TrafficMatrix,
-    low_traffic: TrafficMatrix,
-) -> FailureOutcome:
-    if scenario is None:
-        target_net = net
-        wh = np.asarray(high_weights)
-        wl = np.asarray(low_weights)
-        failed_pair = (-1, -1)
-    else:
-        target_net = scenario.network
-        wh = scenario.project_weights(high_weights)
-        wl = scenario.project_weights(low_weights)
-        failed_pair = scenario.failed_pair
-    high_routing = Routing(target_net, wh)
-    low_routing = high_routing if np.array_equal(wh, wl) else Routing(target_net, wl)
-    evaluation = evaluate_load_cost(
-        target_net, high_routing, low_routing, high_traffic, low_traffic
-    )
+def _outcome(query: "WhatIfResult", failed_pair: tuple[int, int]) -> FailureOutcome:
+    """Fold one ``under_failure`` query into a sweep row."""
+    evaluation = query.variant
     return FailureOutcome(
         failed_pair=failed_pair,
-        phi_high=evaluation.phi_high,
-        phi_low=evaluation.phi_low,
+        phi_high=query.variant_objective.primary,
+        phi_low=query.variant_objective.secondary,
         max_utilization=evaluation.max_utilization,
+    )
+
+
+def failure_sweep_session(session: "Session") -> RobustnessReport:
+    """Evaluate a session's baseline weights under every single failure.
+
+    Weight vectors are *not* re-optimized per failure: survivors keep
+    their weights, exactly as deployed OSPF/MT-OSPF would.  The baseline
+    setting is whatever the session adopted (an ``optimize`` result or
+    an explicit ``set_weights``).
+
+    Args:
+        session: A session with a pinned baseline weight setting.
+
+    Returns:
+        A :class:`RobustnessReport` with the baseline and all connected
+        failure outcomes, ordered by failed adjacency.
+    """
+    net = session.network
+    baseline = _outcome(session.under_failure(None), (-1, -1))
+    outcomes = []
+    total_pairs = len(net.duplex_pairs())
+    for scenario in single_failure_scenarios(net, require_connected=True):
+        try:
+            outcomes.append(
+                _outcome(session.under_failure(scenario), scenario.failed_pair)
+            )
+        except RoutingError:
+            continue
+    return RobustnessReport(
+        baseline=baseline,
+        outcomes=tuple(outcomes),
+        skipped_disconnecting=total_pairs - len(outcomes),
     )
 
 
@@ -124,8 +144,8 @@ def failure_sweep(
 ) -> RobustnessReport:
     """Evaluate a weight setting under every single-adjacency failure.
 
-    Weight vectors are *not* re-optimized per failure: survivors keep
-    their weights, exactly as deployed OSPF/MT-OSPF would.
+    Legacy entry point: builds a load-mode :class:`~repro.api.Session`
+    around the inputs and delegates to :func:`failure_sweep_session`.
 
     Args:
         net: The intact network.
@@ -139,22 +159,8 @@ def failure_sweep(
         A :class:`RobustnessReport` with the baseline and all connected
         failure outcomes, ordered by failed adjacency.
     """
-    baseline = _evaluate_scenario(
-        net, None, high_weights, low_weights, high_traffic, low_traffic
-    )
-    outcomes = []
-    total_pairs = len(net.duplex_pairs())
-    for scenario in single_failure_scenarios(net, require_connected=True):
-        try:
-            outcomes.append(
-                _evaluate_scenario(
-                    net, scenario, high_weights, low_weights, high_traffic, low_traffic
-                )
-            )
-        except RoutingError:
-            continue
-    return RobustnessReport(
-        baseline=baseline,
-        outcomes=tuple(outcomes),
-        skipped_disconnecting=total_pairs - len(outcomes),
-    )
+    from repro.api.session import Session
+
+    session = Session(net, high_traffic, low_traffic, cost_model="load")
+    session.set_weights(high_weights, low_weights)
+    return failure_sweep_session(session)

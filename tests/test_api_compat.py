@@ -1,0 +1,124 @@
+"""Deprecation-shim compatibility tests (the CI ``api-compat`` job runs these).
+
+The four legacy entry points must (a) keep their signatures working,
+(b) emit a ``DeprecationWarning``, and (c) genuinely delegate through
+the ``repro.api`` strategy registry — not call their old bodies
+directly — so a plugin that replaces a registered strategy also takes
+over the legacy call sites.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.api import STRATEGIES, get_strategy
+from repro.core.annealing import anneal_str
+from repro.core.dtr_search import optimize_dtr
+from repro.core.evaluator import DualTopologyEvaluator
+from repro.core.joint_search import optimize_joint
+from repro.core.search_params import SearchParams
+from repro.core.str_search import optimize_str
+
+FAST = SearchParams(
+    iterations_high=4,
+    iterations_low=4,
+    iterations_refine=4,
+    diversification_interval=5,
+    neighborhood_size=2,
+)
+
+
+@pytest.fixture
+def evaluator(isp_net, small_traffic) -> DualTopologyEvaluator:
+    high, low = small_traffic
+    return DualTopologyEvaluator(isp_net, high, low)
+
+
+@pytest.mark.parametrize(
+    "call",
+    [
+        lambda ev: optimize_str(ev, FAST, random.Random(1)),
+        lambda ev: optimize_dtr(ev, FAST, random.Random(1)),
+        lambda ev: optimize_joint(ev, 1.0, FAST, random.Random(1)),
+        lambda ev: anneal_str(ev, None, FAST, random.Random(1)),
+    ],
+    ids=["str", "dtr", "joint", "anneal"],
+)
+def test_legacy_entry_points_warn_and_work(evaluator, call):
+    with pytest.deprecated_call():
+        result = call(evaluator)
+    objective = getattr(result, "objective", None) or result.lexicographic
+    assert objective.primary >= 0
+
+
+@pytest.mark.parametrize("name", ["str", "dtr", "joint", "anneal"])
+def test_legacy_entry_points_route_through_registry(evaluator, name):
+    """Replacing a registered strategy hijacks the legacy function too."""
+    calls = []
+    original = get_strategy(name)
+
+    class Spy:
+        def run(self, session, params=None, **options):
+            calls.append((session, params))
+            return original.run(session, params=params, **options)
+
+    Spy.name = name
+    STRATEGIES.register(name, Spy(), replace=True)
+    try:
+        legacy = {
+            "str": lambda: optimize_str(evaluator, FAST, random.Random(2)),
+            "dtr": lambda: optimize_dtr(evaluator, FAST, random.Random(2)),
+            "joint": lambda: optimize_joint(evaluator, 1.0, FAST, random.Random(2)),
+            "anneal": lambda: anneal_str(evaluator, None, FAST, random.Random(2)),
+        }[name]
+        with pytest.deprecated_call():
+            legacy()
+    finally:
+        STRATEGIES.register(name, original, replace=True)
+    assert len(calls) == 1
+    assert calls[0][0].evaluator is evaluator  # same instance, shared caches
+    assert calls[0][1] is FAST
+
+
+def test_legacy_results_keep_their_types(evaluator):
+    from repro.core.annealing import AnnealingResult
+    from repro.core.dtr_search import DtrResult
+    from repro.core.joint_search import JointResult
+    from repro.core.str_search import StrResult
+
+    with pytest.deprecated_call():
+        assert isinstance(optimize_str(evaluator, FAST, random.Random(3)), StrResult)
+    with pytest.deprecated_call():
+        assert isinstance(optimize_dtr(evaluator, FAST, random.Random(3)), DtrResult)
+    with pytest.deprecated_call():
+        assert isinstance(
+            optimize_joint(evaluator, 1.0, FAST, random.Random(3)), JointResult
+        )
+    with pytest.deprecated_call():
+        assert isinstance(
+            anneal_str(evaluator, None, FAST, random.Random(3)), AnnealingResult
+        )
+
+
+def test_str_relaxation_epsilons_survive_delegation(evaluator):
+    with pytest.deprecated_call():
+        result = optimize_str(
+            evaluator, FAST, random.Random(4), relaxation_epsilons=(0.05, 0.30)
+        )
+    assert set(result.relaxed) <= {0.05, 0.30}
+
+
+def test_dtr_seeding_survives_delegation(evaluator):
+    with pytest.deprecated_call():
+        str_result = optimize_str(evaluator, FAST, random.Random(5))
+    with pytest.deprecated_call():
+        dtr_result = optimize_dtr(
+            evaluator,
+            FAST,
+            random.Random(5),
+            initial_high=str_result.weights,
+            initial_low=str_result.weights,
+        )
+    assert dtr_result.objective <= str_result.objective
+    assert dtr_result.high_weights.dtype == np.int64

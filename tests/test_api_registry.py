@@ -1,0 +1,145 @@
+"""Tests for the strategy/cost-model registries and their error paths."""
+
+import pytest
+
+from repro.api import (
+    COST_MODELS,
+    STRATEGIES,
+    DuplicateRegistrationError,
+    JointCostModel,
+    Registry,
+    UnknownNameError,
+    available_cost_models,
+    available_strategies,
+    get_cost_model,
+    get_strategy,
+    register_strategy,
+)
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        reg = Registry("widget")
+        reg.register("a", 1)
+        assert reg.get("a") == 1
+        assert reg.names() == ("a",)
+        assert "a" in reg
+
+    def test_unknown_name_lists_alternatives(self):
+        reg = Registry("widget")
+        reg.register("alpha", 1)
+        reg.register("beta", 2)
+        with pytest.raises(UnknownNameError) as exc:
+            reg.get("gamma")
+        message = str(exc.value)
+        assert "gamma" in message
+        assert "alpha" in message and "beta" in message
+        assert "widget" in message
+
+    def test_unknown_name_on_empty_registry(self):
+        with pytest.raises(UnknownNameError, match=r"\(none\)"):
+            Registry("widget").get("anything")
+
+    def test_duplicate_registration_rejected(self):
+        reg = Registry("widget")
+        reg.register("a", 1)
+        with pytest.raises(DuplicateRegistrationError, match="already registered"):
+            reg.register("a", 2)
+        assert reg.get("a") == 1  # the original survives
+
+    def test_replace_allows_override(self):
+        reg = Registry("widget")
+        reg.register("a", 1)
+        reg.register("a", 2, replace=True)
+        assert reg.get("a") == 2
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(Exception, match="non-empty"):
+            Registry("widget").register("", 1)
+
+    def test_iteration_is_sorted(self):
+        reg = Registry("widget")
+        reg.register("b", 1)
+        reg.register("a", 2)
+        assert list(reg) == ["a", "b"]
+
+
+class TestStrategyRegistry:
+    def test_builtins_registered(self):
+        assert set(available_strategies()) >= {"str", "dtr", "joint", "anneal"}
+
+    def test_unknown_strategy_lists_builtins(self):
+        with pytest.raises(UnknownNameError) as exc:
+            get_strategy("gradient-descent")
+        message = str(exc.value)
+        for name in ("str", "dtr", "joint", "anneal"):
+            assert name in message
+
+    def test_duplicate_strategy_registration_rejected(self):
+        with pytest.raises(DuplicateRegistrationError):
+
+            @register_strategy("str")
+            class Impostor:
+                name = "str"
+
+                def run(self, session, params=None, **options):
+                    raise AssertionError("never runs")
+
+        assert get_strategy("str").__class__.__name__ == "StrStrategy"
+
+    def test_plugin_strategy_roundtrip(self):
+        @register_strategy("test-noop")
+        class NoopStrategy:
+            name = "test-noop"
+
+            def run(self, session, params=None, **options):
+                raise NotImplementedError
+
+        try:
+            assert "test-noop" in available_strategies()
+            assert isinstance(get_strategy("test-noop"), NoopStrategy)
+        finally:
+            STRATEGIES.unregister("test-noop")
+
+
+class TestCostModelRegistry:
+    def test_builtins_registered(self):
+        assert set(available_cost_models()) >= {"load", "sla", "fortz", "joint"}
+
+    def test_unknown_cost_model(self):
+        with pytest.raises(UnknownNameError, match="cost model"):
+            get_cost_model("entropy")
+
+    def test_factory_kwargs(self):
+        model = get_cost_model("joint", alpha=2.5)
+        assert isinstance(model, JointCostModel)
+        assert model.alpha == 2.5
+
+    def test_instance_passthrough(self):
+        model = JointCostModel(alpha=0.5)
+        assert get_cost_model(model) is model
+
+    def test_instance_with_kwargs_rejected(self):
+        with pytest.raises(ValueError, match="name"):
+            get_cost_model(JointCostModel(), alpha=1.0)
+
+    def test_duplicate_cost_model_rejected(self):
+        with pytest.raises(DuplicateRegistrationError):
+            COST_MODELS.register("load", object)
+
+
+class TestCliErrorPath:
+    def test_optimize_unknown_strategy_lists_registered_names(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "optimize", "--strategy", "bogus", "--topology", "isp",
+                "--utilization", "0.5", "--scale", "0.02", "--seed", "2",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "bogus" in err
+        for name in ("str", "dtr", "joint", "anneal"):
+            assert name in err

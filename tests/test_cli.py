@@ -66,6 +66,115 @@ def test_compare_command(capsys):
     assert "STR objective" in printed
 
 
+class TestOptimizeCommand:
+    ARGS = ["--topology", "isp", "--utilization", "0.5", "--scale", "0.02", "--seed", "2"]
+
+    def test_each_builtin_strategy_runs(self, capsys):
+        for strategy in ("str", "dtr", "joint", "anneal"):
+            code = main(["optimize", "--strategy", strategy, *self.ARGS])
+            assert code == 0
+            printed = capsys.readouterr().out
+            assert f"strategy={strategy}" in printed
+            assert "objective:" in printed
+            assert "wall_time=" in printed
+
+    def test_json_output(self, tmp_path, capsys):
+        out = tmp_path / "result.json"
+        code = main(["optimize", "--strategy", "dtr", *self.ARGS, "--json", str(out)])
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert data["strategy"] == "dtr"
+        assert len(data["high_weights"]) == len(data["low_weights"])
+        assert data["evaluations"] > 0
+
+    def test_unknown_strategy_fails_with_choices(self, capsys):
+        code = main(["optimize", "--strategy", "nope", *self.ARGS])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "nope" in err and "dtr" in err
+
+    def test_joint_in_sla_mode_is_a_clean_error(self, capsys):
+        code = main(
+            ["optimize", "--strategy", "joint", "--mode", "sla", *self.ARGS]
+        )
+        assert code == 2
+        assert "load" in capsys.readouterr().err
+
+
+class TestWhatifCommand:
+    ARGS = ["--topology", "isp", "--utilization", "0.5", "--seed", "2"]
+
+    def test_weight_move(self, capsys):
+        code = main(["whatif", *self.ARGS, "--link", "3", "--new-weight", "17"])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "what-if [weights]" in printed
+        assert "link 3: 1 -> 17" in printed
+
+    def test_link_requires_new_weight(self, capsys):
+        code = main(["whatif", *self.ARGS, "--link", "3"])
+        assert code == 2
+        assert "--new-weight" in capsys.readouterr().err
+
+    def test_failure_query(self, capsys):
+        code = main(["whatif", *self.ARGS, "--failure", "0", "4"])
+        assert code == 0
+        assert "what-if [failure]" in capsys.readouterr().out
+
+    def test_traffic_scale_query(self, capsys):
+        code = main(["whatif", *self.ARGS, "--traffic-scale", "1.2"])
+        assert code == 0
+        assert "what-if [traffic]" in capsys.readouterr().out
+
+    def test_weights_file_baseline(self, tmp_path, capsys):
+        from repro.network.topology_isp import isp_topology
+
+        num_links = isp_topology().num_links
+        weights_file = tmp_path / "w.json"
+        weights_file.write_text(json.dumps([5] * num_links))
+        code = main(
+            ["whatif", *self.ARGS, "--weights", str(weights_file),
+             "--link", "0", "--new-weight", "9"]
+        )
+        assert code == 0
+        assert "link 0: 5 -> 9" in capsys.readouterr().out
+
+    def test_query_flags_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(["whatif", *self.ARGS, "--link", "1", "--traffic-scale", "2.0"])
+
+    def test_link_flags_rejected_on_other_queries(self, capsys):
+        code = main(["whatif", *self.ARGS, "--failure", "0", "4", "--new-weight", "9"])
+        assert code == 2
+        assert "--new-weight" in capsys.readouterr().err
+        code = main(
+            ["whatif", *self.ARGS, "--traffic-scale", "1.2", "--apply-to", "low"]
+        )
+        assert code == 2
+        assert "--apply-to" in capsys.readouterr().err
+
+    def test_bad_inputs_exit_cleanly(self, capsys):
+        code = main(["whatif", *self.ARGS, "--link", "9999", "--new-weight", "5"])
+        assert code == 2
+        assert "out of range" in capsys.readouterr().err
+        code = main(["whatif", *self.ARGS, "--failure", "0", "99"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+        code = main(["whatif", *self.ARGS, "--traffic-scale", "-1"])
+        assert code == 2
+        assert "non-negative" in capsys.readouterr().err
+
+    def test_malformed_weights_file_exits_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "w.json"
+        bad.write_text(json.dumps([1, 2, 3]))  # wrong length
+        code = main(
+            ["whatif", *self.ARGS, "--weights", str(bad),
+             "--link", "0", "--new-weight", "9"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestCampaignCommand:
     def test_run_status_aggregate(self, tmp_path, capsys):
         out = tmp_path / "camp"

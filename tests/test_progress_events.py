@@ -1,0 +1,136 @@
+"""Tests for the progress-event contract: a guaranteed terminal event.
+
+Every search must emit a final ``(phase, total, total)`` event at
+termination — exactly once — even when the iteration budget is zero or
+not aligned with ``progress_interval``.
+"""
+
+import random
+
+import pytest
+
+from repro.api import Session, optimize
+from repro.core.progress import ProgressTicker
+from repro.core.search_params import SearchParams
+
+
+class TestProgressTicker:
+    def test_interval_and_terminal_events(self):
+        events = []
+        ticker = ProgressTicker(lambda *a: events.append(a), 3)
+        for i in range(1, 8):
+            ticker.tick("p", i, 7)
+        ticker.finish("p", 7)
+        assert events == [("p", 3, 7), ("p", 6, 7), ("p", 7, 7)]
+
+    def test_terminal_event_not_duplicated_when_aligned(self):
+        events = []
+        ticker = ProgressTicker(lambda *a: events.append(a), 3)
+        for i in range(1, 7):
+            ticker.tick("p", i, 6)
+        ticker.finish("p", 6)
+        assert events == [("p", 3, 6), ("p", 6, 6)]
+
+    def test_zero_iteration_phase_still_terminates(self):
+        events = []
+        ticker = ProgressTicker(lambda *a: events.append(a), 5)
+        ticker.finish("p", 0)
+        assert events == [("p", 0, 0)]
+
+    def test_none_callback_is_inert(self):
+        ticker = ProgressTicker(None, 1)
+        ticker.tick("p", 1, 1)
+        ticker.finish("p", 1)  # must not raise
+
+    def test_interval_validated(self):
+        with pytest.raises(ValueError):
+            ProgressTicker(None, 0)
+
+
+@pytest.fixture
+def session(isp_net, small_traffic) -> Session:
+    high, low = small_traffic
+    return Session(isp_net, high, low, seed=5)
+
+
+def _terminal_events(beats):
+    return [b for b in beats if b[1] == b[2]]
+
+
+class TestSearchTerminalEvents:
+    def test_str_emits_terminal_event_on_unaligned_budget(self, session):
+        params = SearchParams(
+            iterations_high=3, iterations_low=3, iterations_refine=3,
+            diversification_interval=5, neighborhood_size=2, progress_interval=50,
+        )
+        beats = []
+        optimize(
+            session, strategy="str", params=params, rng=random.Random(1),
+            progress=lambda *a: beats.append(a),
+        )
+        # interval 50 never aligns with total 9 — the terminal event must fire
+        assert beats[-1] == ("str", 9, 9)
+        assert _terminal_events(beats) == [("str", 9, 9)]
+
+    def test_dtr_emits_terminal_event_per_phase(self, session):
+        params = SearchParams(
+            iterations_high=3, iterations_low=2, iterations_refine=4,
+            diversification_interval=5, neighborhood_size=2, progress_interval=50,
+        )
+        beats = []
+        optimize(
+            session, strategy="dtr", params=params, rng=random.Random(2),
+            progress=lambda *a: beats.append(a),
+        )
+        assert _terminal_events(beats) == [("high", 3, 3), ("low", 2, 2), ("refine", 4, 4)]
+
+    def test_dtr_zero_iteration_phase_emits_terminal_event(self, session):
+        params = SearchParams(
+            iterations_high=2, iterations_low=0, iterations_refine=2,
+            diversification_interval=5, neighborhood_size=2, progress_interval=50,
+        )
+        beats = []
+        optimize(
+            session, strategy="dtr", params=params, rng=random.Random(3),
+            progress=lambda *a: beats.append(a),
+        )
+        assert ("low", 0, 0) in beats
+
+    def test_joint_supports_progress(self, session):
+        params = SearchParams(
+            iterations_high=2, iterations_low=2, iterations_refine=3,
+            diversification_interval=5, neighborhood_size=2, progress_interval=4,
+        )
+        beats = []
+        optimize(
+            session, strategy="joint", params=params, alpha=1.0,
+            rng=random.Random(4), progress=lambda *a: beats.append(a),
+        )
+        assert beats == [("joint", 4, 7), ("joint", 7, 7)]
+
+    def test_anneal_supports_progress(self, session):
+        from repro.core.annealing import AnnealingParams
+
+        params = SearchParams(progress_interval=10)
+        beats = []
+        optimize(
+            session, strategy="anneal", params=params,
+            annealing_params=AnnealingParams(iterations=25),
+            rng=random.Random(5), progress=lambda *a: beats.append(a),
+        )
+        assert beats == [("anneal", 10, 25), ("anneal", 20, 25), ("anneal", 25, 25)]
+
+    def test_progress_callback_does_not_change_trajectory(self, session):
+        params = SearchParams(
+            iterations_high=3, iterations_low=3, iterations_refine=3,
+            diversification_interval=5, neighborhood_size=2,
+        )
+        import numpy as np
+
+        plain = optimize(session, strategy="str", params=params, rng=random.Random(6))
+        observed = optimize(
+            session, strategy="str", params=params, rng=random.Random(6),
+            progress=lambda *a: None,
+        )
+        assert plain.objective == observed.objective
+        np.testing.assert_array_equal(plain.high_weights, observed.high_weights)
