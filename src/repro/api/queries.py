@@ -21,6 +21,7 @@ from repro.core.lexicographic import LexCost
 KIND_WEIGHTS = "weights"
 KIND_FAILURE = "failure"
 KIND_TRAFFIC = "traffic"
+KIND_SCENARIO = "scenario"
 
 
 @dataclass(frozen=True)
@@ -40,6 +41,11 @@ class WhatIfResult:
         low_utilization_delta: Per-link change of low-priority
             utilization ``L_l / C_l``, intact link indexing.
         utilization_delta: Per-link change of total utilization.
+        scenario_kind: The scenario class for scenario/failure queries
+            (``"link"``, ``"node"``, ``"srlg"``, ...), else ``None``.
+        disconnected: Whether the scenario cut off positive demand (the
+            variant was evaluated over the routable remainder).
+        lost_demand: Demand volume (Mb/s) on the disconnected pairs.
     """
 
     kind: str
@@ -51,6 +57,9 @@ class WhatIfResult:
     high_utilization_delta: np.ndarray
     low_utilization_delta: np.ndarray
     utilization_delta: np.ndarray
+    scenario_kind: Optional[str] = None
+    disconnected: bool = False
+    lost_demand: float = 0.0
 
     @property
     def primary_delta(self) -> float:
@@ -75,9 +84,18 @@ class WhatIfResult:
     def format(self) -> str:
         """A compact multi-line summary (used by ``repro-dtr whatif``)."""
         worst = int(np.argmax(np.abs(self.utilization_delta)))
+        disconnect = (
+            [
+                f"  disconnected: {self.lost_demand:.2f} Mb/s of demand "
+                "is unroutable and was excluded"
+            ]
+            if self.disconnected
+            else []
+        )
         return "\n".join(
             [
                 f"what-if [{self.kind}] {self.description}",
+                *disconnect,
                 f"  objective: {self.baseline_objective} -> {self.variant_objective}"
                 f"  (primary {self.primary_delta:+.4f}, "
                 f"secondary {self.secondary_delta:+.4f})",

@@ -7,9 +7,14 @@ pluggable cost model, and deterministic named RNG streams — and exposes:
 
 * :meth:`Session.optimize`: run any registered strategy by name;
 * the incremental what-if queries :meth:`Session.what_if`,
-  :meth:`Session.under_failure`, and :meth:`Session.scaled_traffic`,
-  which answer "what changes if ...?" against the session's baseline
-  weight setting without rebuilding routing state that cannot change.
+  :meth:`Session.under_scenario` (with :meth:`Session.under_failure` as
+  a single-adjacency shim), and :meth:`Session.scaled_traffic`, which
+  answer "what changes if ...?" against the session's baseline weight
+  setting without rebuilding routing state that cannot change;
+* :meth:`Session.sweep`: batched evaluation of a whole
+  :class:`~repro.scenarios.ScenarioSet` (link/node/SRLG failures,
+  traffic shifts — see :mod:`repro.scenarios`), sharing topology
+  projections and incremental-SPF derivations across scenarios.
 
 ``what_if`` routes one/two-link weight moves through
 :mod:`repro.routing.incremental`, so an interactive query costs a
@@ -35,6 +40,7 @@ import numpy as np
 from repro.api.cost_models import CostModel, CostModelLike, get_cost_model
 from repro.api.queries import (
     KIND_FAILURE,
+    KIND_SCENARIO,
     KIND_TRAFFIC,
     KIND_WEIGHTS,
     WhatIfResult,
@@ -47,7 +53,7 @@ from repro.core.evaluator import (
 )
 from repro.costs.load_cost import evaluate_load_cost, load_cost_from_loads
 from repro.costs.sla import SlaParams, evaluate_sla_cost, sla_cost_from_loads
-from repro.network.failures import FailureScenario, remove_adjacency
+from repro.network.failures import FailureScenario
 from repro.network.graph import Network
 from repro.routing.incremental import WeightDelta
 from repro.routing.state import Routing
@@ -57,6 +63,8 @@ from repro.traffic.matrix import TrafficMatrix
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.api.strategies import OptimizationResult
     from repro.eval.experiment import ExperimentConfig
+    from repro.scenarios.algebra import Scenario
+    from repro.scenarios.batch import ScenarioOutcome, SweepEngine, SweepResult
 
 DeltaLike = Union[WeightDelta, tuple[int, int], dict[int, int]]
 """A weight change: a :class:`WeightDelta`, a ``(link, new_weight)``
@@ -120,6 +128,7 @@ class Session:
             )
         self._baseline: Optional[tuple[np.ndarray, np.ndarray]] = None
         self._direct_cache: dict[bytes, Evaluation] = {}
+        self._sweep_engine_cache: Optional[tuple[bytes, "SweepEngine"]] = None
         self.config: Optional["ExperimentConfig"] = None
 
     # ------------------------------------------------------------------
@@ -344,12 +353,10 @@ class Session:
     def under_failure(self, scenario: Optional[ScenarioLike]) -> WhatIfResult:
         """Cost/utilization impact of one duplex-adjacency failure.
 
-        Survivor links keep their baseline weights and OSPF/MT-OSPF
-        reconverges — exactly the deployed behavior [RFC4915].  Both the
-        intact baseline and the degraded variant are evaluated through
-        the same direct routing path, so the deltas are internally
-        consistent (this is what :func:`repro.eval.robustness` folds
-        into its sweep reports).
+        A delegating shim over the general :meth:`under_scenario`: the
+        failure becomes a :class:`~repro.scenarios.LinkFailure` and rides
+        the shared scenario engine, so repeated failure queries reuse the
+        intact routing state instead of rebuilding it per call.
 
         Args:
             scenario: A :class:`FailureScenario`, the ``(u, v)``
@@ -362,9 +369,11 @@ class Session:
             network while the utilization deltas are projected back to
             intact link indexing (failed links show their lost load).
         """
+        from repro.scenarios.algebra import LinkFailure
+
         wh, wl = self._require_baseline()
-        baseline = self._direct_evaluation(self.network, wh, wl, cache=True)
         if scenario is None:
+            baseline = self._direct_evaluation(self.network, wh, wl, cache=True)
             high_d, low_d, total_d = utilization_deltas(
                 self.network.capacities(), baseline, baseline.high_loads,
                 baseline.low_loads,
@@ -380,31 +389,128 @@ class Session:
                 low_utilization_delta=low_d,
                 utilization_delta=total_d,
             )
-        if not isinstance(scenario, FailureScenario):
+        if isinstance(scenario, FailureScenario):
+            u, v = scenario.failed_pair
+        else:
             u, v = scenario
-            scenario = remove_adjacency(self.network, int(u), int(v))
-        variant = self._direct_evaluation(
-            scenario.network,
-            scenario.project_weights(wh),
-            scenario.project_weights(wl),
+        pair = (min(int(u), int(v)), max(int(u), int(v)))
+        return self.under_scenario(
+            LinkFailure.single(*pair),
+            kind=KIND_FAILURE,
+            description=f"failure of adjacency {pair}",
         )
-        num_links = self.network.num_links
+
+    def under_scenario(
+        self,
+        scenario: Union["Scenario", str],
+        *,
+        kind: str = KIND_SCENARIO,
+        description: Optional[str] = None,
+    ) -> WhatIfResult:
+        """Cost/utilization impact of one scenario (failure and/or traffic).
+
+        The scenario is lowered to its normalized
+        ``(surviving network, projected weights, transformed traffic)``
+        form and evaluated through the session's
+        :class:`~repro.scenarios.batch.SweepEngine`, which derives the
+        degraded routing from the intact baseline via incremental SPF
+        where the change is small and shares state across queries.
+        Demand pairs the scenario disconnects are excluded from the
+        evaluation and surfaced on the result (``disconnected`` /
+        ``lost_demand``) instead of raising.
+
+        Args:
+            scenario: A :class:`~repro.scenarios.Scenario` or a spec
+                string such as ``"node:3"`` or ``"link:0-4+surge:3x2.0"``
+                (see :func:`repro.scenarios.parse_scenario`).
+            kind: Result kind (``under_failure`` passes ``"failure"``).
+            description: Override for the result description.
+
+        Returns:
+            A :class:`WhatIfResult` whose ``variant`` is an evaluation
+            over the surviving network; utilization deltas are projected
+            back to intact link indexing.
+        """
+        from repro.scenarios.spec import parse_scenario
+
+        if isinstance(scenario, str):
+            scenario = parse_scenario(scenario)
+        engine = self._scenario_engine()
+        outcome = engine.evaluate(scenario)
+        return self._scenario_result(outcome, kind=kind, description=description)
+
+    def sweep(self, scenarios) -> "SweepResult":
+        """Batched evaluation of many scenarios against the baseline.
+
+        Scenarios that fail the same elements share one topology
+        projection and one derived routing, and unaffected
+        per-destination load rows are reused outright, so a sweep is
+        several times faster than per-scenario re-evaluation while
+        remaining bit-identical to it (see
+        :mod:`repro.scenarios.batch`).
+
+        Args:
+            scenarios: An iterable of scenarios or a
+                :class:`~repro.scenarios.ScenarioSet`.
+
+        Returns:
+            A :class:`~repro.scenarios.batch.SweepResult`; score its
+            evaluations with ``session.cost_model.objective`` when a
+            non-default cost model is in force.
+        """
+        return self._scenario_engine().sweep(scenarios)
+
+    def _scenario_engine(self) -> "SweepEngine":
+        """The (cached) sweep engine bound to the current baseline."""
+        from repro.scenarios.batch import SweepEngine
+
+        wh, wl = self._require_baseline()
+        key = weights_key(wh) + b"|" + weights_key(wl)
+        cached = self._sweep_engine_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        engine = SweepEngine(
+            self.network,
+            wh,
+            wl,
+            self.high_traffic,
+            self.low_traffic,
+            mode=self.evaluator.mode,
+            sla_params=self.sla_params,
+        )
+        self._sweep_engine_cache = (key, engine)
+        return engine
+
+    def _scenario_result(
+        self,
+        outcome: "ScenarioOutcome",
+        kind: str,
+        description: Optional[str] = None,
+    ) -> WhatIfResult:
+        """Fold one sweep outcome into a what-if result with back-projection."""
+        engine = self._scenario_engine()
+        baseline = engine.baseline
+        lowered = outcome.lowered
+        variant = outcome.evaluation
         high_d, low_d, total_d = utilization_deltas(
             self.network.capacities(),
             baseline,
-            scenario.project_loads_back(variant.high_loads, num_links),
-            scenario.project_loads_back(variant.low_loads, num_links),
+            lowered.project_loads_back(variant.high_loads),
+            lowered.project_loads_back(variant.low_loads),
         )
         return WhatIfResult(
-            kind=KIND_FAILURE,
-            description=f"failure of adjacency {scenario.failed_pair}",
+            kind=kind,
+            description=description or lowered.description,
             baseline=baseline,
             variant=variant,
             baseline_objective=self.cost_model.objective(baseline, self.network),
-            variant_objective=self.cost_model.objective(variant, scenario.network),
+            variant_objective=self.cost_model.objective(variant, lowered.network),
             high_utilization_delta=high_d,
             low_utilization_delta=low_d,
             utilization_delta=total_d,
+            scenario_kind=outcome.scenario.kind,
+            disconnected=outcome.disconnected,
+            lost_demand=outcome.lost_demand,
         )
 
     def scaled_traffic(self, factor: float) -> WhatIfResult:

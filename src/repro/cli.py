@@ -11,7 +11,10 @@ Subcommands::
     repro-dtr whatif    --topology isp --link 3 --new-weight 17
     repro-dtr whatif    --topology isp --failure 0 4
     repro-dtr whatif    --topology isp --traffic-scale 1.2
+    repro-dtr whatif    --topology isp --scenario node:3
+    repro-dtr whatif    --topology isp --scenario link:0-4+surge:3x2.0
     repro-dtr campaign run       --out DIR [--spec spec.json] [--workers 4] ...
+    repro-dtr campaign run       --out DIR --scenarios link node srlg ...
     repro-dtr campaign status    --out DIR
     repro-dtr campaign aggregate --out DIR [--json agg.json]
 
@@ -22,9 +25,12 @@ verification fallback.  ``optimize`` runs any strategy registered in the
 ``repro.api`` registry (``str``, ``dtr``, ``joint``, ``anneal`` built
 in) on a session built from the experiment flags; an unknown strategy
 name lists the registered alternatives.  ``whatif`` answers incremental
-queries — a one-link weight move, an adjacency failure, or a traffic
-rescale — against a baseline weight setting (``--weights`` JSON, or
-hop-count weights by default) without a full re-evaluation.
+queries — a one-link weight move, an adjacency failure, a traffic
+rescale, or any composable ``--scenario`` spec (link/node/SRLG failures,
+traffic surges and shifts; see :mod:`repro.scenarios`) — against a
+baseline weight setting (``--weights`` JSON, or hop-count weights by
+default) without a full re-evaluation; an unknown scenario kind lists
+the registered ones, exactly like an unknown strategy.
 ``campaign`` expands a declarative sweep spec into experiment configs,
 fans them out across a worker pool into a content-addressed result
 store, and aggregates the stored records; re-running a partially
@@ -72,6 +78,7 @@ _FIGURE_RUNNERS = {
     "fig8b": lambda scale, seed: figures.fig8(SLA_MODE, scale=scale, seed=seed),
     "fig9": lambda scale, seed: figures.fig9(scale=scale, seed=seed),
     "table1": lambda scale, seed: figures.table1(scale=scale, seed=seed),
+    "scenarios": lambda scale, seed: figures.fig_scenarios(scale=scale, seed=seed),
 }
 
 
@@ -156,6 +163,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fail the duplex adjacency between nodes U and V")
     query.add_argument("--traffic-scale", type=float, default=None,
                        help="rescale both traffic classes by this factor")
+    query.add_argument("--scenario", default=None, metavar="SPEC",
+                       help="evaluate a scenario spec, e.g. node:3, srlg:0-4,2-5, "
+                            "surge:3x2.0, or link:0-4+surge:3x2.0 (composition); "
+                            "an unknown kind lists the registered ones")
     wif.add_argument("--new-weight", type=int, default=None,
                      help="new weight of --link")
     wif.add_argument("--apply-to", choices=["high", "low", "both"], default=None,
@@ -185,6 +196,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--scale", type=float, default=1.0, help="search budget scale")
     run_p.add_argument("--failures", action="store_true",
                        help="also sweep single-adjacency failures per record")
+    run_p.add_argument("--scenarios", nargs="+", default=[], metavar="KIND",
+                       help="scenario kinds to sweep per record (link, node, "
+                            "srlg, surge, scale); an unknown kind lists the "
+                            "registered ones")
     run_p.add_argument("--quiet", action="store_true", help="suppress per-config lines")
 
     status_p = camp_sub.add_parser("status", help="completion state of a store")
@@ -343,6 +358,8 @@ def _run_whatif(args: argparse.Namespace) -> int:
             )
         elif args.failure is not None:
             result = session.under_failure(tuple(args.failure))
+        elif args.scenario is not None:
+            result = session.under_scenario(args.scenario)
         else:
             result = session.scaled_traffic(args.traffic_scale)
     except (KeyError, OSError, ValueError) as exc:
@@ -365,11 +382,18 @@ def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
         seeds=tuple(args.seeds),
         scale=args.scale,
         failure_scenarios=args.failures,
+        scenario_kinds=tuple(args.scenarios),
     )
 
 
 def _run_campaign_run(args: argparse.Namespace) -> int:
-    spec = _spec_from_args(args)
+    try:
+        spec = _spec_from_args(args)
+    except (OSError, ValueError) as exc:
+        # Covers unknown/non-enumerable scenario kinds (the registry error
+        # lists the registered alternatives) and malformed spec files.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     progress = None
     if not args.quiet:
 

@@ -24,8 +24,10 @@ from repro.eval.convergence import ConvergenceTrace, relative_gap, trace_from_hi
 from repro.eval.drift import DriftReport, drift_sweep
 from repro.eval.robustness import (
     RobustnessReport,
+    ScenarioRobustnessReport,
     failure_sweep,
     failure_sweep_session,
+    scenario_sweep_session,
 )
 
 __all__ = [
@@ -49,6 +51,8 @@ __all__ = [
     "DriftReport",
     "drift_sweep",
     "RobustnessReport",
+    "ScenarioRobustnessReport",
     "failure_sweep",
     "failure_sweep_session",
+    "scenario_sweep_session",
 ]

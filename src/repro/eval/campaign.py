@@ -47,7 +47,7 @@ from repro.eval.experiment import (
 )
 from repro.eval.results import canonical_dumps, load_result, to_jsonable
 
-RECORD_FORMAT = 1
+RECORD_FORMAT = 2
 SPEC_FILENAME = "spec.json"
 RECORDS_DIRNAME = "records"
 HEARTBEATS_DIRNAME = "heartbeats"
@@ -74,6 +74,11 @@ class CampaignSpec:
     (`SearchParams.scaled`); ``failure_scenarios`` additionally sweeps
     each optimized weight setting across all single-adjacency failures
     and stores the degradation summary in the record.
+    ``scenario_kinds`` generalizes that: each named kind (``"link"``,
+    ``"node"``, ``"srlg"``, ``"surge"``, ``"scale"`` — see
+    :mod:`repro.scenarios`) expands to its deterministic scenario grid
+    over the record's topology, and the per-class degradation summary
+    of both the STR and DTR settings lands in the record.
     """
 
     topologies: tuple[str, ...] = ("random",)
@@ -88,6 +93,7 @@ class CampaignSpec:
     sla_theta_ms: Optional[float] = None
     scale: float = 1.0
     failure_scenarios: bool = False
+    scenario_kinds: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         # Normalize sequences to tuples so specs hash and compare by value
@@ -100,13 +106,22 @@ class CampaignSpec:
             "target_utilizations",
             "seeds",
             "relaxation_epsilons",
+            "scenario_kinds",
         ):
             value = tuple(getattr(self, name))
-            if name != "relaxation_epsilons" and not value:
+            if name not in ("relaxation_epsilons", "scenario_kinds") and not value:
                 raise ValueError(f"{name} must be non-empty")
             object.__setattr__(self, name, value)
         if self.scale <= 0:
             raise ValueError(f"scale must be positive, got {self.scale}")
+        if self.scenario_kinds:
+            # Fail at spec time, not mid-campaign: every kind must be
+            # registered AND enumerable (raises UnknownNameError or
+            # ValueError listing the registered/enumerable alternatives).
+            from repro.scenarios.spec import require_enumerable
+
+            for kind_name in self.scenario_kinds:
+                require_enumerable(kind_name)
 
     def expand(self) -> list[ExperimentConfig]:
         """The sweep's configs, in deterministic nesting order."""
@@ -178,6 +193,7 @@ def build_record(
     config: ExperimentConfig,
     result: ComparisonResult,
     robustness: Optional[dict] = None,
+    scenarios: Optional[dict] = None,
 ) -> dict:
     """One campaign record: the config plus everything aggregation needs.
 
@@ -219,6 +235,8 @@ def build_record(
         record["metrics"]["dtr"]["violations"] = result.dtr_evaluation.violations
     if robustness is not None:
         record["robustness"] = robustness
+    if scenarios is not None:
+        record["scenarios"] = scenarios
     return record
 
 
@@ -240,11 +258,54 @@ def _failure_robustness(config: ExperimentConfig, result: ComparisonResult) -> d
         report = failure_sweep_session(session)
         summaries[label] = {
             "scenarios": len(report.outcomes),
-            "skipped_disconnecting": report.skipped_disconnecting,
+            "skipped_disconnecting": report.disconnected_count,
             "worst_phi_high": report.worst_phi_high,
             "worst_phi_low": report.worst_phi_low,
             "mean_phi_low": report.mean_phi_low,
             "degradation_factor": report.degradation_factor(),
+        }
+    return summaries
+
+
+def _scenario_robustness(
+    config: ExperimentConfig,
+    result: ComparisonResult,
+    scenario_kinds: Sequence[str],
+) -> dict:
+    """Per-scenario-class degradation of the STR and DTR settings."""
+    from repro.api.session import Session
+    from repro.eval.robustness import scenario_sweep_session
+    from repro.scenarios.spec import ScenarioSet
+
+    net = build_network(config.topology, config.seed)
+    grid = ScenarioSet.from_kinds(net, scenario_kinds)
+    summaries: dict[str, Any] = {"kinds": sorted(scenario_kinds)}
+    for label, high_w, low_w in (
+        ("str", result.str_result.weights, result.str_result.weights),
+        ("dtr", result.dtr_result.high_weights, result.dtr_result.low_weights),
+    ):
+        session = Session(
+            net, result.high_traffic, result.low_traffic, cost_model="load"
+        )
+        session.set_weights(high_w, low_w)
+        report = scenario_sweep_session(session, grid)
+        degradation = report.degradation_by_class()
+        summaries[label] = {
+            "baseline_phi_high": report.baseline_primary,
+            "baseline_phi_low": report.baseline_secondary,
+            "classes": {
+                kind: {
+                    "scenarios": s.scenarios,
+                    "disconnected": s.disconnected,
+                    "worst_phi_high": s.worst_primary,
+                    "mean_phi_high": s.mean_primary,
+                    "worst_phi_low": s.worst_secondary,
+                    "mean_phi_low": s.mean_secondary,
+                    "worst_max_utilization": s.worst_max_utilization,
+                    "degradation_factor": degradation[kind],
+                }
+                for kind, s in report.by_class().items()
+            },
         }
     return summaries
 
@@ -423,7 +484,11 @@ class CampaignStatus:
 # Execution
 # ----------------------------------------------------------------------
 def _execute_config(
-    root: str, config_data: dict, heartbeats: bool, failure_scenarios: bool
+    root: str,
+    config_data: dict,
+    heartbeats: bool,
+    failure_scenarios: bool,
+    scenario_kinds: Sequence[str] = (),
 ) -> str:
     """Run one config and store its record; the multiprocessing task body.
 
@@ -447,7 +512,15 @@ def _execute_config(
 
     result = run_comparison(config, progress=progress)
     robustness = _failure_robustness(config, result) if failure_scenarios else None
-    store.write_record(key, build_record(config, result, robustness=robustness))
+    scenarios = (
+        _scenario_robustness(config, result, scenario_kinds)
+        if scenario_kinds
+        else None
+    )
+    store.write_record(
+        key,
+        build_record(config, result, robustness=robustness, scenarios=scenarios),
+    )
     store.clear_heartbeat(key)
     return key
 
@@ -501,17 +574,18 @@ def run_campaign(
             pending.append((key, to_jsonable(config)))
 
     failures = spec.failure_scenarios
+    kinds = list(spec.scenario_kinds)
     if workers <= 1 or len(pending) <= 1:
         for key, config_data in pending:
             if progress is not None:
                 progress("run", key)
-            _execute_config(str(store.root), config_data, heartbeats, failures)
+            _execute_config(str(store.root), config_data, heartbeats, failures, kinds)
             if progress is not None:
                 progress("done", key)
     else:
         ctx = multiprocessing.get_context("spawn")
         tasks = [
-            (str(store.root), config_data, heartbeats, failures)
+            (str(store.root), config_data, heartbeats, failures, kinds)
             for _, config_data in pending
         ]
         if progress is not None:
@@ -531,7 +605,7 @@ def run_campaign(
     )
 
 
-def _execute_star(task: tuple[str, dict, bool, bool]) -> str:
+def _execute_star(task: tuple[str, dict, bool, bool, list]) -> str:
     return _execute_config(*task)
 
 

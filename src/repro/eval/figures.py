@@ -687,3 +687,127 @@ def table1(
             )
         rows_by_topology[topology] = tuple(rows)
     return Table1Result(rows_by_topology=rows_by_topology)
+
+
+# ----------------------------------------------------------------------
+# Scenario-robustness figure — degradation by scenario class
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScenarioClassRow:
+    """One scenario class: STR vs DTR worst-case degradation."""
+
+    kind: str
+    scenarios: int
+    disconnected: int
+    str_worst_degradation: float
+    dtr_worst_degradation: float
+    str_mean_phi_low: float
+    dtr_mean_phi_low: float
+
+
+@dataclass(frozen=True)
+class FigScenariosResult:
+    """Extension figure: per-scenario-class degradation of STR vs DTR.
+
+    For every scenario class (single-link, node, SRLG, hot-spot surge,
+    ...) the worst-case low-priority cost under the class's sweep grid
+    is reported relative to the scheme's own intact baseline.  The
+    robustness companion to the paper's intact-network comparisons:
+    whether DTR's advantage survives degraded conditions.
+    """
+
+    topology: str
+    mode: str
+    kinds: tuple[str, ...]
+    baseline_str_phi_low: float
+    baseline_dtr_phi_low: float
+    rows: tuple[ScenarioClassRow, ...]
+
+    def format(self) -> str:
+        header = (
+            f"Scenario robustness [{self.topology}, {self.mode}-based cost] "
+            f"worst-case degradation by scenario class"
+        )
+        body = format_table(
+            ["class", "n", "cut", "STR_worst", "DTR_worst",
+             "STR_meanPhiL", "DTR_meanPhiL"],
+            [
+                (
+                    r.kind,
+                    r.scenarios,
+                    r.disconnected,
+                    r.str_worst_degradation,
+                    r.dtr_worst_degradation,
+                    r.str_mean_phi_low,
+                    r.dtr_mean_phi_low,
+                )
+                for r in self.rows
+            ],
+        )
+        return f"{header}\n{body}"
+
+
+def fig_scenarios(
+    topology: str = "isp",
+    kinds: Sequence[str] = ("link", "node", "srlg", "surge"),
+    target_utilization: float = 0.6,
+    scale: float = 1.0,
+    seed: int = 1,
+) -> FigScenariosResult:
+    """Sweep STR and DTR settings across scenario grids, per class.
+
+    Optimizes both schemes on the intact network (one
+    :func:`run_comparison`), then sweeps each weight setting — unchanged,
+    as deployed OSPF/MT-OSPF would — across the concatenated scenario
+    grids of ``kinds`` via the batched scenario engine.
+    """
+    from repro.api.session import Session
+    from repro.eval.experiment import build_network
+    from repro.eval.robustness import scenario_sweep_session
+    from repro.scenarios.spec import ScenarioSet
+
+    config = _base_config(
+        scale,
+        seed,
+        topology=topology,
+        mode=LOAD_MODE,
+        target_utilization=target_utilization,
+    )
+    result = run_comparison(config)
+    net = build_network(topology, seed)
+    grid = ScenarioSet.from_kinds(net, kinds)
+    reports = {}
+    for label, high_w, low_w in (
+        ("str", result.str_result.weights, result.str_result.weights),
+        ("dtr", result.dtr_result.high_weights, result.dtr_result.low_weights),
+    ):
+        session = Session(
+            net, result.high_traffic, result.low_traffic, cost_model="load"
+        )
+        session.set_weights(high_w, low_w)
+        reports[label] = scenario_sweep_session(session, grid)
+
+    str_by_class = reports["str"].by_class()
+    dtr_by_class = reports["dtr"].by_class()
+    str_deg = reports["str"].degradation_by_class()
+    dtr_deg = reports["dtr"].degradation_by_class()
+    rows = tuple(
+        ScenarioClassRow(
+            kind=kind,
+            scenarios=str_by_class[kind].scenarios,
+            disconnected=str_by_class[kind].disconnected,
+            str_worst_degradation=str_deg[kind],
+            dtr_worst_degradation=dtr_deg[kind],
+            str_mean_phi_low=str_by_class[kind].mean_secondary,
+            dtr_mean_phi_low=dtr_by_class[kind].mean_secondary,
+        )
+        for kind in sorted(str_by_class)
+    )
+    return FigScenariosResult(
+        topology=topology,
+        mode=LOAD_MODE,
+        kinds=tuple(kinds),
+        baseline_str_phi_low=reports["str"].baseline_secondary,
+        baseline_dtr_phi_low=reports["dtr"].baseline_secondary,
+        rows=rows,
+    )

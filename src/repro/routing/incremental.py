@@ -148,6 +148,48 @@ def affected_destinations(
     return np.flatnonzero(mask)
 
 
+def destinations_using_links(
+    net: Network,
+    dist: np.ndarray,
+    weights: np.ndarray,
+    links,
+    atol: float = _DISTANCE_ATOL,
+) -> np.ndarray:
+    """Destinations with some shortest path through any of ``links``.
+
+    This is the link-*removal* affected set: removing a link can only
+    lengthen paths, and only destinations whose SP DAG used it (the same
+    slack test as the weight-increase case of
+    :func:`affected_destinations`) can change.  For every destination
+    *not* returned, both the distance row and the SP DAG over the
+    surviving links are guaranteed unchanged — the pruning the scenario
+    batch evaluator (:mod:`repro.scenarios.batch`) relies on to derive
+    degraded-network routings from the intact one.
+
+    Args:
+        net: The intact network.
+        dist: Distance matrix under ``weights`` (``dist[t, u] = dist(u, t)``).
+        weights: The per-link weights ``dist`` was computed with.
+        links: Directed link indices whose removal is being considered.
+        atol: Distance comparison tolerance.
+
+    Returns:
+        Sorted array of destination node indices.
+    """
+    srcs = net.link_sources()
+    dsts = net.link_destinations()
+    w = np.asarray(weights, dtype=float)
+    mask = np.zeros(net.num_nodes, dtype=bool)
+    with np.errstate(invalid="ignore"):  # inf - inf on unreachable endpoints
+        for link in links:
+            link = int(link)
+            to_u = dist[:, srcs[link]]
+            to_v = dist[:, dsts[link]]
+            finite = np.isfinite(to_u) & np.isfinite(to_v)
+            mask |= finite & (np.abs(to_u - (w[link] + to_v)) <= atol)
+    return np.flatnonzero(mask)
+
+
 def incremental_distances(
     net: Network,
     new_weights: np.ndarray,

@@ -82,7 +82,8 @@ def shortest_path_dag_mask(
     src_dist = dist_to_t[net.link_sources()]
     dst_dist = dist_to_t[net.link_destinations()]
     finite = np.isfinite(src_dist) & np.isfinite(dst_dist)
-    on_dag = np.abs(src_dist - (w + dst_dist)) <= _DISTANCE_ATOL
+    with np.errstate(invalid="ignore"):  # inf - inf on unreachable endpoints
+        on_dag = np.abs(src_dist - (w + dst_dist)) <= _DISTANCE_ATOL
     return finite & on_dag
 
 

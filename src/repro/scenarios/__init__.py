@@ -1,0 +1,89 @@
+"""``repro.scenarios`` — the composable scenario algebra and batch evaluator.
+
+The subsystem that turns the reproduction into a general robustness
+analysis tool (see ``docs/scenarios.md``):
+
+* :mod:`~repro.scenarios.algebra` — :class:`Scenario` classes
+  (:class:`LinkFailure`, :class:`NodeFailure`, :class:`SrlgFailure`,
+  :class:`TrafficScale`, :class:`TrafficShift`, :class:`HotSpotSurge`)
+  and :func:`compose`, all lowering to one normalized
+  :class:`LoweredScenario` with explicit disconnected-demand accounting;
+* :mod:`~repro.scenarios.projection` — shared
+  :class:`TopologyProjection` of the surviving network;
+* :mod:`~repro.scenarios.batch` — the :class:`SweepEngine` /
+  :func:`sweep_scenarios` batch evaluator, bit-identical to per-scenario
+  full re-evaluation but reusing incremental-SPF state across scenarios;
+* :mod:`~repro.scenarios.spec` — the scenario-kind registry behind
+  ``repro-dtr whatif --scenario`` and campaign scenario grids.
+
+Quickstart::
+
+    from repro.api import Session
+    from repro.scenarios import NodeFailure, HotSpotSurge, ScenarioSet, compose
+
+    session.set_weights(weights)
+    print(session.under_scenario(compose(
+        NodeFailure.single(3), HotSpotSurge(node=7, factor=2.0)
+    )).format())
+    result = session.sweep(ScenarioSet.from_kinds(session.network,
+                                                  ("link", "node", "srlg")))
+    for kind, summary in result.by_class().items():
+        print(kind, summary.worst_secondary)
+"""
+
+from repro.scenarios.algebra import (
+    Compose,
+    HotSpotSurge,
+    LinkFailure,
+    LoweredScenario,
+    NodeFailure,
+    Scenario,
+    SrlgFailure,
+    TrafficScale,
+    TrafficShift,
+    compose,
+)
+from repro.scenarios.batch import (
+    ScenarioClassSummary,
+    ScenarioOutcome,
+    SweepEngine,
+    SweepResult,
+    sweep_scenarios,
+)
+from repro.scenarios.projection import TopologyProjection, project_topology
+from repro.scenarios.spec import (
+    SCENARIO_KINDS,
+    ScenarioKind,
+    ScenarioSet,
+    available_scenario_kinds,
+    enumerate_scenarios,
+    parse_scenario,
+    register_scenario_kind,
+)
+
+__all__ = [
+    "Scenario",
+    "LinkFailure",
+    "NodeFailure",
+    "SrlgFailure",
+    "TrafficScale",
+    "TrafficShift",
+    "HotSpotSurge",
+    "Compose",
+    "compose",
+    "LoweredScenario",
+    "TopologyProjection",
+    "project_topology",
+    "SweepEngine",
+    "SweepResult",
+    "ScenarioOutcome",
+    "ScenarioClassSummary",
+    "sweep_scenarios",
+    "ScenarioSet",
+    "ScenarioKind",
+    "SCENARIO_KINDS",
+    "available_scenario_kinds",
+    "enumerate_scenarios",
+    "parse_scenario",
+    "register_scenario_kind",
+]

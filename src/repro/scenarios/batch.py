@@ -1,0 +1,503 @@
+"""Batched scenario evaluation with incremental-SPF reuse.
+
+Evaluating a :class:`~repro.scenarios.algebra.Scenario` from scratch
+costs two all-destination Dijkstras plus a per-destination ECMP load
+pass — the same work a fresh :class:`~repro.routing.state.Routing` does.
+A sweep over hundreds of scenarios repeats almost all of it: scenarios
+share the intact baseline, most failures leave most destinations'
+shortest paths untouched, and traffic-only scenarios change no routing
+at all.  The :class:`SweepEngine` exploits exactly that structure:
+
+* **Shared projections** — scenarios failing the same elements share one
+  :class:`~repro.scenarios.projection.TopologyProjection` (and its
+  reachability analysis).
+* **Derived routings** — a degraded network's routing is derived from
+  the intact baseline: only destinations whose SP DAG used a failed link
+  (:func:`repro.routing.incremental.destinations_using_links`) get a
+  restricted Dijkstra over the survivors; every other distance row, SP
+  DAG, and per-destination load row is reused.  When the affected set is
+  large (more than ``fallback_fraction`` of the nodes) the engine falls
+  back to a full SPF — pruning would cost more than it saves.
+* **Shared load rows** — per-destination load rows are reused whenever
+  the destination is unaffected *and* its demand column is unchanged by
+  the scenario's traffic transform.
+
+The reuse is exact, not approximate: load rows are summed in the same
+fixed order as :class:`~repro.core.evaluator.DualTopologyEvaluator`'s
+``_ordered_row_sum`` and priced through the shared
+:func:`~repro.costs.load_cost.load_cost_from_loads` /
+:func:`~repro.costs.sla.sla_cost_from_loads` costing passes, so a
+batched sweep is **bit-identical** to building every degraded network
+from scratch and running the full evaluator on it — the contract
+enforced by ``tests/test_scenarios_differential.py`` and the
+``benchmarks/test_bench_scenarios.py`` speedup benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.core.evaluator import LOAD_MODE, SLA_MODE, Evaluation
+from repro.core.lexicographic import LexCost
+from repro.costs.load_cost import load_cost_from_loads
+from repro.costs.sla import SlaParams, sla_cost_from_loads
+from repro.network.graph import Network
+from repro.routing.incremental import destinations_using_links
+from repro.routing.spf import distances_to_subset
+from repro.routing.state import Routing
+from repro.routing.weights import weights_key
+from repro.scenarios.algebra import LoweredScenario, Scenario
+from repro.scenarios.projection import TopologyProjection
+from repro.traffic.matrix import TrafficMatrix
+
+DEFAULT_FALLBACK_FRACTION = 0.5
+"""Affected-destination fraction above which a full SPF beats pruning."""
+
+ROUTING_MEMO_CAP = 256
+"""Degraded routings kept per engine.  Each entry holds an ``n x n``
+distance matrix plus lazy DAG state, and a Session caches its engine for
+the lifetime of a baseline — an unbounded memo would grow with every
+distinct failure ever queried.  FIFO eviction keeps repeated interactive
+queries fast without letting long-lived sessions accumulate memory."""
+
+
+def _ordered_row_sum(rows: np.ndarray, num_links: int) -> np.ndarray:
+    """Sum per-destination load rows left to right.
+
+    Mirrors the evaluator's fixed summation order so batched loads are
+    bit-identical to a full evaluator run over the same network.
+    """
+    loads = np.zeros(num_links)
+    for row in rows:
+        loads += row
+    return loads
+
+
+class _ClassState:
+    """Intact baseline state of one traffic class (the derivation parent)."""
+
+    def __init__(
+        self,
+        net: Network,
+        weights: np.ndarray,
+        routing: Routing,
+        traffic: TrafficMatrix,
+    ) -> None:
+        self.weights = np.asarray(weights, dtype=np.int64)
+        self.key = weights_key(self.weights)
+        self.routing = routing
+        self.demands = traffic.demands
+        self.active = np.flatnonzero(self.demands.sum(axis=0) > 0)
+        self.index = {int(t): i for i, t in enumerate(self.active)}
+        self.rows = np.empty((self.active.size, net.num_links))
+        for i, t in enumerate(self.active):
+            self.rows[i] = routing.destination_link_loads(
+                int(t), self.demands[:, int(t)]
+            )
+        self.loads = _ordered_row_sum(self.rows, net.num_links)
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """Evaluation of one scenario within a sweep."""
+
+    scenario: Scenario
+    lowered: LoweredScenario
+    evaluation: Evaluation
+
+    @property
+    def kind(self) -> str:
+        """The scenario's class (``"link"``, ``"node"``, ...)."""
+        return self.scenario.kind
+
+    @property
+    def description(self) -> str:
+        return self.lowered.description
+
+    @property
+    def disconnected(self) -> bool:
+        """Whether the scenario cut off positive demand (see ``lowered``)."""
+        return self.lowered.disconnected
+
+    @property
+    def lost_demand(self) -> float:
+        """Demand volume (Mb/s) the surviving network cannot route."""
+        return self.lowered.lost_demand
+
+    @property
+    def objective(self) -> LexCost:
+        """The evaluation's native lexicographic objective."""
+        return self.evaluation.objective
+
+
+@dataclass(frozen=True)
+class ScenarioClassSummary:
+    """Worst/mean degradation of one scenario class within a sweep.
+
+    Cost statistics fold the *connected* outcomes only — a scenario that
+    cut demand off routes less traffic, so its cost is not comparable —
+    while ``disconnected`` counts how many outcomes were flagged.
+    """
+
+    kind: str
+    scenarios: int
+    disconnected: int
+    worst_primary: float
+    mean_primary: float
+    worst_secondary: float
+    mean_secondary: float
+    worst_max_utilization: float
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Outcome of one batched scenario sweep."""
+
+    baseline: Evaluation
+    outcomes: tuple[ScenarioOutcome, ...]
+    stats: dict[str, int]
+
+    @property
+    def disconnected_count(self) -> int:
+        """Number of outcomes that cut off positive demand."""
+        return sum(1 for o in self.outcomes if o.disconnected)
+
+    def by_class(self) -> dict[str, ScenarioClassSummary]:
+        """Per-scenario-class worst/mean degradation, keyed by kind."""
+        grouped: dict[str, list[ScenarioOutcome]] = {}
+        for outcome in self.outcomes:
+            grouped.setdefault(outcome.kind, []).append(outcome)
+        summaries = {}
+        for kind in sorted(grouped):
+            outcomes = grouped[kind]
+            connected = [o for o in outcomes if not o.disconnected]
+            primaries = [o.objective.primary for o in connected]
+            secondaries = [o.objective.secondary for o in connected]
+            base = self.baseline.objective
+            summaries[kind] = ScenarioClassSummary(
+                kind=kind,
+                scenarios=len(outcomes),
+                disconnected=len(outcomes) - len(connected),
+                worst_primary=max(primaries) if primaries else base.primary,
+                mean_primary=(
+                    float(np.mean(primaries)) if primaries else base.primary
+                ),
+                worst_secondary=max(secondaries) if secondaries else base.secondary,
+                mean_secondary=(
+                    float(np.mean(secondaries)) if secondaries else base.secondary
+                ),
+                worst_max_utilization=max(
+                    (o.evaluation.max_utilization for o in connected),
+                    default=self.baseline.max_utilization,
+                ),
+            )
+        return summaries
+
+
+class SweepEngine:
+    """Evaluates scenarios against one pinned weight setting, with reuse.
+
+    Args:
+        net: The intact network.
+        high_weights: Baseline high-priority weights.
+        low_weights: Baseline low-priority weights (may equal
+            ``high_weights`` — the STR deployment — in which case the
+            two classes share one routing).
+        high_traffic: Intact high-priority traffic.
+        low_traffic: Intact low-priority traffic.
+        mode: ``"load"`` or ``"sla"``.
+        sla_params: SLA parameters (SLA mode only).
+        batched: ``False`` disables every reuse path — each scenario is
+            rebuilt from scratch exactly as a naive per-scenario loop
+            would.  The differential tests and the benchmark compare the
+            two settings bit for bit.
+        fallback_fraction: Affected-destination fraction above which a
+            derived routing falls back to a full SPF.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        high_weights,
+        low_weights,
+        high_traffic: TrafficMatrix,
+        low_traffic: TrafficMatrix,
+        *,
+        mode: str = LOAD_MODE,
+        sla_params: Optional[SlaParams] = None,
+        batched: bool = True,
+        fallback_fraction: float = DEFAULT_FALLBACK_FRACTION,
+    ) -> None:
+        if mode not in (LOAD_MODE, SLA_MODE):
+            raise ValueError(f"mode must be '{LOAD_MODE}' or '{SLA_MODE}', got {mode!r}")
+        self._net = net
+        self._high_tm = high_traffic
+        self._low_tm = low_traffic
+        self.mode = mode
+        self.sla_params = sla_params or SlaParams()
+        self.batched = bool(batched)
+        self.fallback_fraction = float(fallback_fraction)
+        wh = np.asarray(high_weights, dtype=np.int64)
+        wl = np.asarray(low_weights, dtype=np.int64)
+        high_routing = Routing(net, wh)
+        low_routing = high_routing if np.array_equal(wh, wl) else Routing(net, wl)
+        self._high = _ClassState(net, wh, high_routing, high_traffic)
+        self._low = _ClassState(net, wl, low_routing, low_traffic)
+        self._projections: dict[tuple[int, ...], TopologyProjection] = {}
+        # (failed-links, weights-key) -> the derived/rebuilt degraded routing
+        self._routings: dict[tuple[tuple[int, ...], bytes], Routing] = {}
+        self.stats = {
+            "scenarios": 0,
+            "shared_projections": 0,
+            "shared_routings": 0,
+            "derived_routings": 0,
+            "full_routings": 0,
+            "reused_rows": 0,
+            "recomputed_rows": 0,
+        }
+        self.baseline: Evaluation = self._cost(
+            net, self._high.loads, self._low.loads, high_traffic, high_routing
+        )
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def evaluate(self, scenario: Scenario) -> ScenarioOutcome:
+        """Evaluate one scenario (reusing whatever earlier queries built)."""
+        before = len(self._projections)
+        lowered = scenario.lower(
+            self._net,
+            self._high_tm,
+            self._low_tm,
+            projections=self._projections if self.batched else None,
+        )
+        if self.batched and len(self._projections) == before:
+            self.stats["shared_projections"] += 1
+        return self._evaluate_lowered(scenario, lowered)
+
+    def sweep(self, scenarios: Iterable[Scenario]) -> SweepResult:
+        """Evaluate every scenario and fold the outcomes into a result."""
+        outcomes = tuple(self.evaluate(scenario) for scenario in scenarios)
+        return SweepResult(
+            baseline=self.baseline, outcomes=outcomes, stats=dict(self.stats)
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _evaluate_lowered(
+        self, scenario: Scenario, lowered: LoweredScenario
+    ) -> ScenarioOutcome:
+        self.stats["scenarios"] += 1
+        projection = lowered.projection
+        high_routing = self._class_routing(self._high, projection)
+        if self._low.key == self._high.key:
+            low_routing = high_routing
+        else:
+            low_routing = self._class_routing(self._low, projection)
+        high_loads = self._class_loads(
+            self._high, projection, high_routing, lowered.high_traffic
+        )
+        low_loads = self._class_loads(
+            self._low, projection, low_routing, lowered.low_traffic
+        )
+        evaluation = self._cost(
+            projection.network, high_loads, low_loads,
+            lowered.high_traffic, high_routing,
+        )
+        return ScenarioOutcome(
+            scenario=scenario, lowered=lowered, evaluation=evaluation
+        )
+
+    def _cost(
+        self,
+        net: Network,
+        high_loads: np.ndarray,
+        low_loads: np.ndarray,
+        high_traffic: TrafficMatrix,
+        high_routing: Routing,
+    ) -> Evaluation:
+        if self.mode == LOAD_MODE:
+            return load_cost_from_loads(net, high_loads, low_loads)
+        return sla_cost_from_loads(
+            net,
+            high_loads,
+            low_loads,
+            high_traffic,
+            high_routing.pair_link_fractions,
+            params=self.sla_params,
+        )
+
+    def _class_routing(
+        self, cls: _ClassState, projection: TopologyProjection
+    ) -> Routing:
+        """The degraded routing of one class: shared, derived, or rebuilt."""
+        if projection.is_identity:
+            if not self.batched:
+                self.stats["full_routings"] += 1
+                return Routing(projection.network, cls.weights)
+            self.stats["shared_routings"] += 1
+            return cls.routing
+        key = (projection.failed_links, cls.key)
+        hit = self._routings.get(key)
+        if hit is not None:
+            return hit
+        projected = projection.project_weights(cls.weights)
+        if not self.batched:
+            self.stats["full_routings"] += 1
+            # No memo: naive mode repeats all work by design.
+            return Routing(projection.network, projected)
+        affected = destinations_using_links(
+            self._net,
+            cls.routing.distance_matrix,
+            cls.weights,
+            self._flow_relevant_links(projection),
+        )
+        if affected.size > self.fallback_fraction * self._net.num_nodes:
+            # Pruned Dijkstra would recompute most rows anyway: rebuild
+            # the distances outright.  Load-row reuse is unaffected — it
+            # runs on the parent rows' failed-link flow, not on this set.
+            routing = Routing(projection.network, projected)
+            self.stats["full_routings"] += 1
+        else:
+            routing = self._derive_routing(cls, projection, projected, affected)
+            self.stats["derived_routings"] += 1
+        while len(self._routings) >= ROUTING_MEMO_CAP:
+            self._routings.pop(next(iter(self._routings)))
+        self._routings[key] = routing
+        return routing
+
+    def _flow_relevant_links(self, projection: TopologyProjection) -> tuple[int, ...]:
+        """Failed links whose removal can change some survivor's load row.
+
+        Out-links of a fully *isolated* node (a node failure) are always
+        on that node's own shortest paths, so the plain used-link test
+        would flag every destination — yet the node carries no routable
+        traffic (its demand pairs are zeroed by lowering), so its own
+        path usage moves no load.  Transit by other nodes *through* the
+        failed node always uses one of its in-links, which stay in the
+        test.  Excluding the out-links is therefore exact for load rows;
+        the only distance entries left stale by the narrower set are the
+        failed node's own, which no surviving flow ever consults.
+        """
+        isolated = projection.isolated_nodes()
+        if not isolated:
+            return projection.failed_links
+        iso = set(isolated)
+        srcs = self._net.link_sources()
+        return tuple(
+            l for l in projection.failed_links if int(srcs[l]) not in iso
+        )
+
+    def _derive_routing(
+        self,
+        cls: _ClassState,
+        projection: TopologyProjection,
+        projected_weights: np.ndarray,
+        affected: np.ndarray,
+    ) -> Routing:
+        """Degraded routing sharing all unaffected state with the parent.
+
+        Distance rows of unaffected destinations are copied verbatim
+        (removal cannot change a survivor's distance there — integer
+        weights make the copies exact); affected rows get a restricted
+        Dijkstra over the survivors.  Copied rows may keep a stale finite
+        entry for an *isolated* node, which is deliberate: no surviving
+        flow ever consults it (see :meth:`_flow_relevant_links`), so
+        every evaluated quantity stays bit-identical to a from-scratch
+        build.  SP DAGs are left to the routing's lazy per-destination
+        build: unaffected destinations have their whole load row reused,
+        so their DAGs are never needed, and eagerly translating them into
+        the surviving link space would cost more than it saves.
+        """
+        dist = cls.routing.distance_matrix.copy()
+        if affected.size:
+            dist[affected] = distances_to_subset(
+                projection.network, projected_weights, affected
+            )
+        return Routing.from_precomputed(projection.network, projected_weights, dist)
+
+    def _class_loads(
+        self,
+        cls: _ClassState,
+        projection: TopologyProjection,
+        routing: Routing,
+        traffic: TrafficMatrix,
+    ) -> np.ndarray:
+        """Per-link loads of one class under the scenario.
+
+        A destination's intact load row is reused (restricted to the
+        surviving links) iff its demand column is unchanged and the
+        parent row puts **zero flow on every failed link**.  The flow
+        test is exact, not a heuristic: ECMP assigns positive flow to
+        every DAG edge reachable from an injecting source, so zero flow
+        on the failed links means the destination's entire flow pattern
+        avoids them — its flow-carrying nodes keep their distances and
+        DAG out-sets, and the degraded row equals the intact one on the
+        survivors bit for bit.  (This is strictly sharper than the SP-DAG
+        slack test for sparse traffic: a failed link on some *unloaded*
+        shortest path disturbs nothing.)  Rows are summed in
+        active-destination order, matching both
+        :meth:`Routing.link_loads` and the evaluator.
+        """
+        demands = traffic.demands
+        active = np.flatnonzero(demands.sum(axis=0) > 0)
+        num_links = routing.network.num_links
+        rows = np.empty((active.size, num_links))
+        surviving = None if projection.is_identity else projection.surviving_index_array()
+        failed = (
+            np.asarray(projection.failed_links, dtype=np.int64)
+            if projection.failed_links
+            else None
+        )
+        untouched = demands is cls.demands  # no transform, nothing disconnected
+        for i, t in enumerate(active):
+            t = int(t)
+            j = cls.index.get(t)
+            if (
+                self.batched
+                and j is not None
+                and (failed is None or not cls.rows[j][failed].any())
+                and (untouched or np.array_equal(demands[:, t], cls.demands[:, t]))
+            ):
+                rows[i] = cls.rows[j] if surviving is None else cls.rows[j][surviving]
+                self.stats["reused_rows"] += 1
+            else:
+                rows[i] = routing.destination_link_loads(t, demands[:, t])
+                self.stats["recomputed_rows"] += 1
+        return _ordered_row_sum(rows, num_links)
+
+
+def sweep_scenarios(
+    net: Network,
+    high_weights,
+    low_weights,
+    high_traffic: TrafficMatrix,
+    low_traffic: TrafficMatrix,
+    scenarios: Iterable[Scenario],
+    *,
+    mode: str = LOAD_MODE,
+    sla_params: Optional[SlaParams] = None,
+    batched: bool = True,
+    fallback_fraction: float = DEFAULT_FALLBACK_FRACTION,
+) -> SweepResult:
+    """Evaluate a weight setting under every scenario, sharing state.
+
+    The functional entry point over :class:`SweepEngine`; see the module
+    docstring for the reuse structure and the bit-identity contract.
+    """
+    engine = SweepEngine(
+        net,
+        high_weights,
+        low_weights,
+        high_traffic,
+        low_traffic,
+        mode=mode,
+        sla_params=sla_params,
+        batched=batched,
+        fallback_fraction=fallback_fraction,
+    )
+    return engine.sweep(scenarios)

@@ -1,0 +1,280 @@
+"""Scenario kind registry: text specs and sweep-grid enumeration.
+
+The CLI (``repro-dtr whatif --scenario``) and the campaign runner both
+name scenarios by *kind*.  Kinds live in a
+:class:`~repro.api.registry.Registry`, so an unknown kind fails exactly
+like an unknown strategy does — a loud
+:class:`~repro.api.registry.UnknownNameError` listing the registered
+alternatives, which the CLI surfaces verbatim and exits 2 on.
+
+Text grammar (``parse_scenario``)::
+
+    link:0-4            one adjacency failure
+    link:0-4,2-5        multi-link failure
+    node:3              node failure (node:3,5 for several)
+    srlg:0-4,2-5        shared-risk link group
+    scale:1.25          both classes scaled 1.25x
+    surge:3x2.0         demand to/from node 3 doubled
+    shift:2>5@0.3       30% of demand destined to 2 redirected to 5
+    link:0-4+surge:3x2  composition (any kinds joined with '+')
+
+``enumerate_scenarios`` expands one kind into the deterministic grid of
+its instances over a network (every adjacency, every node, ...), which
+is what campaign specs and robustness sweeps iterate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from repro.api.registry import Registry, UnknownNameError  # noqa: F401  (re-export)
+from repro.network.graph import Network
+from repro.scenarios.algebra import (
+    HotSpotSurge,
+    LinkFailure,
+    NodeFailure,
+    Scenario,
+    SrlgFailure,
+    TrafficScale,
+    TrafficShift,
+    compose,
+)
+
+DEFAULT_SURGE_FACTOR = 2.0
+DEFAULT_SCALE_GRID = (0.75, 1.25, 1.5)
+
+
+@dataclass(frozen=True)
+class ScenarioKind:
+    """One registered scenario kind.
+
+    Attributes:
+        name: The kind string (``"link"``, ``"node"``, ...).
+        parse: Parser of the text after ``kind:`` into a scenario.
+        enumerate: Expansion of the kind into its sweep grid over a
+            network, or ``None`` for parse-only kinds.
+        help: One-line spec syntax summary (CLI error messages).
+    """
+
+    name: str
+    parse: Callable[[str], Scenario]
+    enumerate: Optional[Callable[[Network], list[Scenario]]]
+    help: str
+
+
+SCENARIO_KINDS = Registry("scenario kind")
+
+
+def available_scenario_kinds() -> tuple[str, ...]:
+    """All registered scenario kind names, sorted."""
+    return SCENARIO_KINDS.names()
+
+
+def register_scenario_kind(kind: ScenarioKind, replace: bool = False) -> ScenarioKind:
+    """Register a scenario kind (plugins use this like strategies)."""
+    return SCENARIO_KINDS.register(kind.name, kind, replace=replace)
+
+
+# ----------------------------------------------------------------------
+# Parsers
+# ----------------------------------------------------------------------
+def _parse_pairs(text: str, what: str) -> tuple[tuple[int, int], ...]:
+    pairs = []
+    for token in text.split(","):
+        token = token.strip()
+        u, sep, v = token.partition("-")
+        if not sep:
+            raise ValueError(
+                f"bad {what} spec {token!r}: expected U-V (e.g. 0-4)"
+            )
+        pairs.append((int(u), int(v)))
+    return tuple(pairs)
+
+
+def _parse_link(arg: str) -> Scenario:
+    return LinkFailure(pairs=_parse_pairs(arg, "link"))
+
+
+def _parse_node(arg: str) -> Scenario:
+    try:
+        nodes = tuple(int(token) for token in arg.split(","))
+    except ValueError:
+        raise ValueError(
+            f"bad node spec {arg!r}: expected N or N1,N2 (e.g. node:3)"
+        ) from None
+    return NodeFailure(nodes=nodes)
+
+
+def _parse_srlg(arg: str) -> Scenario:
+    return SrlgFailure(pairs=_parse_pairs(arg, "srlg"), name=arg)
+
+
+def _parse_scale(arg: str) -> Scenario:
+    try:
+        factor = float(arg)
+    except ValueError:
+        raise ValueError(
+            f"bad scale spec {arg!r}: expected a factor (e.g. scale:1.25)"
+        ) from None
+    return TrafficScale(factor=factor)
+
+
+def _parse_surge(arg: str) -> Scenario:
+    node, sep, factor = arg.partition("x")
+    if not sep:
+        raise ValueError(
+            f"bad surge spec {arg!r}: expected NODExFACTOR (e.g. surge:3x2.0)"
+        )
+    return HotSpotSurge(node=int(node), factor=float(factor))
+
+
+def _parse_shift(arg: str) -> Scenario:
+    route, _, fraction = arg.partition("@")
+    src, sep, dst = route.partition(">")
+    if not sep:
+        raise ValueError(
+            f"bad shift spec {arg!r}: expected S>D[@FRACTION] (e.g. shift:2>5@0.3)"
+        )
+    return TrafficShift(
+        src=int(src),
+        dst=int(dst),
+        fraction=float(fraction) if fraction else 0.5,
+    )
+
+
+# ----------------------------------------------------------------------
+# Enumerators
+# ----------------------------------------------------------------------
+def _enumerate_link(net: Network) -> list[Scenario]:
+    return [LinkFailure.single(u, v) for u, v in net.duplex_pairs()]
+
+
+def _enumerate_node(net: Network) -> list[Scenario]:
+    return [NodeFailure.single(n) for n in net.nodes()]
+
+
+def _enumerate_srlg(net: Network) -> list[Scenario]:
+    """Synthetic SRLGs: consecutive duplex adjacencies grouped in pairs.
+
+    Real deployments know their shared conduits; for sweep grids we
+    derive a deterministic stand-in by chunking the sorted adjacency
+    list, which still exercises correlated multi-link failures.
+    """
+    pairs = net.duplex_pairs()
+    groups = [tuple(pairs[i : i + 2]) for i in range(0, len(pairs) - 1, 2)]
+    return [
+        SrlgFailure(pairs=group, name=f"g{i}") for i, group in enumerate(groups)
+    ]
+
+
+def _enumerate_surge(net: Network) -> list[Scenario]:
+    return [HotSpotSurge(node=n, factor=DEFAULT_SURGE_FACTOR) for n in net.nodes()]
+
+
+def _enumerate_scale(net: Network) -> list[Scenario]:
+    return [TrafficScale(factor=f) for f in DEFAULT_SCALE_GRID]
+
+
+for _kind in (
+    ScenarioKind("link", _parse_link, _enumerate_link,
+                 "link:U-V[,U2-V2...] — duplex adjacency failure(s)"),
+    ScenarioKind("node", _parse_node, _enumerate_node,
+                 "node:N[,N2...] — node failure(s)"),
+    ScenarioKind("srlg", _parse_srlg, _enumerate_srlg,
+                 "srlg:U-V,U2-V2 — shared-risk link group failure"),
+    ScenarioKind("scale", _parse_scale, _enumerate_scale,
+                 "scale:F — both traffic classes scaled by F"),
+    ScenarioKind("surge", _parse_surge, _enumerate_surge,
+                 "surge:NxF — demand to/from node N scaled by F"),
+    ScenarioKind("shift", _parse_shift, None,
+                 "shift:S>D[@F] — fraction F of demand for S redirected to D"),
+):
+    register_scenario_kind(_kind)
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def parse_scenario(text: str) -> Scenario:
+    """Parse a scenario spec string (``kind:args``, composed with ``+``).
+
+    Raises:
+        UnknownNameError: for an unregistered kind, listing the
+            registered alternatives (the CLI prints this and exits 2).
+        ValueError: for a malformed argument, naming the expected syntax.
+    """
+    parts = [part.strip() for part in text.split("+") if part.strip()]
+    if not parts:
+        raise ValueError("empty scenario spec")
+    scenarios = []
+    for part in parts:
+        name, _, arg = part.partition(":")
+        kind: ScenarioKind = SCENARIO_KINDS.get(name.strip())
+        try:
+            scenarios.append(kind.parse(arg.strip()))
+        except ValueError as exc:
+            raise ValueError(f"scenario {part!r}: {exc} (syntax: {kind.help})") from None
+    return compose(*scenarios)
+
+
+def require_enumerable(kind_name: str) -> ScenarioKind:
+    """Look up a kind that must have a sweep grid (campaigns, grids).
+
+    Raises:
+        UnknownNameError: for an unregistered kind, listing the
+            registered alternatives.
+        ValueError: for a parse-only kind with no grid (e.g. ``shift``),
+            listing the enumerable kinds.
+    """
+    kind: ScenarioKind = SCENARIO_KINDS.get(kind_name)
+    if kind.enumerate is None:
+        enumerable = sorted(
+            name for name in SCENARIO_KINDS
+            if SCENARIO_KINDS.get(name).enumerate is not None
+        )
+        raise ValueError(
+            f"scenario kind {kind_name!r} has no sweep grid; "
+            f"enumerable kinds: {', '.join(enumerable)}"
+        )
+    return kind
+
+
+def enumerate_scenarios(net: Network, kind_name: str) -> list[Scenario]:
+    """The deterministic sweep grid of one kind over ``net``.
+
+    Raises:
+        UnknownNameError: for an unregistered kind.
+        ValueError: for a parse-only kind with no grid (e.g. ``shift``).
+    """
+    return require_enumerable(kind_name).enumerate(net)
+
+
+class ScenarioSet:
+    """An ordered batch of scenarios for one sweep."""
+
+    def __init__(self, scenarios) -> None:
+        self.scenarios: tuple[Scenario, ...] = tuple(scenarios)
+        if not self.scenarios:
+            raise ValueError("a scenario set needs at least one scenario")
+
+    @classmethod
+    def from_kinds(cls, net: Network, kinds) -> "ScenarioSet":
+        """The concatenated grids of several kinds (deterministic order)."""
+        scenarios: list[Scenario] = []
+        for kind in kinds:
+            scenarios.extend(enumerate_scenarios(net, kind))
+        return cls(scenarios)
+
+    def kinds(self) -> tuple[str, ...]:
+        """The distinct scenario kinds present, sorted."""
+        return tuple(sorted({s.kind for s in self.scenarios}))
+
+    def __iter__(self) -> Iterator[Scenario]:
+        return iter(self.scenarios)
+
+    def __len__(self) -> int:
+        return len(self.scenarios)
+
+    def __repr__(self) -> str:
+        return f"ScenarioSet({len(self.scenarios)} scenarios, kinds={self.kinds()})"

@@ -2,10 +2,22 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import numpy as np
 import pytest
+
+try:  # Fixed hypothesis profiles so CI runs are reproducible.
+    from hypothesis import settings as _hypothesis_settings
+
+    _hypothesis_settings.register_profile(
+        "ci", max_examples=25, deadline=None, derandomize=True
+    )
+    _hypothesis_settings.register_profile("dev", max_examples=50, deadline=None)
+    _hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+except ImportError:  # pragma: no cover - hypothesis is a test dependency
+    pass
 
 from repro.network.graph import Network
 from repro.network.topology_isp import isp_topology

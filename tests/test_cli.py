@@ -175,6 +175,97 @@ class TestWhatifCommand:
         assert "error:" in capsys.readouterr().err
 
 
+class TestScenarioWhatif:
+    """CLI paths of the composable ``whatif --scenario`` queries."""
+
+    ARGS = ["--topology", "isp", "--utilization", "0.5", "--seed", "2"]
+
+    def test_scenario_query(self, capsys):
+        code = main(["whatif", *self.ARGS, "--scenario", "node:3"])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "what-if [scenario]" in printed
+        assert "node failure 3" in printed
+
+    def test_composed_scenario_query(self, capsys):
+        code = main(
+            ["whatif", *self.ARGS, "--scenario", "link:0-4+surge:3x2.0"]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "link failure 0-4" in printed
+        assert "hot-spot surge at node 3" in printed
+
+    def test_disconnecting_scenario_reports_lost_demand(self, capsys):
+        # Failing a node cuts all of its demand; the result surfaces the
+        # unroutable volume instead of erroring or dropping it silently.
+        code = main(["whatif", *self.ARGS, "--scenario", "node:0"])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "disconnected:" in printed
+        assert "unroutable" in printed
+
+    def test_unknown_scenario_kind_exits_2_with_listing(self, capsys):
+        """Mirrors the strategy registry: unknown kind -> exit 2 + choices."""
+        code = main(["whatif", *self.ARGS, "--scenario", "warp:3"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "warp" in err
+        for kind in ("link", "node", "srlg", "scale", "surge", "shift"):
+            assert kind in err
+
+    def test_malformed_scenario_arg_exits_2_with_syntax(self, capsys):
+        code = main(["whatif", *self.ARGS, "--scenario", "surge:3"])
+        assert code == 2
+        assert "NODExFACTOR" in capsys.readouterr().err
+
+    def test_scenario_on_missing_adjacency_exits_2(self, capsys):
+        code = main(["whatif", *self.ARGS, "--scenario", "link:0-15"])
+        assert code == 2
+        assert "no duplex adjacency" in capsys.readouterr().err
+
+    def test_scenario_is_exclusive_with_other_queries(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["whatif", *self.ARGS, "--scenario", "node:3",
+                 "--traffic-scale", "1.2"]
+            )
+
+
+class TestCampaignScenarioGrids:
+    """CLI error paths of campaign scenario grids (spec validation)."""
+
+    def test_unknown_scenario_kind_exits_2_with_listing(self, tmp_path, capsys):
+        code = main(
+            ["campaign", "run", "--out", str(tmp_path / "c"),
+             "--scenarios", "warp"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "warp" in err
+        assert "link" in err and "node" in err  # the registered listing
+
+    def test_non_enumerable_kind_exits_2(self, tmp_path, capsys):
+        code = main(
+            ["campaign", "run", "--out", str(tmp_path / "c"),
+             "--scenarios", "shift"]
+        )
+        assert code == 2
+        assert "no sweep grid" in capsys.readouterr().err
+
+    def test_unknown_kind_in_spec_file_exits_2(self, tmp_path, capsys):
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({
+            "topologies": ["isp"], "scenario_kinds": ["warp"],
+        }))
+        code = main(
+            ["campaign", "run", "--out", str(tmp_path / "c"),
+             "--spec", str(spec)]
+        )
+        assert code == 2
+        assert "warp" in capsys.readouterr().err
+
+
 class TestCampaignCommand:
     def test_run_status_aggregate(self, tmp_path, capsys):
         out = tmp_path / "camp"

@@ -221,6 +221,40 @@ class TestFailureScenarios:
             assert summary["degradation_factor"] >= 1.0
 
 
+class TestScenarioGrids:
+    def test_record_carries_per_class_scenario_summary(self, tmp_path):
+        spec = CampaignSpec(
+            topologies=("isp",), target_utilizations=(0.5,), seeds=(1,),
+            scale=0.02, scenario_kinds=("link", "surge"),
+        )
+        run_campaign(spec, tmp_path / "c", workers=1)
+        store = CampaignStore(tmp_path / "c")
+        (record,) = list(store.iter_records())
+        summary = record["scenarios"]
+        assert summary["kinds"] == ["link", "surge"]
+        for scheme in ("str", "dtr"):
+            classes = summary[scheme]["classes"]
+            assert set(classes) == {"link", "surge"}
+            assert classes["link"]["scenarios"] == 35  # every ISP adjacency
+            assert classes["link"]["degradation_factor"] >= 1.0
+            assert classes["surge"]["scenarios"] == 16  # every node
+            assert summary[scheme]["baseline_phi_low"] > 0
+
+    def test_unknown_scenario_kind_rejected_at_spec_time(self):
+        with pytest.raises(ValueError, match="warp"):
+            CampaignSpec(scenario_kinds=("warp",))
+
+    def test_non_enumerable_kind_rejected_at_spec_time(self):
+        with pytest.raises(ValueError, match="no sweep grid"):
+            CampaignSpec(scenario_kinds=("shift",))
+
+    def test_spec_round_trips_scenario_kinds(self):
+        spec = CampaignSpec(scenario_kinds=("link", "node"))
+        rebuilt = CampaignSpec.from_jsonable(to_jsonable(spec))
+        assert rebuilt == spec
+        assert rebuilt.scenario_kinds == ("link", "node")
+
+
 class TestAggregate:
     def test_grid_points_and_seed_means(self, serial_campaign):
         root, _ = serial_campaign

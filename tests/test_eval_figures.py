@@ -123,3 +123,38 @@ class TestTable1:
         assert row.ratio_low_30pct <= row.ratio_low_5pct + 1e-9
         assert row.ratio_low_5pct <= row.ratio_low + 1e-9
         assert "Table 1" in result.format()
+
+
+class TestFigScenarios:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figures.fig_scenarios(
+            topology="isp", kinds=("link", "surge"), scale=SCALE, seed=3
+        )
+
+    def test_one_row_per_scenario_class(self, result):
+        assert [r.kind for r in result.rows] == ["link", "surge"]
+        by_kind = {r.kind: r for r in result.rows}
+        assert by_kind["link"].scenarios == 35  # every ISP adjacency
+        assert by_kind["surge"].scenarios == 16  # every node
+
+    def test_degradation_relative_to_own_baseline(self, result):
+        assert result.baseline_str_phi_low > 0
+        assert result.baseline_dtr_phi_low > 0
+        for row in result.rows:
+            # Losing capacity / adding demand cannot beat the intact baseline.
+            assert row.str_worst_degradation >= 1.0 - 1e-9
+            assert row.dtr_worst_degradation >= 1.0 - 1e-9
+
+    def test_format(self, result):
+        text = result.format()
+        assert "Scenario robustness" in text
+        assert "link" in text and "surge" in text
+
+    def test_json_serializable(self, result, tmp_path):
+        from repro.eval.results import load_result, save_result
+
+        out = tmp_path / "scenarios.json"
+        save_result(result, out)
+        data = load_result(out)
+        assert len(data["rows"]) == 2

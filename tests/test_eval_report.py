@@ -8,7 +8,7 @@ from repro.eval.report import EXPECTED_SHAPES, RUNNERS, generate_report, main
 def test_registry_complete():
     """Every experiment has both a runner and an expected-shape note."""
     assert set(RUNNERS) == set(EXPECTED_SHAPES)
-    assert len(RUNNERS) == 18
+    assert len(RUNNERS) == 19
 
 
 def test_generate_subset(capsys):

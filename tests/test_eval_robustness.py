@@ -70,13 +70,44 @@ def test_outcomes_sorted_by_pair(setup):
     assert pairs == sorted(pairs)
 
 
-def test_disconnecting_failures_skipped(line4):
+def test_disconnecting_failures_surfaced_not_skipped(line4):
+    """Disconnecting failures are evaluated and flagged, never dropped."""
     from repro.traffic.matrix import TrafficMatrix
 
     high = TrafficMatrix.from_pairs(4, [(0, 3, 1.0)])
     low = TrafficMatrix.from_pairs(4, [(3, 0, 2.0)])
     w = unit_weights(line4.num_links)
     report = failure_sweep(line4, w, w, high, low)
-    assert len(report.outcomes) == 0
-    assert report.skipped_disconnecting == 3
+    # Every adjacency of a chain disconnects the 0<->3 demand: all three
+    # outcomes are present, flagged, and account for the lost volume.
+    assert len(report.outcomes) == 3
+    assert report.disconnected_count == 3
+    assert report.skipped_disconnecting == 3  # deprecated alias
+    for outcome in report.outcomes:
+        assert outcome.disconnected
+        assert outcome.lost_demand == pytest.approx(3.0)
+    # Flagged outcomes stay out of the cost statistics, which fall back
+    # to the baseline when no connected outcome exists.
+    assert report.worst_phi_low == report.baseline.phi_low
     assert report.degradation_factor() == 1.0
+
+
+def test_partial_disconnection_flags_only_cut_pairs(line4):
+    """A failure that cuts one pair but not another flags only the former."""
+    from repro.traffic.matrix import TrafficMatrix
+
+    high = TrafficMatrix.from_pairs(4, [(0, 1, 1.0)])
+    low = TrafficMatrix.from_pairs(4, [(2, 3, 2.0), (0, 1, 0.5)])
+    w = unit_weights(line4.num_links)
+    report = failure_sweep(line4, w, w, high, low)
+    by_pair = {o.failed_pair: o for o in report.outcomes}
+    # Failing 2-3 cuts only the (2, 3) demand; the (0, 1) pair keeps its
+    # direct link, and the evaluation covers that routable remainder.
+    assert by_pair[(2, 3)].disconnected
+    assert by_pair[(2, 3)].lost_demand == pytest.approx(2.0)
+    assert by_pair[(2, 3)].phi_low > 0  # evaluated over the remainder
+    # Failing the middle adjacency 1-2 cuts nothing: both demand pairs
+    # ride single surviving links.
+    assert not by_pair[(1, 2)].disconnected
+    assert by_pair[(1, 2)].lost_demand == 0.0
+    assert report.disconnected_count == 2  # failing 0-1 also cuts (0, 1)
