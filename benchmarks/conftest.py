@@ -8,17 +8,61 @@ faithful pass:
 * ``REPRO_BENCH_SCALE`` — search-budget scale relative to the library
   defaults (default ``0.08``; the paper's budgets correspond to ~1000).
 * ``REPRO_BENCH_SEED`` — RNG seed shared by all benchmarks (default 1).
+* ``REPRO_BENCH_JSON`` — directory the perf-trend artifacts are written
+  to (unset disables emission).  Every speedup/throughput benchmark
+  calls :func:`emit_bench`, which writes ``BENCH_<name>.json`` there
+  under one shared schema::
+
+      {"bench": "<name>", "schema": 1,
+       "metrics": {"<section>": {...}, ...},
+       "python": "<major.minor.micro>"}
+
+  Sections merge on rewrite, so a bench with several tests accumulates
+  one file; CI uploads the whole directory as a single artifact, giving
+  the perf trajectory one consistent shape across benches.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import pathlib
+import platform
 
 import pytest
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
 SWEEP_TARGETS = (0.45, 0.60, 0.75)
+
+BENCH_SCHEMA_VERSION = 1
+
+
+def emit_bench(bench: str, section: str, metrics: dict) -> None:
+    """Merge one section of a bench's metrics into its trend artifact.
+
+    Writes ``$REPRO_BENCH_JSON/BENCH_<bench>.json`` (creating the
+    directory) with the shared schema above; a no-op when the variable
+    is unset.  Existing sections of the same file are preserved, so the
+    several tests of one bench accumulate into one artifact.
+    """
+    out = os.environ.get("REPRO_BENCH_JSON")
+    if not out:
+        return
+    root = pathlib.Path(out)
+    root.mkdir(parents=True, exist_ok=True)
+    path = root / f"BENCH_{bench}.json"
+    sections = {}
+    if path.exists():
+        sections = json.loads(path.read_text()).get("metrics", {})
+    sections[section] = metrics
+    payload = {
+        "bench": bench,
+        "schema": BENCH_SCHEMA_VERSION,
+        "metrics": sections,
+        "python": platform.python_version(),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
 
 
 @pytest.fixture(scope="session")

@@ -12,15 +12,13 @@ over from-scratch evaluation, with bit-identical results.
 from __future__ import annotations
 
 import gc
-import json
 import os
-import pathlib
 import random
 import time
 
 import numpy as np
 
-from benchmarks.conftest import BENCH_SEED
+from benchmarks.conftest import BENCH_SEED, emit_bench
 from repro.core.evaluator import DualTopologyEvaluator
 from repro.eval.experiment import ExperimentConfig, build_network, build_traffic
 from repro.network.topology_powerlaw import powerlaw_topology
@@ -36,21 +34,6 @@ NUM_MOVES = 100
 # noisy shared CI runners can override the floor via REPRO_BENCH_MIN_SPEEDUP.
 MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "3.0"))
 MIN_SEARCH_SPEEDUP = min(1.5, MIN_SPEEDUP)
-
-
-def _emit_trend(section: str, payload: dict) -> None:
-    """Merge this run's numbers into the JSON trend artifact CI archives.
-
-    Set ``REPRO_BENCH_JSON`` to a path to enable; each benchmark writes
-    its own section so one file accumulates the whole suite's figures.
-    """
-    out = os.environ.get("REPRO_BENCH_JSON")
-    if not out:
-        return
-    path = pathlib.Path(out)
-    data = json.loads(path.read_text()) if path.exists() else {}
-    data[section] = payload
-    path.write_text(json.dumps(data, indent=2, sort_keys=True))
 
 
 def _workload():
@@ -120,7 +103,8 @@ def test_incremental_speedup_on_single_weight_moves():
         assert incremental_objectives == full_objectives
 
     speedup = full_s / incremental_s
-    _emit_trend(
+    emit_bench(
+        "incremental",
         "single_weight_moves",
         {
             "full_ms_per_eval": full_s / NUM_MOVES * 1e3,
@@ -170,7 +154,8 @@ def test_incremental_speedup_within_str_search():
         results["incremental"].weights, results["full"].weights
     )
     speedup = timings["full"] / timings["incremental"]
-    _emit_trend(
+    emit_bench(
+        "incremental",
         "str_search",
         {
             "full_s": timings["full"],

@@ -13,15 +13,13 @@ reused per-destination load rows.
 from __future__ import annotations
 
 import gc
-import json
 import os
-import pathlib
 import random
 import time
 
 import numpy as np
 
-from benchmarks.conftest import BENCH_SEED
+from benchmarks.conftest import BENCH_SEED, emit_bench
 from repro.network.topology_powerlaw import powerlaw_topology
 from repro.routing.weights import random_weights
 from repro.scenarios import (
@@ -41,16 +39,6 @@ NUM_NODE_FAILURES = 8
 NUM_SRLGS = 8
 NUM_SURGES = 8
 MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "2.0"))
-
-
-def _emit_trend(section: str, payload: dict) -> None:
-    out = os.environ.get("REPRO_BENCH_JSON")
-    if not out:
-        return
-    path = pathlib.Path(out)
-    data = json.loads(path.read_text()) if path.exists() else {}
-    data[section] = payload
-    path.write_text(json.dumps(data, indent=2, sort_keys=True))
 
 
 def _workload():
@@ -120,7 +108,8 @@ def test_batched_sweep_speedup_and_bit_identity():
 
     speedup = naive_s / batched_s
     num = len(scenarios)
-    _emit_trend(
+    emit_bench(
+        "scenarios",
         "scenario_sweep",
         {
             "naive_ms_per_scenario": naive_s / num * 1e3,

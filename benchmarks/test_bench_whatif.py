@@ -10,15 +10,13 @@ so the realistic margin is far larger (~3-7x, topology-dependent).
 from __future__ import annotations
 
 import gc
-import json
 import os
-import pathlib
 import random
 import time
 
 import numpy as np
 
-from benchmarks.conftest import BENCH_SEED
+from benchmarks.conftest import BENCH_SEED, emit_bench
 from repro.api import Session
 from repro.core.evaluator import DualTopologyEvaluator
 from repro.network.topology_powerlaw import powerlaw_topology
@@ -30,16 +28,6 @@ from repro.traffic.scaling import scale_to_utilization
 NUM_NODES = 100
 NUM_QUERIES = 100
 MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "2.0"))
-
-
-def _emit_trend(section: str, payload: dict) -> None:
-    out = os.environ.get("REPRO_BENCH_JSON")
-    if not out:
-        return
-    path = pathlib.Path(out)
-    data = json.loads(path.read_text()) if path.exists() else {}
-    data[section] = payload
-    path.write_text(json.dumps(data, indent=2, sort_keys=True))
 
 
 def _workload():
@@ -111,7 +99,8 @@ def test_whatif_speedup_and_bit_identity():
         np.testing.assert_array_equal(query.variant.low_loads, expected.low_loads)
 
     speedup = full_s / whatif_s
-    _emit_trend(
+    emit_bench(
+        "whatif",
         "whatif_queries",
         {
             "full_ms_per_query": full_s / NUM_QUERIES * 1e3,

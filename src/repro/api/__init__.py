@@ -13,7 +13,10 @@ One stable surface for every optimization and evaluation workflow:
   the session baseline;
 * :func:`register_strategy` / :func:`register_cost_model` make new
   strategies and objectives additive plugins instead of cross-cutting
-  edits.
+  edits;
+* :func:`serve_session` lifts a session into the online serving stack
+  (:mod:`repro.serve`): warm pool, micro-batch scheduler, plan cache,
+  and optionally the stdlib HTTP frontend.
 
 Quickstart::
 
@@ -69,6 +72,7 @@ from repro.core.search_params import SearchParams
 __all__ = [
     "Session",
     "optimize",
+    "serve_session",
     "OptimizationResult",
     "TracePoint",
     "Strategy",
@@ -126,3 +130,28 @@ def optimize(
     result = get_strategy(strategy).run(session, params=params, **options)
     session.adopt(result)
     return result
+
+
+def serve_session(session: Session, **options):
+    """Serve one session's baseline as an online what-if service.
+
+    The session is warmed (:meth:`Session.prepare`), pinned in a
+    :class:`~repro.serve.SessionPool`, and fronted by the micro-batch
+    scheduler and plan cache; the returned
+    :class:`~repro.serve.ServeService` answers ``whatif``/``sweep``
+    queries bit-identically to calling ``session.under_scenario`` /
+    ``session.sweep`` directly, and plugs straight into
+    :class:`~repro.serve.WhatIfServer` for HTTP access.
+
+    Args:
+        session: A session with a baseline weight setting
+            (``set_weights``/``optimize`` first).
+        **options: Forwarded to :class:`~repro.serve.ServeService`
+            (``pool``, ``cache``, ``scheduler``, ``window_s``).
+
+    Raises:
+        ValueError: if the session has no baseline weight setting.
+    """
+    from repro.serve import ServeService
+
+    return ServeService.from_session(session, **options)

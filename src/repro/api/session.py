@@ -22,6 +22,19 @@ restricted Dijkstra over the few affected destinations instead of a full
 re-evaluation — the same speedup the searches enjoy — while remaining
 bit-identical to a from-scratch evaluation.
 
+Thread safety
+-------------
+A session is **not** thread-safe.  Its evaluator's LRU caches mutate an
+``OrderedDict`` on every lookup (recency reordering and hit/miss
+counters), the sweep engine appends to projection/routing memos and a
+shared ``stats`` dict, and the lazily built baseline/engine slots are
+plain attributes — none of it is synchronized.  Callers that share one
+session across threads (the :mod:`repro.serve` scheduler, notably) must
+hold :attr:`Session.lock` around every evaluator/engine touch; with the
+lock held, queries are serialized and therefore produce exactly the
+bytes a single-threaded caller would see.  Distinct sessions share no
+mutable state and need no coordination.
+
 References:
     [FT00] B. Fortz and M. Thorup, "Internet traffic engineering by
         optimizing OSPF weights", IEEE INFOCOM 2000.
@@ -33,6 +46,7 @@ References:
 from __future__ import annotations
 
 import random
+import threading
 from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 import numpy as np
@@ -89,6 +103,11 @@ class Session:
         cache_size: Evaluator cache entries per layer.
         incremental: Evaluate weight deltas via incremental SPF.
         verify_incremental: Cross-check every derived layer (tests only).
+        batched_sweeps: Whether scenario queries share state through the
+            sweep engine (default).  ``False`` rebuilds every scenario
+            from scratch — the naive verification fallback the serve
+            benchmark and differential tests compare against, analogous
+            to ``incremental=False`` for weight deltas.
     """
 
     def __init__(
@@ -103,6 +122,7 @@ class Session:
         cache_size: int = 128,
         incremental: bool = True,
         verify_incremental: bool = False,
+        batched_sweeps: bool = True,
         _evaluator: Optional[DualTopologyEvaluator] = None,
     ) -> None:
         self.cost_model: CostModel = get_cost_model(cost_model)
@@ -126,10 +146,14 @@ class Session:
                 incremental=incremental,
                 verify_incremental=verify_incremental,
             )
+        self.batched_sweeps = bool(batched_sweeps)
         self._baseline: Optional[tuple[np.ndarray, np.ndarray]] = None
         self._direct_cache: dict[bytes, Evaluation] = {}
         self._sweep_engine_cache: Optional[tuple[bytes, "SweepEngine"]] = None
         self.config: Optional["ExperimentConfig"] = None
+        #: Serializes evaluator/engine access when the session is shared
+        #: across threads (see the module docstring's thread-safety note).
+        self.lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Constructors
@@ -277,6 +301,20 @@ class Session:
         """(Cached) full evaluation of the baseline weight setting."""
         wh, wl = self._require_baseline()
         return self.evaluator.evaluate(wh, wl)
+
+    def prepare(self) -> "Session":
+        """Warm every lazily built layer of the baseline, then return self.
+
+        Evaluates the baseline weight setting and constructs the
+        scenario sweep engine (baseline routings, per-destination load
+        rows), so the first query served from a pooled session pays no
+        cold-start cost.  The serve layer's warm-session pool calls this
+        on every build; idempotent and cheap once warm.
+        """
+        with self.lock:
+            self.evaluate()
+            self._scenario_engine()
+        return self
 
     def objective(self):
         """Cost-model objective of the baseline."""
@@ -477,6 +515,7 @@ class Session:
             self.low_traffic,
             mode=self.evaluator.mode,
             sla_params=self.sla_params,
+            batched=self.batched_sweeps,
         )
         self._sweep_engine_cache = (key, engine)
         return engine

@@ -17,6 +17,10 @@ Subcommands::
     repro-dtr campaign run       --out DIR --scenarios link node srlg ...
     repro-dtr campaign status    --out DIR
     repro-dtr campaign aggregate --out DIR [--json agg.json]
+    repro-dtr serve     --port 8093 --topology isp --utilization 0.5 \
+                        [--log serve.jsonl] [--pool-size 4] [--window-ms 5]
+    repro-dtr query     --url http://127.0.0.1:8093 --scenario node:3
+    repro-dtr query     --url ... --sweep link node [--metrics]
 
 ``figure`` accepts: fig2a..fig2f, fig3a..fig3c, fig4, fig5a, fig5b, fig6,
 fig7, fig8a, fig8b, fig9, table1.  ``compare`` evaluates neighbor moves
@@ -35,6 +39,18 @@ the registered ones, exactly like an unknown strategy.
 fans them out across a worker pool into a content-addressed result
 store, and aggregates the stored records; re-running a partially
 completed campaign executes only the missing configs.
+``serve`` starts the online what-if service (:mod:`repro.serve`): a
+stdlib threaded HTTP frontend over a warm-session pool, micro-batch
+scheduler, and plan cache.  ``query`` is its client — it validates the
+scenario spec locally (a malformed spec or unknown kind exits 2 with
+the registry listing, before any network traffic) and prints the
+server's answer.
+
+Every usage error — unknown strategy, unknown scenario kind, malformed
+spec, bad campaign grid — exits 2 through one shared helper, with the
+registry's "registered names: ..." listing verbatim where applicable;
+argparse's own unknown-subcommand error exits 2 with the subcommand
+listing the same way.
 """
 
 from __future__ import annotations
@@ -208,7 +224,59 @@ def build_parser() -> argparse.ArgumentParser:
     agg_p = camp_sub.add_parser("aggregate", help="seed-averaged metrics of a store")
     agg_p.add_argument("--out", required=True, help="campaign directory")
     agg_p.add_argument("--json", dest="json_out", default=None, help="also save JSON here")
+
+    srv = sub.add_parser(
+        "serve", help="run the online what-if query service (HTTP, stdlib only)"
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8093)
+    srv.add_argument("--topology", choices=["random", "powerlaw", "isp"], default="random")
+    srv.add_argument("--mode", choices=[LOAD_MODE, SLA_MODE], default=LOAD_MODE)
+    srv.add_argument("--utilization", type=float, default=0.6)
+    srv.add_argument("--fraction", type=float, default=0.30)
+    srv.add_argument("--density", type=float, default=0.10)
+    srv.add_argument("--seed", type=int, default=1)
+    srv.add_argument(
+        "--weights", default=None,
+        help="baseline weights JSON file (list or {'high': [...], 'low': [...]});"
+             " hop-count weights if omitted",
+    )
+    srv.add_argument("--pool-size", type=int, default=4,
+                     help="warm sessions kept (LRU)")
+    srv.add_argument("--window-ms", type=float, default=5.0,
+                     help="micro-batch coalescing window")
+    srv.add_argument("--log", dest="log_path", default=None,
+                     help="JSONL request log path")
+
+    qry = sub.add_parser(
+        "query", help="query a running what-if service (validates specs locally)"
+    )
+    qry.add_argument("--url", default="http://127.0.0.1:8093",
+                     help="base URL of a running `repro-dtr serve`")
+    what = qry.add_mutually_exclusive_group(required=True)
+    what.add_argument("--scenario", default=None, metavar="SPEC",
+                      help="what-if scenario spec, e.g. node:3 or "
+                           "link:0-4+surge:3x2.0; an unknown kind exits 2 "
+                           "listing the registered ones")
+    what.add_argument("--sweep", nargs="+", default=None, metavar="KIND",
+                      help="sweep whole scenario kinds (link, node, srlg, ...)")
+    what.add_argument("--metrics", action="store_true",
+                      help="print the server's /metrics counters")
     return parser
+
+
+def _usage_error(exc: object) -> int:
+    """Report a usage error and return the conventional exit status 2.
+
+    One path for every bad-input failure — unknown strategy, unknown or
+    malformed scenario spec, bad campaign grid, bad query flags — so all
+    subcommands fail the same way: ``error: <message>`` on stderr (with
+    the registry's "registered names: ..." listing verbatim where the
+    message carries one) and exit code 2, matching argparse's own
+    unknown-subcommand behavior.
+    """
+    print(f"error: {exc}", file=sys.stderr)
+    return 2
 
 
 def _run_topology(args: argparse.Namespace) -> int:
@@ -281,8 +349,7 @@ def _run_optimize(args: argparse.Namespace) -> int:
     try:
         get_strategy(args.strategy)  # fail fast, before building the session
     except UnknownNameError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return _usage_error(exc)
     session, config = _session_from_args(args, args.scale)
     options = {}
     if args.alpha is not None:
@@ -296,12 +363,8 @@ def _run_optimize(args: argparse.Namespace) -> int:
         result = optimize(
             session, strategy=args.strategy, params=config.search_params, **options
         )
-    except UnknownNameError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+    except (UnknownNameError, ValueError) as exc:
+        return _usage_error(exc)
     print(
         f"strategy={result.strategy} topology={args.topology} mode={args.mode} "
         f"seed={args.seed}"
@@ -331,14 +394,9 @@ def _run_whatif(args: argparse.Namespace) -> int:
     from repro.routing.weights import unit_weights
 
     if args.link is None and (args.new_weight is not None or args.apply_to is not None):
-        print(
-            "error: --new-weight/--apply-to only apply to --link queries",
-            file=sys.stderr,
-        )
-        return 2
+        return _usage_error("--new-weight/--apply-to only apply to --link queries")
     if args.link is not None and args.new_weight is None:
-        print("error: --link requires --new-weight", file=sys.stderr)
-        return 2
+        return _usage_error("--link requires --new-weight")
 
     try:
         session, _config = _session_from_args(args)
@@ -363,8 +421,7 @@ def _run_whatif(args: argparse.Namespace) -> int:
         else:
             result = session.scaled_traffic(args.traffic_scale)
     except (KeyError, OSError, ValueError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return _usage_error(exc)
     print(result.format())
     return 0
 
@@ -392,8 +449,7 @@ def _run_campaign_run(args: argparse.Namespace) -> int:
     except (OSError, ValueError) as exc:
         # Covers unknown/non-enumerable scenario kinds (the registry error
         # lists the registered alternatives) and malformed spec files.
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return _usage_error(exc)
     progress = None
     if not args.quiet:
 
@@ -432,6 +488,124 @@ def _run_campaign_aggregate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServeService, SessionPool, SessionSpec, serve_forever
+
+    weights = "unit"
+    try:
+        if args.weights:
+            with open(args.weights) as handle:
+                weights = json.load(handle)
+        spec = SessionSpec(
+            topology=args.topology,
+            mode=args.mode,
+            utilization=args.utilization,
+            fraction=args.fraction,
+            density=args.density,
+            seed=args.seed,
+            weights=weights,
+        )
+        service = ServeService(
+            spec,
+            pool=SessionPool(capacity=args.pool_size),
+            window_s=args.window_ms / 1e3,
+        )
+        service.pool.get(spec)  # warm the default baseline before binding
+    except (OSError, ValueError) as exc:
+        return _usage_error(exc)
+    try:
+        serve_forever(service, host=args.host, port=args.port, log_path=args.log_path)
+    except OSError as exc:
+        # Bind failures (port in use, privileged port) are environment
+        # errors, not usage errors: clean message, exit 1.
+        print(f"error: cannot serve on {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _http_json(url: str, payload: Optional[dict] = None) -> dict:
+    """One JSON round trip to the service (POST when a payload is given)."""
+    import urllib.request
+
+    data = None if payload is None else json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request) as response:
+        return json.loads(response.read())
+
+
+def _run_query(args: argparse.Namespace) -> int:
+    from urllib.error import HTTPError, URLError
+
+    from repro.scenarios.spec import canonical_spec, require_enumerable
+
+    base = args.url.rstrip("/")
+    try:
+        # Validate locally first: malformed specs, unknown kinds, and
+        # kinds without a sweep grid (e.g. shift) exit 2 with the
+        # registry listing without any network traffic.
+        if args.scenario is not None:
+            request = ("/whatif", {"scenario": canonical_spec(args.scenario)})
+        elif args.sweep is not None:
+            for kind in args.sweep:
+                require_enumerable(kind)
+            request = ("/sweep", {"kinds": list(args.sweep)})
+        else:
+            request = ("/metrics", None)
+    except ValueError as exc:
+        return _usage_error(exc)
+
+    try:
+        answer = _http_json(base + request[0], request[1])
+    except HTTPError as exc:
+        body = exc.read().decode("utf-8", "replace")
+        try:
+            message = json.loads(body).get("error", body)
+        except json.JSONDecodeError:
+            message = body
+        print(f"error: server answered {exc.code}: {message}", file=sys.stderr)
+        return 1
+    except (URLError, OSError) as exc:
+        print(f"error: cannot reach {base}: {exc}", file=sys.stderr)
+        return 1
+
+    if args.metrics:
+        print(json.dumps(answer, indent=2, sort_keys=True))
+    elif args.scenario is not None:
+        print(f"what-if [{answer['kind']}] {answer['description']}")
+        if answer["disconnected"]:
+            print(
+                f"  disconnected: {answer['lost_demand']:.2f} Mb/s of demand "
+                "is unroutable and was excluded"
+            )
+        print(
+            f"  objective: {answer['baseline_objective']} -> "
+            f"{answer['variant_objective']}  "
+            f"(primary {answer['primary_delta']:+.4f}, "
+            f"secondary {answer['secondary_delta']:+.4f})"
+        )
+        print(
+            f"  max utilization: {answer['baseline_max_utilization']:.4f} -> "
+            f"{answer['variant_max_utilization']:.4f} "
+            f"({answer['max_utilization_delta']:+.4f})"
+        )
+        print(f"  served: cache_hit={answer['served']['cache_hit']}")
+    else:
+        print(
+            f"sweep: {answer['scenarios']} scenarios, "
+            f"{answer['disconnected_count']} disconnected, "
+            f"baseline objective {answer['baseline_objective']}"
+        )
+        for kind, summary in sorted(answer["by_class"].items()):
+            print(
+                f"  {kind:>6}: {summary['scenarios']} scenarios, "
+                f"worst primary {summary['worst_primary']:.4f}, "
+                f"worst max utilization {summary['worst_max_utilization']:.4f}"
+            )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
@@ -445,6 +619,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_optimize(args)
     if args.command == "whatif":
         return _run_whatif(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "query":
+        return _run_query(args)
     if args.command == "campaign":
         if args.campaign_command == "run":
             return _run_campaign_run(args)

@@ -56,6 +56,7 @@ from repro.scenarios.spec import (
     ScenarioKind,
     ScenarioSet,
     available_scenario_kinds,
+    canonical_spec,
     enumerate_scenarios,
     parse_scenario,
     register_scenario_kind,
@@ -83,6 +84,7 @@ __all__ = [
     "ScenarioKind",
     "SCENARIO_KINDS",
     "available_scenario_kinds",
+    "canonical_spec",
     "enumerate_scenarios",
     "parse_scenario",
     "register_scenario_kind",

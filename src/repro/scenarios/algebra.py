@@ -27,6 +27,7 @@ an isolated node is unreachable, so its pairs surface as disconnected.
 from __future__ import annotations
 
 import abc
+import re
 from dataclasses import dataclass
 from typing import ClassVar, Optional
 
@@ -41,6 +42,17 @@ ElementKey = tuple
 adjacency, ``("node", n)`` for a node, ``("traffic", ...)`` /
 ``("traffic-node", n)`` for traffic dimensions.  Scenarios with disjoint
 element-key sets are independent: composing them is order-insensitive."""
+
+
+def _spec_float(value: float) -> str:
+    """A float literal for spec strings: ``repr`` minus the ``e+`` form.
+
+    ``repr(1e16)`` is ``'1e+16'``, whose ``+`` would collide with the
+    composition separator and make the emitted spec unparseable;
+    ``float()`` accepts the exponent without the sign, so it is dropped.
+    The result still round-trips exactly (shortest-repr semantics).
+    """
+    return repr(float(value)).replace("e+", "e")
 
 
 class LoweredScenario:
@@ -149,6 +161,20 @@ class Scenario(abc.ABC):
     def describe(self) -> str:
         """Human-readable one-line scenario summary."""
 
+    @abc.abstractmethod
+    def spec(self) -> str:
+        """The canonical spec string of this scenario.
+
+        The inverse of :func:`repro.scenarios.spec.parse_scenario`:
+        ``parse_scenario(s.spec()) == s`` for every scenario, and two
+        equal scenarios always produce byte-identical spec strings
+        (components are emitted sorted, floats via ``repr`` so they
+        survive a ``float()`` round trip).  The serving layer's plan
+        cache keys on exactly this string, so spelling variants of one
+        scenario (``"link:2-5,0-4"`` vs ``"link:0-4,2-5"``) share a
+        cache entry.
+        """
+
     def element_keys(self, net: Network) -> frozenset[ElementKey]:
         """The elements this scenario touches (see :data:`ElementKey`)."""
         keys: set[ElementKey] = set()
@@ -219,6 +245,9 @@ class Scenario(abc.ABC):
             disconnected_pairs=pairs,
             lost_demand=lost,
         )
+
+    def __str__(self) -> str:
+        return self.spec()
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.describe()}>"
@@ -293,6 +322,9 @@ class LinkFailure(Scenario):
         label = "link failure" if len(self.pairs) == 1 else "multi-link failure"
         return f"{label} {body}"
 
+    def spec(self) -> str:
+        return "link:" + ",".join(f"{u}-{v}" for u, v in self.pairs)
+
 
 @dataclass(frozen=True)
 class NodeFailure(Scenario):
@@ -322,6 +354,9 @@ class NodeFailure(Scenario):
     def describe(self) -> str:
         return f"node failure {', '.join(str(n) for n in self.nodes)}"
 
+    def spec(self) -> str:
+        return "node:" + ",".join(str(n) for n in self.nodes)
+
 
 @dataclass(frozen=True)
 class SrlgFailure(Scenario):
@@ -338,6 +373,15 @@ class SrlgFailure(Scenario):
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "pairs", _normalize_pairs(self.pairs))
+        # The name is embedded verbatim in the spec string
+        # (``srlg:NAME=pairs``), so it must not contain grammar
+        # metacharacters — otherwise ``parse_scenario(s.spec()) == s``
+        # (the plan cache's keying law) would break.
+        if self.name and not re.fullmatch(r"[A-Za-z0-9_.-]+", self.name):
+            raise ValueError(
+                f"srlg name {self.name!r} must match [A-Za-z0-9_.-]+ "
+                "(it is embedded in the scenario spec grammar)"
+            )
 
     def failed_adjacencies(self, net: Network) -> tuple[tuple[int, int], ...]:
         return self.pairs
@@ -352,6 +396,10 @@ class SrlgFailure(Scenario):
         body = ", ".join(f"{u}-{v}" for u, v in self.pairs)
         label = f"srlg {self.name}" if self.name else "srlg"
         return f"{label} failure {body}"
+
+    def spec(self) -> str:
+        body = ",".join(f"{u}-{v}" for u, v in self.pairs)
+        return f"srlg:{self.name}={body}" if self.name else f"srlg:{body}"
 
 
 # ----------------------------------------------------------------------
@@ -376,6 +424,9 @@ class TrafficScale(Scenario):
 
     def describe(self) -> str:
         return f"traffic scaled by {self.factor:g}x"
+
+    def spec(self) -> str:
+        return f"scale:{_spec_float(self.factor)}"
 
 
 @dataclass(frozen=True)
@@ -404,6 +455,9 @@ class HotSpotSurge(Scenario):
 
     def describe(self) -> str:
         return f"hot-spot surge at node {self.node} ({self.factor:g}x)"
+
+    def spec(self) -> str:
+        return f"surge:{self.node}x{_spec_float(self.factor)}"
 
 
 @dataclass(frozen=True)
@@ -451,6 +505,9 @@ class TrafficShift(Scenario):
             f"traffic shift {self.fraction:g} of demand to {self.src} "
             f"-> {self.dst}"
         )
+
+    def spec(self) -> str:
+        return f"shift:{self.src}>{self.dst}@{_spec_float(self.fraction)}"
 
 
 # ----------------------------------------------------------------------
@@ -505,6 +562,9 @@ class Compose(Scenario):
 
     def describe(self) -> str:
         return " + ".join(part.describe() for part in self.parts)
+
+    def spec(self) -> str:
+        return "+".join(part.spec() for part in self.parts)
 
 
 def compose(*scenarios: Scenario) -> Scenario:

@@ -12,7 +12,7 @@ Text grammar (``parse_scenario``)::
     link:0-4            one adjacency failure
     link:0-4,2-5        multi-link failure
     node:3              node failure (node:3,5 for several)
-    srlg:0-4,2-5        shared-risk link group
+    srlg:0-4,2-5        shared-risk link group (srlg:west=0-4,2-5 to name it)
     scale:1.25          both classes scaled 1.25x
     surge:3x2.0         demand to/from node 3 doubled
     shift:2>5@0.3       30% of demand destined to 2 redirected to 5
@@ -107,7 +107,10 @@ def _parse_node(arg: str) -> Scenario:
 
 
 def _parse_srlg(arg: str) -> Scenario:
-    return SrlgFailure(pairs=_parse_pairs(arg, "srlg"), name=arg)
+    name, sep, pairs_text = arg.partition("=")
+    if not sep:
+        name, pairs_text = "", arg
+    return SrlgFailure(pairs=_parse_pairs(pairs_text, "srlg"), name=name.strip())
 
 
 def _parse_scale(arg: str) -> Scenario:
@@ -182,7 +185,7 @@ for _kind in (
     ScenarioKind("node", _parse_node, _enumerate_node,
                  "node:N[,N2...] — node failure(s)"),
     ScenarioKind("srlg", _parse_srlg, _enumerate_srlg,
-                 "srlg:U-V,U2-V2 — shared-risk link group failure"),
+                 "srlg:[NAME=]U-V,U2-V2 — shared-risk link group failure"),
     ScenarioKind("scale", _parse_scale, _enumerate_scale,
                  "scale:F — both traffic classes scaled by F"),
     ScenarioKind("surge", _parse_surge, _enumerate_surge,
@@ -216,6 +219,22 @@ def parse_scenario(text: str) -> Scenario:
         except ValueError as exc:
             raise ValueError(f"scenario {part!r}: {exc} (syntax: {kind.help})") from None
     return compose(*scenarios)
+
+
+def canonical_spec(scenario) -> str:
+    """The canonical spec string of a scenario (or spec text).
+
+    Strings are parsed first, so every spelling of one scenario —
+    reordered pairs, whitespace, redundant floats — maps to one
+    canonical key: ``canonical_spec("link:2-5, 0-4")`` is
+    ``"link:0-4,2-5"``.  ``parse_scenario(canonical_spec(x))`` equals
+    ``parse_scenario(x)`` (the round-trip law of
+    ``tests/test_scenarios_spec_roundtrip.py``); the serving layer's
+    plan cache keys on this string.
+    """
+    if isinstance(scenario, str):
+        scenario = parse_scenario(scenario)
+    return scenario.spec()
 
 
 def require_enumerable(kind_name: str) -> ScenarioKind:

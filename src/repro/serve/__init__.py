@@ -1,0 +1,49 @@
+"""``repro.serve`` — the online what-if query service.
+
+Turns the offline evaluation stack into a long-running query engine
+(see ``docs/serving.md``):
+
+* :mod:`~repro.serve.pool` — :class:`SessionPool`, warm fully evaluated
+  :class:`~repro.api.Session`\\ s keyed by a canonical content hash of
+  (network, weights, traffic, cost mode), LRU-evicted and rebuilt
+  deterministically on miss;
+* :mod:`~repro.serve.scheduler` — :class:`MicroBatchScheduler`,
+  coalescing concurrent scenario queries into one sweep-engine batch
+  per session, bit-identical to direct ``session.under_scenario``;
+* :mod:`~repro.serve.cache` — :class:`PlanCache`, canonical scenario
+  spec -> encoded answer, with hit/miss metrics;
+* :mod:`~repro.serve.http` — :class:`WhatIfServer`, a stdlib threaded
+  JSON frontend (``/whatif``, ``/sweep``, ``/health``, ``/metrics``)
+  with JSONL request logging;
+* :mod:`~repro.serve.service` — :class:`ServeService`, the facade
+  binding the three together (what ``repro-dtr serve`` runs and
+  :func:`repro.api.serve_session` returns).
+
+Quickstart::
+
+    from repro.serve import ServeService, SessionSpec, WhatIfServer
+
+    service = ServeService(SessionSpec(topology="isp", utilization=0.5))
+    payload, cache_hit = service.whatif("link:0-4+surge:3x2.0")
+    server = WhatIfServer(("127.0.0.1", 8093), service)  # then serve_forever()
+"""
+
+from repro.serve.cache import PlanCache
+from repro.serve.encoding import canonical_body, sweep_payload, whatif_payload
+from repro.serve.http import WhatIfServer, serve_forever
+from repro.serve.pool import SessionPool, SessionSpec
+from repro.serve.scheduler import MicroBatchScheduler
+from repro.serve.service import ServeService
+
+__all__ = [
+    "ServeService",
+    "SessionPool",
+    "SessionSpec",
+    "MicroBatchScheduler",
+    "PlanCache",
+    "WhatIfServer",
+    "serve_forever",
+    "whatif_payload",
+    "sweep_payload",
+    "canonical_body",
+]

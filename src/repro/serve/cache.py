@@ -1,0 +1,86 @@
+"""The plan cache: canonical scenario spec -> encoded answer.
+
+Scenario queries are pure functions of ``(baseline, scenario)``: the
+session's evaluation pipeline is deterministic, so the *first* answer to
+a query is also every later answer.  The cache therefore stores the
+**encoded payload** (the JSON-safe dict of
+:func:`repro.serve.encoding.whatif_payload`), not the live result — a
+hit serves the exact bytes a fresh evaluation would have produced,
+keeping the bit-identity contract trivially true on both paths.
+
+Keys are ``(session key, canonical scenario spec)`` where the spec text
+is canonicalized through the scenario grammar
+(:func:`repro.scenarios.spec.canonical_spec`): ``"link:2-5, 0-4"`` and
+``"link:0-4,2-5"`` are one entry, so operators probing the same failure
+in different spellings share work.  Eviction is LRU; hit/miss/eviction
+counters feed ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable
+
+
+class PlanCache:
+    """A thread-safe LRU of encoded query answers.
+
+    Args:
+        capacity: Entries kept; a what-if payload is a few KB (three
+            per-link float arrays), so the default bounds the cache at a
+            few MB.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("plan cache capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._store: OrderedDict[tuple[str, str], dict] = OrderedDict()
+        self.stats = {"hits": 0, "misses": 0, "evictions": 0}
+
+    def get_or_compute(
+        self,
+        session_key: str,
+        canonical: str,
+        compute: Callable[[], dict],
+    ) -> tuple[dict, bool]:
+        """The cached payload for a canonical spec, computing on miss.
+
+        ``compute`` runs *outside* the cache lock (it holds the session
+        lock for the duration of an evaluation; nesting the cache lock
+        around it would serialize unrelated sessions behind one slow
+        query).  Two threads racing on the same cold key may therefore
+        both compute — and, determinism again, compute *equal* payloads,
+        so last-write-wins is harmless.
+
+        Returns:
+            ``(payload, hit)`` — ``hit`` feeds the request log and the
+            scheduler's counters.
+        """
+        key = (session_key, canonical)
+        with self._lock:
+            entry = self._store.get(key)
+            if entry is not None:
+                self._store.move_to_end(key)
+                self.stats["hits"] += 1
+                return entry, True
+            self.stats["misses"] += 1
+        payload = compute()
+        with self._lock:
+            self._store[key] = payload
+            self._store.move_to_end(key)
+            while len(self._store) > self.capacity:
+                self._store.popitem(last=False)
+                self.stats["evictions"] += 1
+        return payload, False
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)
+
+    def metrics(self) -> dict:
+        """Counters plus occupancy (the ``/metrics`` block)."""
+        with self._lock:
+            return {**self.stats, "size": len(self._store), "capacity": self.capacity}

@@ -1,0 +1,103 @@
+"""Deterministic JSON encoding of query answers.
+
+The serving stack's bit-identity contract is stated over *bytes*: the
+body an HTTP client receives for a scenario query must equal, byte for
+byte, the encoding of a direct :meth:`repro.api.Session.under_scenario`
+call on the same session — whether the answer came fresh from the sweep
+engine, coalesced through a micro-batch, or straight out of the plan
+cache.  That only holds if encoding is a pure function of the result, so
+it lives here, in one place, and every layer (scheduler, cache, HTTP
+handler, differential tests, benchmark) calls exactly these functions.
+
+``canonical_body`` fixes key order and separators the same way the
+campaign store's ``canonical_dumps`` does; floats rely on ``json``'s
+shortest-repr float formatting, which is deterministic for identical
+IEEE-754 values — and the evaluation pipeline produces identical values
+for identical queries (the evaluator's fixed-order row summation).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.api.queries import WhatIfResult
+from repro.scenarios.batch import SweepResult
+
+
+def canonical_body(payload: Any) -> bytes:
+    """Canonical JSON bytes of a payload: sorted keys, fixed separators."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def whatif_payload(result: WhatIfResult) -> dict:
+    """JSON-safe encoding of one what-if query answer.
+
+    Everything a client needs to act on the answer — objectives, the
+    per-link utilization shifts in intact indexing, the disconnection
+    account — without the raw evaluations (whose load arrays the deltas
+    already summarize).
+    """
+    return {
+        "kind": result.kind,
+        "scenario_kind": result.scenario_kind,
+        "description": result.description,
+        "baseline_objective": list(result.baseline_objective.values),
+        "variant_objective": list(result.variant_objective.values),
+        "primary_delta": result.primary_delta,
+        "secondary_delta": result.secondary_delta,
+        "baseline_max_utilization": result.baseline.max_utilization,
+        "variant_max_utilization": result.variant.max_utilization,
+        "max_utilization_delta": result.max_utilization_delta,
+        "utilization_delta": result.utilization_delta.tolist(),
+        "high_utilization_delta": result.high_utilization_delta.tolist(),
+        "low_utilization_delta": result.low_utilization_delta.tolist(),
+        "disconnected": result.disconnected,
+        "lost_demand": result.lost_demand,
+        "improves": result.improves,
+    }
+
+
+def sweep_payload(result: SweepResult, scenario_specs: list) -> dict:
+    """JSON-safe encoding of one batched sweep answer.
+
+    Args:
+        result: The engine's sweep result.
+        scenario_specs: Canonical spec string of each outcome's scenario,
+            aligned with ``result.outcomes`` (the request's expansion
+            order).
+    """
+    outcomes = []
+    for spec_text, outcome in zip(scenario_specs, result.outcomes):
+        objective = outcome.objective
+        outcomes.append(
+            {
+                "scenario": spec_text,
+                "kind": outcome.kind,
+                "description": outcome.description,
+                "objective": list(objective.values),
+                "max_utilization": outcome.evaluation.max_utilization,
+                "disconnected": outcome.disconnected,
+                "lost_demand": outcome.lost_demand,
+            }
+        )
+    by_class = {
+        kind: {
+            "scenarios": summary.scenarios,
+            "disconnected": summary.disconnected,
+            "worst_primary": summary.worst_primary,
+            "mean_primary": summary.mean_primary,
+            "worst_secondary": summary.worst_secondary,
+            "mean_secondary": summary.mean_secondary,
+            "worst_max_utilization": summary.worst_max_utilization,
+        }
+        for kind, summary in result.by_class().items()
+    }
+    return {
+        "baseline_objective": list(result.baseline.objective.values),
+        "baseline_max_utilization": result.baseline.max_utilization,
+        "scenarios": len(result.outcomes),
+        "disconnected_count": result.disconnected_count,
+        "outcomes": outcomes,
+        "by_class": by_class,
+    }

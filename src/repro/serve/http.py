@@ -1,0 +1,210 @@
+"""The stdlib HTTP frontend: JSON over ``ThreadingHTTPServer``.
+
+No new runtime dependencies — ``http.server`` threads per connection,
+``json`` bodies, and the service facade behind them.  Endpoints:
+
+=========  ======  ====================================================
+path       method  body / answer
+=========  ======  ====================================================
+/health    GET     liveness: ``{"status": "ok", ...}``
+/metrics   GET     pool / scheduler / plan-cache counters
+/whatif    POST    ``{"scenario": SPEC, "session": {...}?}`` ->
+                   the encoded what-if payload (plus ``"served"``)
+/sweep     POST    ``{"scenarios": [SPEC...]?, "kinds": [KIND...]?,
+                   "session": {...}?}`` -> the encoded sweep payload
+=========  ======  ====================================================
+
+Error contract: malformed JSON, unknown session-spec fields, malformed
+scenario specs, and unknown scenario kinds answer **400** with
+``{"error": msg}``, where ``msg`` is the underlying registry/grammar
+message (an unknown kind lists the registered ones, exactly like the
+CLI); unknown paths answer 404; unexpected failures answer 500.  Every
+request appends one line to the JSONL request log (when configured):
+``{"path", "status", "ms", "scenario"?, "cache_hit"?}``.
+
+Determinism: success bodies are ``canonical_body(payload)``.  For
+``/whatif`` the *payload* (everything except the transport-only
+``served`` envelope, whose ``cache_hit`` flag necessarily flips between
+first and repeated queries) is the same bytes for the same query
+forever, cache hit or miss; ``/sweep`` bodies carry no envelope and are
+byte-stable whole.  The serve-smoke CI job and the differential tests
+assert exactly this — they strip ``served`` before comparing.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.serve.encoding import canonical_body
+from repro.serve.service import ServeService
+
+MAX_BODY_BYTES = 4 * 1024 * 1024
+"""Request-body cap: a weights vector for a big network is ~10 KB; 4 MB
+rejects abuse without constraining any legitimate query."""
+
+
+class _BadRequest(ValueError):
+    """A request the client can fix (answered 400, message verbatim)."""
+
+
+class WhatIfServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`ServeService`.
+
+    Args:
+        address: ``(host, port)``; port 0 picks an ephemeral port (the
+            tests do this), readable back from ``server_address``.
+        service: The serving facade requests are answered by.
+        log_path: JSONL request log (``None`` disables logging).
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: ServeService,
+        log_path: Optional[Union[str, Path]] = None,
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+        self._log_lock = threading.Lock()
+        self._log_path = Path(log_path) if log_path else None
+
+    def log_jsonl(self, record: dict) -> None:
+        """Append one request record to the JSONL log (thread-safe)."""
+        if self._log_path is None:
+            return
+        line = json.dumps(record, sort_keys=True)
+        with self._log_lock:
+            with self._log_path.open("a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+
+    def shutdown(self) -> None:
+        super().shutdown()
+        self.service.close()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # Connection reuse keeps the closed-loop benchmark's clients cheap.
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        if self.path == "/health":
+            self._respond(200, {"status": "ok", "endpoints": ["/health", "/metrics", "/whatif", "/sweep"]})
+        elif self.path == "/metrics":
+            self._respond(200, self.server.service.metrics())
+        else:
+            self._respond(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        started = time.perf_counter()
+        extra: dict = {}
+        try:
+            body = self._read_json()
+            if self.path == "/whatif":
+                status, payload = self._whatif(body, extra)
+            elif self.path == "/sweep":
+                status, payload = self._sweep(body)
+            else:
+                status, payload = 404, {"error": f"unknown path {self.path!r}"}
+        except _BadRequest as exc:
+            status, payload = 400, {"error": str(exc)}
+        except ValueError as exc:
+            # Scenario grammar errors and registry UnknownNameError both
+            # derive from ValueError; their messages list the valid
+            # choices, so ship them verbatim.
+            status, payload = 400, {"error": str(exc)}
+        except Exception as exc:  # pragma: no cover - defensive 500 path
+            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        self._respond(
+            status,
+            payload,
+            log={
+                "path": self.path,
+                "status": status,
+                "ms": (time.perf_counter() - started) * 1e3,
+                **extra,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def _whatif(self, body: dict, extra: dict) -> tuple[int, dict]:
+        scenario = body.get("scenario")
+        if not isinstance(scenario, str) or not scenario.strip():
+            raise _BadRequest("body needs a non-empty 'scenario' spec string")
+        payload, hit = self.server.service.whatif(scenario, body.get("session"))
+        extra["scenario"] = scenario
+        extra["cache_hit"] = hit
+        return 200, {**payload, "served": {"cache_hit": hit}}
+
+    def _sweep(self, body: dict) -> tuple[int, dict]:
+        scenarios = body.get("scenarios")
+        kinds = body.get("kinds")
+        if scenarios is not None and not isinstance(scenarios, list):
+            raise _BadRequest("'scenarios' must be a list of spec strings")
+        if kinds is not None and not isinstance(kinds, list):
+            raise _BadRequest("'kinds' must be a list of scenario kinds")
+        payload = self.server.service.sweep(
+            scenarios=scenarios, kinds=kinds, session_spec=body.get("session")
+        )
+        return 200, payload
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise _BadRequest(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            body = json.loads(raw or b"{}")
+        except json.JSONDecodeError as exc:
+            raise _BadRequest(f"malformed JSON body: {exc}") from None
+        if not isinstance(body, dict):
+            raise _BadRequest("request body must be a JSON object")
+        return body
+
+    def _respond(
+        self, status: int, payload: dict, log: Optional[dict] = None
+    ) -> None:
+        body = canonical_body(payload)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        if log is not None:
+            self.server.log_jsonl(log)
+
+    def log_message(self, format: str, *args) -> None:
+        """Silence the default stderr access log (JSONL replaces it)."""
+
+
+def serve_forever(
+    service: ServeService,
+    host: str = "127.0.0.1",
+    port: int = 8093,
+    log_path: Optional[Union[str, Path]] = None,
+) -> None:
+    """Run a server until interrupted (the ``repro-dtr serve`` body)."""
+    server = WhatIfServer((host, port), service, log_path=log_path)
+    bound = server.server_address
+    print(f"serving what-if queries on http://{bound[0]}:{bound[1]}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()

@@ -312,3 +312,87 @@ class TestCampaignCommand:
             ["campaign", "run", "--out", str(out), "--spec", str(spec_file), "--quiet"]
         ) == 0
         assert "1 executed" in capsys.readouterr().out
+
+
+class TestServeAndQuery:
+    """The online-service subcommands and the shared exit-2 contract."""
+
+    @pytest.fixture()
+    def live_server(self):
+        import threading
+
+        from repro.serve import ServeService, SessionSpec, WhatIfServer
+
+        service = ServeService(SessionSpec(topology="isp", utilization=0.5))
+        server = WhatIfServer(("127.0.0.1", 0), service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield "http://127.0.0.1:%d" % server.server_address[1]
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+    def test_unknown_subcommand_exits_2_with_listing(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["frobnicate"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice" in err
+        assert "query" in err and "serve" in err and "whatif" in err
+
+    def test_query_malformed_scenario_exits_2_with_registry_listing(self, capsys):
+        # Validated locally: exits 2 before any network traffic.
+        assert main(["query", "--scenario", "bogus:1"]) == 2
+        err = capsys.readouterr().err
+        assert "registered scenario kind names" in err
+        assert "link" in err and "srlg" in err
+
+    def test_query_bad_syntax_exits_2(self, capsys):
+        assert main(["query", "--scenario", "link:zap"]) == 2
+        assert "syntax" in capsys.readouterr().err
+
+    def test_query_unknown_sweep_kind_exits_2(self, capsys):
+        assert main(["query", "--sweep", "nope"]) == 2
+        assert "registered scenario kind names" in capsys.readouterr().err
+
+    def test_query_unenumerable_sweep_kind_exits_2_locally(self, capsys):
+        # 'shift' is registered but has no sweep grid; validation stays
+        # local (no server involved) and lists the enumerable kinds.
+        assert main(["query", "--sweep", "shift"]) == 2
+        assert "no sweep grid" in capsys.readouterr().err
+
+    def test_query_unreachable_server_exits_1(self, capsys):
+        assert main(
+            ["query", "--url", "http://127.0.0.1:1", "--scenario", "node:3"]
+        ) == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_query_whatif_against_live_server(self, live_server, capsys):
+        assert main(
+            ["query", "--url", live_server, "--scenario", "node:3"]
+        ) == 0
+        printed = capsys.readouterr().out
+        assert "what-if [scenario] node failure 3" in printed
+        assert "cache_hit=False" in printed
+        # The repeat is answered from the plan cache.
+        assert main(
+            ["query", "--url", live_server, "--scenario", "node: 3"]
+        ) == 0
+        assert "cache_hit=True" in capsys.readouterr().out
+
+    def test_query_sweep_and_metrics_against_live_server(self, live_server, capsys):
+        assert main(["query", "--url", live_server, "--sweep", "link"]) == 0
+        printed = capsys.readouterr().out
+        assert "sweep: 35 scenarios" in printed
+        assert "worst max utilization" in printed
+        assert main(["query", "--url", live_server, "--metrics"]) == 0
+        metrics = json.loads(capsys.readouterr().out)
+        assert set(metrics) == {"pool", "scheduler", "plan_cache"}
+
+    def test_serve_rejects_bad_weights_file(self, tmp_path, capsys):
+        weights = tmp_path / "weights.json"
+        weights.write_text("{not json")
+        assert main(
+            ["serve", "--topology", "isp", "--weights", str(weights)]
+        ) == 2
+        assert "error" in capsys.readouterr().err

@@ -26,6 +26,9 @@ def test_all_exports_resolve():
         "repro.core",
         "repro.queueing",
         "repro.eval",
+        "repro.api",
+        "repro.scenarios",
+        "repro.serve",
     ],
 )
 def test_subpackage_all_exports_resolve(module):

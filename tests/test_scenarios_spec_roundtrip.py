@@ -1,0 +1,136 @@
+"""Round-trip law of the scenario spec grammar.
+
+``parse_scenario(s.spec()) == s`` for every registered kind and for
+compositions — the contract the serving layer's plan cache rests on
+(:func:`repro.scenarios.spec.canonical_spec` keys cache entries, so a
+spec string that failed to round-trip would split or alias entries).
+The hypothesis strategies generate scenarios through the same value
+space the grammar covers; float factors are arbitrary (``repr`` floats
+survive ``float()`` exactly), not just powers of two.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.network.topology_isp import isp_topology
+from repro.scenarios import (
+    HotSpotSurge,
+    LinkFailure,
+    NodeFailure,
+    SrlgFailure,
+    TrafficScale,
+    TrafficShift,
+    available_scenario_kinds,
+    canonical_spec,
+    compose,
+    enumerate_scenarios,
+    parse_scenario,
+)
+
+NET = isp_topology()
+PAIRS = NET.duplex_pairs()
+
+NODES = st.integers(min_value=0, max_value=NET.num_nodes - 1)
+# The full non-negative float range, including values whose repr uses
+# exponent notation (1e+16 and beyond) — spec() must emit them without
+# the '+' that would collide with the composition separator.
+FACTORS = st.floats(min_value=0.0, allow_nan=False, allow_infinity=False)
+NAMES = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789_-", min_size=0, max_size=8
+)
+
+link_failures = st.lists(
+    st.sampled_from(PAIRS), min_size=1, max_size=3, unique=True
+).map(lambda pairs: LinkFailure(pairs=tuple(pairs)))
+node_failures = st.lists(NODES, min_size=1, max_size=3, unique=True).map(
+    lambda nodes: NodeFailure(nodes=tuple(nodes))
+)
+srlg_failures = st.tuples(
+    st.lists(st.sampled_from(PAIRS), min_size=2, max_size=3, unique=True), NAMES
+).map(lambda t: SrlgFailure(pairs=tuple(t[0]), name=t[1]))
+scales = FACTORS.map(lambda f: TrafficScale(factor=f))
+surges = st.tuples(NODES, FACTORS).map(
+    lambda t: HotSpotSurge(node=t[0], factor=t[1])
+)
+shifts = st.tuples(
+    NODES, NODES, st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+).filter(lambda t: t[0] != t[1]).map(
+    lambda t: TrafficShift(src=t[0], dst=t[1], fraction=t[2])
+)
+atoms = st.one_of(
+    link_failures, node_failures, srlg_failures, scales, surges, shifts
+)
+compositions = st.lists(atoms, min_size=2, max_size=4).map(
+    lambda parts: compose(*parts)
+)
+
+
+@given(s=atoms)
+def test_atomic_round_trip(s):
+    assert parse_scenario(s.spec()) == s
+    assert str(s) == s.spec()
+
+
+@given(s=compositions)
+def test_composition_round_trip(s):
+    assert parse_scenario(s.spec()) == s
+
+
+@given(s=st.one_of(atoms, compositions))
+def test_canonical_spec_is_idempotent(s):
+    text = s.spec()
+    assert canonical_spec(text) == text
+    assert canonical_spec(s) == text
+
+
+def test_every_registered_kind_is_covered():
+    """The strategy set must not silently lag the registry."""
+    covered = {"link", "node", "srlg", "scale", "surge", "shift"}
+    assert set(available_scenario_kinds()) == covered
+
+
+@pytest.mark.parametrize("kind", ["link", "node", "srlg", "scale", "surge"])
+def test_enumerated_grids_round_trip(kind):
+    """Every sweep-grid instance of every enumerable kind round-trips."""
+    for scenario in enumerate_scenarios(NET, kind):
+        assert parse_scenario(scenario.spec()) == scenario
+
+
+def test_spelling_variants_share_one_canonical_form():
+    """Reordered pairs, whitespace, and float spellings all normalize."""
+    assert canonical_spec("link:2-5 , 0-4") == "link:0-4,2-5"
+    assert canonical_spec("srlg:2-5,0-4") == "srlg:0-4,2-5"
+    assert canonical_spec("srlg:west=2-5,0-4") == "srlg:west=0-4,2-5"
+    assert canonical_spec("surge:3x2") == canonical_spec("surge:3x2.0")
+    assert canonical_spec("link:4-0 + surge:3x2") == "link:0-4+surge:3x2.0"
+    # Composition *order* is semantic (traffic transforms chain), so the
+    # canonical form preserves it rather than sorting parts.
+    assert canonical_spec("surge:3x2+link:0-4") == "surge:3x2.0+link:0-4"
+
+
+def test_named_srlg_round_trips_through_the_grammar():
+    s = SrlgFailure(pairs=((0, 4), (2, 5)), name="west")
+    assert s.spec() == "srlg:west=0-4,2-5"
+    assert parse_scenario(s.spec()) == s
+    # Unnamed parse no longer bakes the raw text into the name.
+    assert parse_scenario("srlg:0-4,2-5").name == ""
+
+
+def test_srlg_names_with_grammar_metacharacters_are_rejected():
+    """A name embedding '=', '+', ',' or spaces could never round-trip
+    through the spec grammar, so construction refuses it outright."""
+    for bad in ("a=b", "a+b", "a,b", "a b", " west "):
+        with pytest.raises(ValueError, match="srlg name"):
+            SrlgFailure(pairs=((0, 4),), name=bad)
+
+
+def test_large_float_factors_round_trip():
+    """repr's exponent '+' (1e+16) must not leak into spec strings."""
+    s = TrafficScale(factor=1e16)
+    assert "+" not in s.spec()
+    assert parse_scenario(s.spec()) == s
+    composed = compose(TrafficScale(factor=1e16), HotSpotSurge(node=3, factor=3e22))
+    assert parse_scenario(composed.spec()) == composed

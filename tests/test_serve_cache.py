@@ -1,0 +1,86 @@
+"""Plan cache: canonical keying, LRU eviction, hit/miss metrics."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.scenarios.spec import canonical_spec
+from repro.serve.cache import PlanCache
+
+
+def _compute_counter(payload):
+    calls = {"n": 0}
+
+    def compute():
+        calls["n"] += 1
+        return payload
+
+    return compute, calls
+
+
+def test_get_or_compute_computes_once_per_key():
+    cache = PlanCache()
+    compute, calls = _compute_counter({"x": 1})
+    first, hit1 = cache.get_or_compute("s", "link:0-4", compute)
+    again, hit2 = cache.get_or_compute("s", "link:0-4", compute)
+    assert (hit1, hit2) == (False, True)
+    assert first == again == {"x": 1}
+    assert calls["n"] == 1
+    assert cache.metrics() == {
+        "hits": 1, "misses": 1, "evictions": 0, "size": 1, "capacity": 1024,
+    }
+
+
+def test_spelling_variants_hit_one_entry():
+    """The scheduler canonicalizes before keying; variants collapse."""
+    cache = PlanCache()
+    compute, calls = _compute_counter({"x": 1})
+    for text in ("link:0-4,2-5", "link:2-5, 0-4", " link:2-5,0-4 "):
+        cache.get_or_compute("s", canonical_spec(text), compute)
+    assert calls["n"] == 1
+    assert len(cache) == 1
+
+
+def test_session_keys_partition_the_cache():
+    cache = PlanCache()
+    cache.get_or_compute("a", "node:3", lambda: {"v": "a"})
+    payload, hit = cache.get_or_compute("b", "node:3", lambda: {"v": "b"})
+    assert not hit and payload == {"v": "b"}
+    assert len(cache) == 2
+
+
+def test_lru_eviction():
+    cache = PlanCache(capacity=2)
+    cache.get_or_compute("s", "node:1", lambda: {})
+    cache.get_or_compute("s", "node:2", lambda: {})
+    cache.get_or_compute("s", "node:1", lambda: {})  # refresh 1
+    cache.get_or_compute("s", "node:3", lambda: {})  # evicts 2
+    assert cache.metrics()["evictions"] == 1
+    _, hit = cache.get_or_compute("s", "node:1", lambda: {})
+    assert hit
+    _, hit = cache.get_or_compute("s", "node:2", lambda: {})
+    assert not hit
+
+
+def test_concurrent_cold_misses_converge():
+    """Races on one cold key are harmless: equal payloads, last write wins."""
+    cache = PlanCache()
+    barrier = threading.Barrier(4)
+    results = []
+
+    def worker():
+        def compute():
+            barrier.wait()  # force all four to miss together
+            return {"v": 42}
+
+        results.append(cache.get_or_compute("s", "node:3", compute))
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert all(payload == {"v": 42} for payload, _hit in results)
+    assert len(cache) == 1
+    _, hit = cache.get_or_compute("s", "node:3", lambda: {"v": 42})
+    assert hit
