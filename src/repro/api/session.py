@@ -498,6 +498,37 @@ class Session:
         """
         return self._scenario_engine().sweep(scenarios)
 
+    def sweep_space(self, space, **kwargs):
+        """Streamed robustness aggregation over a combinatorial space.
+
+        Enumerates the space lazily through the session's sweep engine
+        with dominance pruning, folding every outcome into a streaming
+        percentile/CVaR/worst-case aggregate — "all 2-link failures" in
+        one call without materializing the scenario list (see
+        :func:`repro.scenarios.sweep_scenario_space`).
+
+        Args:
+            space: A :class:`~repro.scenarios.ScenarioSpace` or a spec
+                string such as ``"space:all-link-2"`` (see
+                :func:`repro.scenarios.parse_space`).
+            **kwargs: Passed through (``prune``, ``percentiles``,
+                ``cvar_alpha``, ...).  Unless overridden, scenarios are
+                scored through the session's cost model, matching
+                :meth:`under_scenario` / :meth:`sweep` scoring.
+
+        Returns:
+            A :class:`~repro.scenarios.SpaceSweepResult`.
+        """
+        engine = self._scenario_engine()
+        if "score" not in kwargs:
+
+            def score(evaluation, network):
+                objective = self.cost_model.objective(evaluation, network)
+                return float(objective.primary), float(objective.secondary)
+
+            kwargs["score"] = score
+        return engine.sweep_space(space, **kwargs)
+
     def _scenario_engine(self) -> "SweepEngine":
         """The (cached) sweep engine bound to the current baseline."""
         from repro.scenarios.batch import SweepEngine

@@ -13,14 +13,17 @@ Subcommands::
     repro-dtr whatif    --topology isp --traffic-scale 1.2
     repro-dtr whatif    --topology isp --scenario node:3
     repro-dtr whatif    --topology isp --scenario link:0-4+surge:3x2.0
+    repro-dtr sweep     --topology isp --space space:all-link-2 [--no-prune]
     repro-dtr campaign run       --out DIR [--spec spec.json] [--workers 4] ...
     repro-dtr campaign run       --out DIR --scenarios link node srlg ...
+    repro-dtr campaign run       --out DIR --spaces space:all-link-2 ...
     repro-dtr campaign status    --out DIR
     repro-dtr campaign aggregate --out DIR [--json agg.json]
     repro-dtr serve     --port 8093 --topology isp --utilization 0.5 \
                         [--log serve.jsonl] [--pool-size 4] [--window-ms 5]
     repro-dtr query     --url http://127.0.0.1:8093 --scenario node:3
     repro-dtr query     --url ... --sweep link node [--metrics]
+    repro-dtr query     --url ... --space space:all-link-2
 
 ``figure`` accepts: fig2a..fig2f, fig3a..fig3c, fig4, fig5a, fig5b, fig6,
 fig7, fig8a, fig8b, fig9, table1.  ``compare`` evaluates neighbor moves
@@ -35,6 +38,12 @@ traffic surges and shifts; see :mod:`repro.scenarios`) — against a
 baseline weight setting (``--weights`` JSON, or hop-count weights by
 default) without a full re-evaluation; an unknown scenario kind lists
 the registered ones, exactly like an unknown strategy.
+``sweep`` streams a whole combinatorial scenario space
+(:mod:`repro.scenarios.spaces`) through the dominance-pruned lazy
+sweeper and prints the streaming robustness aggregate — worst case,
+mean, percentiles, CVaR — without ever materializing the space; an
+unknown or malformed ``--space`` exits 2 listing the registered space
+names, exactly like an unknown scenario kind.
 ``campaign`` expands a declarative sweep spec into experiment configs,
 fans them out across a worker pool into a content-addressed result
 store, and aggregates the stored records; re-running a partially
@@ -189,6 +198,33 @@ def build_parser() -> argparse.ArgumentParser:
                      help="which class's weight vector the move applies to "
                           "(default: both)")
 
+    swp = sub.add_parser(
+        "sweep",
+        help="stream a combinatorial scenario space and print its "
+             "robustness aggregate",
+    )
+    swp.add_argument("--topology", choices=["random", "powerlaw", "isp"], default="random")
+    swp.add_argument("--mode", choices=[LOAD_MODE, SLA_MODE], default=LOAD_MODE)
+    swp.add_argument("--utilization", type=float, default=0.6)
+    swp.add_argument("--fraction", type=float, default=0.30)
+    swp.add_argument("--density", type=float, default=0.10)
+    swp.add_argument("--seed", type=int, default=1)
+    swp.add_argument(
+        "--weights", default=None,
+        help="baseline weights JSON: a list (both classes) or "
+             '{"high": [...], "low": [...]}; hop-count weights if omitted',
+    )
+    swp.add_argument(
+        "--space", required=True, metavar="SPEC",
+        help="scenario-space spec, e.g. space:all-link-2, space:all-node, "
+             "space:srlg-closure, space:surge-sample:n=64:seed=7; an "
+             "unknown name exits 2 listing the registered spaces",
+    )
+    swp.add_argument(
+        "--no-prune", dest="prune", action="store_false", default=True,
+        help="disable dominance pruning (evaluate every scenario)",
+    )
+
     camp = sub.add_parser(
         "campaign", help="run, inspect, or aggregate an experiment campaign"
     )
@@ -216,6 +252,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="scenario kinds to sweep per record (link, node, "
                             "srlg, surge, scale); an unknown kind lists the "
                             "registered ones")
+    run_p.add_argument("--spaces", nargs="+", default=[], metavar="SPEC",
+                       help="scenario spaces to stream per record (e.g. "
+                            "space:all-link-2); only the streaming aggregate "
+                            "is stored")
     run_p.add_argument("--quiet", action="store_true", help="suppress per-config lines")
 
     status_p = camp_sub.add_parser("status", help="completion state of a store")
@@ -260,6 +300,10 @@ def build_parser() -> argparse.ArgumentParser:
                            "listing the registered ones")
     what.add_argument("--sweep", nargs="+", default=None, metavar="KIND",
                       help="sweep whole scenario kinds (link, node, srlg, ...)")
+    what.add_argument("--space", default=None, metavar="SPEC",
+                      help="stream a scenario space server-side (e.g. "
+                           "space:all-link-2); the answer is its streaming "
+                           "robustness aggregate")
     what.add_argument("--metrics", action="store_true",
                       help="print the server's /metrics counters")
     return parser
@@ -426,6 +470,34 @@ def _run_whatif(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_sweep(args: argparse.Namespace) -> int:
+    from repro.eval.robustness import space_sweep_session
+    from repro.routing.weights import unit_weights
+    from repro.scenarios.spec import parse_space
+
+    try:
+        # Validate the space spec before paying for a session build.
+        space = parse_space(args.space)
+    except ValueError as exc:
+        return _usage_error(exc)
+    try:
+        session, _config = _session_from_args(args)
+        if args.weights:
+            with open(args.weights) as handle:
+                data = json.load(handle)
+            if isinstance(data, dict):
+                session.set_weights(data["high"], data.get("low"))
+            else:
+                session.set_weights(data)
+        else:
+            session.set_weights(unit_weights(session.network.num_links))
+        report = space_sweep_session(session, space, prune=args.prune)
+    except (KeyError, OSError, ValueError) as exc:
+        return _usage_error(exc)
+    print(report.format())
+    return 0
+
+
 def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
     if args.spec:
         with open(args.spec) as handle:
@@ -440,6 +512,7 @@ def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
         scale=args.scale,
         failure_scenarios=args.failures,
         scenario_kinds=tuple(args.scenarios),
+        scenario_spaces=tuple(args.spaces),
     )
 
 
@@ -538,19 +611,25 @@ def _http_json(url: str, payload: Optional[dict] = None) -> dict:
 def _run_query(args: argparse.Namespace) -> int:
     from urllib.error import HTTPError, URLError
 
-    from repro.scenarios.spec import canonical_spec, require_enumerable
+    from repro.scenarios.spec import (
+        canonical_space_spec,
+        canonical_spec,
+        require_enumerable,
+    )
 
     base = args.url.rstrip("/")
     try:
-        # Validate locally first: malformed specs, unknown kinds, and
-        # kinds without a sweep grid (e.g. shift) exit 2 with the
-        # registry listing without any network traffic.
+        # Validate locally first: malformed specs, unknown kinds or
+        # spaces, and kinds without a sweep grid (e.g. shift) exit 2
+        # with the registry listing without any network traffic.
         if args.scenario is not None:
             request = ("/whatif", {"scenario": canonical_spec(args.scenario)})
         elif args.sweep is not None:
             for kind in args.sweep:
                 require_enumerable(kind)
             request = ("/sweep", {"kinds": list(args.sweep)})
+        elif args.space is not None:
+            request = ("/sweep", {"space": canonical_space_spec(args.space)})
         else:
             request = ("/metrics", None)
     except ValueError as exc:
@@ -591,6 +670,21 @@ def _run_query(args: argparse.Namespace) -> int:
             f"({answer['max_utilization_delta']:+.4f})"
         )
         print(f"  served: cache_hit={answer['served']['cache_hit']}")
+    elif args.space is not None:
+        print(
+            f"space {answer['space']}: {answer['scenarios']} scenarios, "
+            f"{answer['evaluated']} evaluated, {answer['pruned']} pruned, "
+            f"{answer['disconnected']} disconnected"
+        )
+        for metric in ("primary", "secondary", "max_utilization"):
+            summary = answer[metric]
+            levels = " ".join(
+                f"p{level:g}={value:.4f}" for level, value in summary["percentiles"]
+            )
+            print(
+                f"  {metric:>15}: worst={summary['worst']:.4f} "
+                f"mean={summary['mean']:.4f} {levels} cvar={summary['cvar']:.4f}"
+            )
     else:
         print(
             f"sweep: {answer['scenarios']} scenarios, "
@@ -619,6 +713,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_optimize(args)
     if args.command == "whatif":
         return _run_whatif(args)
+    if args.command == "sweep":
+        return _run_sweep(args)
     if args.command == "serve":
         return _run_serve(args)
     if args.command == "query":

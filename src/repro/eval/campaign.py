@@ -79,6 +79,11 @@ class CampaignSpec:
     :mod:`repro.scenarios`) expands to its deterministic scenario grid
     over the record's topology, and the per-class degradation summary
     of both the STR and DTR settings lands in the record.
+    ``scenario_spaces`` goes further still: each spec (e.g.
+    ``"space:all-link-2"``) names a combinatorial scenario space that is
+    swept lazily with dominance pruning, and only its streaming
+    aggregate (worst / mean / percentiles / CVaR) lands in the record —
+    the space itself is never materialized.
     """
 
     topologies: tuple[str, ...] = ("random",)
@@ -94,10 +99,12 @@ class CampaignSpec:
     scale: float = 1.0
     failure_scenarios: bool = False
     scenario_kinds: tuple[str, ...] = ()
+    scenario_spaces: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         # Normalize sequences to tuples so specs hash and compare by value
         # regardless of whether they were built from JSON lists.
+        allowed_empty = ("relaxation_epsilons", "scenario_kinds", "scenario_spaces")
         for name in (
             "topologies",
             "modes",
@@ -107,9 +114,10 @@ class CampaignSpec:
             "seeds",
             "relaxation_epsilons",
             "scenario_kinds",
+            "scenario_spaces",
         ):
             value = tuple(getattr(self, name))
-            if name not in ("relaxation_epsilons", "scenario_kinds") and not value:
+            if name not in allowed_empty and not value:
                 raise ValueError(f"{name} must be non-empty")
             object.__setattr__(self, name, value)
         if self.scale <= 0:
@@ -122,6 +130,17 @@ class CampaignSpec:
 
             for kind_name in self.scenario_kinds:
                 require_enumerable(kind_name)
+        if self.scenario_spaces:
+            # Same fail-fast contract for space specs: normalize each to
+            # its canonical spelling (raises with the registered space
+            # names or the kind's syntax help on a bad spec).
+            from repro.scenarios.spec import canonical_space_spec
+
+            object.__setattr__(
+                self,
+                "scenario_spaces",
+                tuple(canonical_space_spec(s) for s in self.scenario_spaces),
+            )
 
     def expand(self) -> list[ExperimentConfig]:
         """The sweep's configs, in deterministic nesting order."""
@@ -194,6 +213,7 @@ def build_record(
     result: ComparisonResult,
     robustness: Optional[dict] = None,
     scenarios: Optional[dict] = None,
+    spaces: Optional[dict] = None,
 ) -> dict:
     """One campaign record: the config plus everything aggregation needs.
 
@@ -237,6 +257,8 @@ def build_record(
         record["robustness"] = robustness
     if scenarios is not None:
         record["scenarios"] = scenarios
+    if spaces is not None:
+        record["scenario_spaces"] = spaces
     return record
 
 
@@ -307,6 +329,53 @@ def _scenario_robustness(
                 for kind, s in report.by_class().items()
             },
         }
+    return summaries
+
+
+def _space_robustness(
+    config: ExperimentConfig,
+    result: ComparisonResult,
+    scenario_spaces: Sequence[str],
+) -> dict:
+    """Streaming scenario-space aggregates of the STR and DTR settings.
+
+    One dominance-pruned lazy sweep per (setting, space); only the
+    streaming aggregate lands in the record, so record size is
+    independent of how many scenarios each space enumerates.
+    """
+    from repro.api.session import Session
+    from repro.eval.robustness import space_sweep_session
+
+    net = build_network(config.topology, config.seed)
+    summaries: dict[str, Any] = {"spaces": sorted(scenario_spaces)}
+    for label, high_w, low_w in (
+        ("str", result.str_result.weights, result.str_result.weights),
+        ("dtr", result.dtr_result.high_weights, result.dtr_result.low_weights),
+    ):
+        session = Session(
+            net, result.high_traffic, result.low_traffic, cost_model="load"
+        )
+        session.set_weights(high_w, low_w)
+        by_space = {}
+        for spec in sorted(scenario_spaces):
+            report = space_sweep_session(session, spec)
+            sweep = report.result
+            aggregate = sweep.aggregate
+            by_space[spec] = {
+                "scenarios": sweep.scenarios,
+                "evaluated": sweep.evaluated,
+                "pruned": sweep.pruned,
+                "disconnected": sweep.disconnected,
+                "baseline_primary": sweep.baseline_primary,
+                "baseline_secondary": sweep.baseline_secondary,
+                "worst_primary": aggregate.primary.worst,
+                "worst_secondary": aggregate.secondary.worst,
+                "mean_secondary": aggregate.secondary.mean,
+                "cvar_secondary": aggregate.secondary.cvar,
+                "worst_max_utilization": aggregate.max_utilization.worst,
+                "degradation_factor": report.degradation_factor(),
+            }
+        summaries[label] = by_space
     return summaries
 
 
@@ -489,6 +558,7 @@ def _execute_config(
     heartbeats: bool,
     failure_scenarios: bool,
     scenario_kinds: Sequence[str] = (),
+    scenario_spaces: Sequence[str] = (),
 ) -> str:
     """Run one config and store its record; the multiprocessing task body.
 
@@ -517,9 +587,16 @@ def _execute_config(
         if scenario_kinds
         else None
     )
+    spaces = (
+        _space_robustness(config, result, scenario_spaces)
+        if scenario_spaces
+        else None
+    )
     store.write_record(
         key,
-        build_record(config, result, robustness=robustness, scenarios=scenarios),
+        build_record(
+            config, result, robustness=robustness, scenarios=scenarios, spaces=spaces
+        ),
     )
     store.clear_heartbeat(key)
     return key
@@ -575,17 +652,20 @@ def run_campaign(
 
     failures = spec.failure_scenarios
     kinds = list(spec.scenario_kinds)
+    space_specs = list(spec.scenario_spaces)
     if workers <= 1 or len(pending) <= 1:
         for key, config_data in pending:
             if progress is not None:
                 progress("run", key)
-            _execute_config(str(store.root), config_data, heartbeats, failures, kinds)
+            _execute_config(
+                str(store.root), config_data, heartbeats, failures, kinds, space_specs
+            )
             if progress is not None:
                 progress("done", key)
     else:
         ctx = multiprocessing.get_context("spawn")
         tasks = [
-            (str(store.root), config_data, heartbeats, failures, kinds)
+            (str(store.root), config_data, heartbeats, failures, kinds, space_specs)
             for _, config_data in pending
         ]
         if progress is not None:
@@ -605,7 +685,7 @@ def run_campaign(
     )
 
 
-def _execute_star(task: tuple[str, dict, bool, bool, list]) -> str:
+def _execute_star(task: tuple[str, dict, bool, bool, list, list]) -> str:
     return _execute_config(*task)
 
 

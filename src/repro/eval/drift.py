@@ -6,19 +6,27 @@ re-optimizing on every traffic shift — so it matters how well weights
 tuned at one load level hold up when traffic drifts.  This module
 evaluates fixed STR/DTR weight settings across scaled versions of the
 traffic they were optimized for.
+
+A drift sweep is a scenario sweep: each scale is a
+:class:`~repro.scenarios.TrafficScale` scenario, and the whole sweep
+rides :meth:`repro.api.Session.sweep` — the identity projection keeps
+the baseline routings shared across every point, exactly the
+one-routing-many-matrices structure the original direct implementation
+hand-rolled, now with the engine's bit-identity contract behind it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
-import numpy as np
-
-from repro.costs.load_cost import evaluate_load_cost
 from repro.network.graph import Network
-from repro.routing.state import Routing
 from repro.traffic.matrix import TrafficMatrix
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.api.session import Session
+
+DEFAULT_SCALES = (0.8, 0.9, 1.0, 1.1, 1.2)
 
 
 @dataclass(frozen=True)
@@ -60,15 +68,64 @@ class DriftReport:
         return max(values) / min(values)
 
 
+def _validate_scales(scales: Sequence[float]) -> None:
+    if not scales:
+        raise ValueError("need at least one scale")
+    if any(s <= 0 for s in scales):
+        raise ValueError("scales must be positive")
+
+
+def drift_sweep_session(
+    session: "Session", scales: Sequence[float] = DEFAULT_SCALES
+) -> DriftReport:
+    """Evaluate a session's baseline weights across scaled traffic.
+
+    One batched :meth:`~repro.api.Session.sweep` of
+    :class:`~repro.scenarios.TrafficScale` scenarios: traffic-only
+    scenarios share the baseline routings (identity projection), so the
+    sweep prices each scale with a costing pass instead of a rebuild.
+
+    Args:
+        session: A session with a pinned baseline weight setting.
+        scales: Multipliers applied to both matrices.
+
+    Returns:
+        A :class:`DriftReport` with one point per scale, in input order.
+
+    Raises:
+        ValueError: on an empty or non-positive scale list.
+    """
+    from repro.scenarios.algebra import TrafficScale
+
+    _validate_scales(scales)
+    result = session.sweep(
+        [TrafficScale(factor=float(scale)) for scale in scales]
+    )
+    return DriftReport(
+        points=tuple(
+            DriftPoint(
+                scale=float(scale),
+                phi_high=outcome.evaluation.phi_high,
+                phi_low=outcome.evaluation.phi_low,
+                max_utilization=outcome.evaluation.max_utilization,
+            )
+            for scale, outcome in zip(scales, result.outcomes)
+        )
+    )
+
+
 def drift_sweep(
     net: Network,
     high_weights: Sequence[int],
     low_weights: Sequence[int],
     high_traffic: TrafficMatrix,
     low_traffic: TrafficMatrix,
-    scales: Sequence[float] = (0.8, 0.9, 1.0, 1.1, 1.2),
+    scales: Sequence[float] = DEFAULT_SCALES,
 ) -> DriftReport:
     """Evaluate fixed weights across jointly scaled traffic matrices.
+
+    Legacy entry point: builds a load-mode :class:`~repro.api.Session`
+    around the inputs and delegates to :func:`drift_sweep_session`.
 
     Args:
         net: The network.
@@ -84,30 +141,9 @@ def drift_sweep(
     Raises:
         ValueError: on an empty or non-positive scale list.
     """
-    if not scales:
-        raise ValueError("need at least one scale")
-    if any(s <= 0 for s in scales):
-        raise ValueError("scales must be positive")
-    wh = np.asarray(high_weights)
-    wl = np.asarray(low_weights)
-    high_routing = Routing(net, wh)
-    low_routing = high_routing if np.array_equal(wh, wl) else Routing(net, wl)
+    from repro.api.session import Session
 
-    points = []
-    for scale in scales:
-        evaluation = evaluate_load_cost(
-            net,
-            high_routing,
-            low_routing,
-            high_traffic.scaled(float(scale)),
-            low_traffic.scaled(float(scale)),
-        )
-        points.append(
-            DriftPoint(
-                scale=float(scale),
-                phi_high=evaluation.phi_high,
-                phi_low=evaluation.phi_low,
-                max_utilization=evaluation.max_utilization,
-            )
-        )
-    return DriftReport(points=tuple(points))
+    _validate_scales(scales)
+    session = Session(net, high_traffic, low_traffic, cost_model="load")
+    session.set_weights(high_weights, low_weights)
+    return drift_sweep_session(session, scales)

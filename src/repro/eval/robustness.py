@@ -35,6 +35,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.api.session import Session
     from repro.scenarios.algebra import Scenario
     from repro.scenarios.batch import SweepResult
+    from repro.scenarios.spaces import SpaceSweepResult
 
 
 @dataclass(frozen=True)
@@ -309,3 +310,75 @@ def scenario_sweep_session(
         classes=classes,
         sweep=result,
     )
+
+
+# ----------------------------------------------------------------------
+# Combinatorial space sweeps (streamed aggregation)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SpaceRobustnessReport:
+    """Degradation of one weight setting across a combinatorial space.
+
+    The space-sweep counterpart of :class:`ScenarioRobustnessReport`:
+    instead of per-outcome rows it carries the streamed
+    percentile/CVaR/worst-case aggregate — the space ("all 2-link
+    failures") is never materialized.  Scored through the session's
+    cost model like every other robustness report.
+    """
+
+    result: "SpaceSweepResult"
+
+    @property
+    def space(self) -> str:
+        return self.result.space
+
+    @property
+    def aggregate(self):
+        return self.result.aggregate
+
+    def degradation_factor(self) -> float:
+        """Worst secondary cost over the baseline secondary cost."""
+        if self.result.baseline_secondary <= 0:
+            return 1.0
+        return (
+            self.result.aggregate.secondary.worst
+            / self.result.baseline_secondary
+        )
+
+    def format(self) -> str:
+        """A compact aggregate table (CLI reports)."""
+        r = self.result
+        lines = [
+            f"space sweep {r.space} — {r.scenarios} scenarios "
+            f"({r.evaluated} evaluated, {r.pruned} pruned, "
+            f"{r.disconnected} disconnected), "
+            f"baseline <{r.baseline_primary:.4g}, {r.baseline_secondary:.4g}>"
+        ]
+        for label, metric in (
+            ("primary", r.aggregate.primary),
+            ("secondary", r.aggregate.secondary),
+            ("max_util", r.aggregate.max_utilization),
+        ):
+            pct = " ".join(
+                f"p{level:g}={value:.4g}" for level, value in metric.percentiles
+            )
+            lines.append(
+                f"  {label:9} worst={metric.worst:.4g} mean={metric.mean:.4g} "
+                f"{pct} cvar={metric.cvar:.4g}"
+            )
+        return "\n".join(lines)
+
+
+def space_sweep_session(
+    session: "Session", space, **kwargs
+) -> SpaceRobustnessReport:
+    """Stream a combinatorial scenario space and fold robustness metrics.
+
+    Args:
+        session: A session with a pinned baseline weight setting.
+        space: A :class:`~repro.scenarios.ScenarioSpace` or a spec string
+            such as ``"space:all-link-2"``.
+        **kwargs: Passed to :meth:`repro.api.Session.sweep_space`
+            (``prune``, ``percentiles``, ``cvar_alpha``, ...).
+    """
+    return SpaceRobustnessReport(result=session.sweep_space(space, **kwargs))

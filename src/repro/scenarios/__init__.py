@@ -53,13 +53,36 @@ from repro.scenarios.batch import (
 from repro.scenarios.projection import TopologyProjection, project_topology
 from repro.scenarios.spec import (
     SCENARIO_KINDS,
+    SPACE_KINDS,
     ScenarioKind,
     ScenarioSet,
+    SpaceKind,
     available_scenario_kinds,
+    available_space_kinds,
+    canonical_space_spec,
     canonical_spec,
     enumerate_scenarios,
     parse_scenario,
+    parse_space,
     register_scenario_kind,
+    register_space_kind,
+)
+from repro.scenarios.aggregate import (
+    MetricAggregate,
+    SpaceAggregate,
+    StreamingAggregate,
+)
+from repro.scenarios.spaces import (
+    AllLinkFailures,
+    AllNodeFailures,
+    DominancePruner,
+    ScenarioSpace,
+    SpaceSweepResult,
+    SrlgClosure,
+    SurgeSample,
+    all_link_failures,
+    all_node_failures,
+    sweep_scenario_space,
 )
 
 __all__ = [
@@ -88,4 +111,23 @@ __all__ = [
     "enumerate_scenarios",
     "parse_scenario",
     "register_scenario_kind",
+    "ScenarioSpace",
+    "AllLinkFailures",
+    "AllNodeFailures",
+    "SrlgClosure",
+    "SurgeSample",
+    "all_link_failures",
+    "all_node_failures",
+    "DominancePruner",
+    "SpaceSweepResult",
+    "sweep_scenario_space",
+    "SpaceKind",
+    "SPACE_KINDS",
+    "available_space_kinds",
+    "canonical_space_spec",
+    "parse_space",
+    "register_space_kind",
+    "StreamingAggregate",
+    "SpaceAggregate",
+    "MetricAggregate",
 ]

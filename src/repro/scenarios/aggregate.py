@@ -1,0 +1,174 @@
+"""Streaming robustness aggregation over scenario-space sweeps.
+
+A combinatorial scenario space ("all 2-link failures") is far too large
+to keep its per-scenario outcomes around: each
+:class:`~repro.scenarios.batch.ScenarioOutcome` holds a lowered network,
+a projection, and full load arrays.  The :class:`StreamingAggregate`
+folds outcomes as they stream past, retaining only three scalars per
+*connected* scenario (primary cost, secondary cost, max utilization) —
+the irreducible retention for *exact* percentiles — plus a disconnected
+counter.  Peak memory is therefore dominated by the evaluation working
+set, not by the space.
+
+The guarantee stated by ``tests/test_spaces_properties.py``: the
+finalized percentiles, CVaR, worst, and mean are **bit-equal** to
+calling numpy on the materialized list of the same values in the same
+order.  That holds by construction — finalization runs the very same
+``np.percentile`` / ``mean`` / ``max`` reductions over the same float64
+buffer.
+
+CVaR (conditional value at risk) at level ``alpha`` is the mean of the
+values at or above the ``alpha``-percentile — the expected cost of the
+worst ``(1 - alpha)`` tail, the robustness statistic a percentile alone
+understates.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass
+
+import numpy as np
+
+DEFAULT_PERCENTILES = (50.0, 90.0, 99.0)
+"""Percentile levels reported when the caller does not choose."""
+
+DEFAULT_CVAR_ALPHA = 0.95
+"""Tail level of the CVaR statistic (mean of the worst 5%)."""
+
+
+@dataclass(frozen=True)
+class MetricAggregate:
+    """Summary of one scalar metric over the connected scenarios.
+
+    Attributes:
+        worst: Maximum observed value.
+        mean: Arithmetic mean.
+        percentiles: ``(level, value)`` pairs, in the requested order.
+        cvar: Mean of the values at or above the ``cvar_alpha``
+            percentile (the expected tail cost).
+    """
+
+    worst: float
+    mean: float
+    percentiles: tuple[tuple[float, float], ...]
+    cvar: float
+
+    def percentile(self, level: float) -> float:
+        """The value at one requested percentile level.
+
+        Raises:
+            KeyError: if ``level`` was not requested at fold time.
+        """
+        for q, value in self.percentiles:
+            if q == level:
+                return value
+        levels = ", ".join(f"{q:g}" for q, _ in self.percentiles)
+        raise KeyError(f"percentile {level:g} not folded (have: {levels})")
+
+
+@dataclass(frozen=True)
+class SpaceAggregate:
+    """Robustness summary of one scenario-space sweep.
+
+    Cost statistics fold the *connected* scenarios only — mirroring
+    :class:`~repro.scenarios.batch.ScenarioClassSummary`, a scenario
+    that cut demand off routes less traffic, so its cost is not
+    comparable — while ``disconnected`` counts how many scenarios were
+    flagged (whether evaluated or dominance-pruned).
+    """
+
+    connected: int
+    disconnected: int
+    primary: MetricAggregate
+    secondary: MetricAggregate
+    max_utilization: MetricAggregate
+
+
+class StreamingAggregate:
+    """Folds per-scenario results into a :class:`SpaceAggregate`.
+
+    Args:
+        percentiles: Percentile levels to report, each in ``[0, 100]``.
+        cvar_alpha: CVaR tail level, in ``(0, 1)``.
+    """
+
+    def __init__(
+        self,
+        percentiles=DEFAULT_PERCENTILES,
+        cvar_alpha: float = DEFAULT_CVAR_ALPHA,
+    ) -> None:
+        self.percentiles = tuple(float(p) for p in percentiles)
+        if any(not 0.0 <= p <= 100.0 for p in self.percentiles):
+            raise ValueError(
+                f"percentile levels must be in [0, 100], got {self.percentiles}"
+            )
+        self.cvar_alpha = float(cvar_alpha)
+        if not 0.0 < self.cvar_alpha < 1.0:
+            raise ValueError(
+                f"cvar_alpha must be in (0, 1), got {self.cvar_alpha}"
+            )
+        self._primary = array("d")
+        self._secondary = array("d")
+        self._max_utilization = array("d")
+        self._disconnected = 0
+
+    @property
+    def connected(self) -> int:
+        """Connected scenarios folded so far."""
+        return len(self._primary)
+
+    @property
+    def disconnected(self) -> int:
+        """Disconnected scenarios counted so far."""
+        return self._disconnected
+
+    def add(
+        self, primary: float, secondary: float, max_utilization: float
+    ) -> None:
+        """Fold one connected scenario's scalars."""
+        self._primary.append(float(primary))
+        self._secondary.append(float(secondary))
+        self._max_utilization.append(float(max_utilization))
+
+    def add_disconnected(self) -> None:
+        """Count one disconnected scenario (evaluated or pruned)."""
+        self._disconnected += 1
+
+    def _metric(self, values: array, baseline: float) -> MetricAggregate:
+        if not len(values):
+            # No connected scenario: every statistic degenerates to the
+            # baseline, the same fallback ScenarioClassSummary uses.
+            return MetricAggregate(
+                worst=baseline,
+                mean=baseline,
+                percentiles=tuple((p, baseline) for p in self.percentiles),
+                cvar=baseline,
+            )
+        folded = np.asarray(values, dtype=np.float64)
+        var = np.percentile(folded, self.cvar_alpha * 100.0)
+        return MetricAggregate(
+            worst=float(folded.max()),
+            mean=float(folded.mean()),
+            percentiles=tuple(
+                (p, float(np.percentile(folded, p))) for p in self.percentiles
+            ),
+            cvar=float(folded[folded >= var].mean()),
+        )
+
+    def finalize(
+        self,
+        baseline_primary: float,
+        baseline_secondary: float,
+        baseline_max_utilization: float,
+    ) -> SpaceAggregate:
+        """The folded summary; baselines back the empty-metric fallback."""
+        return SpaceAggregate(
+            connected=self.connected,
+            disconnected=self._disconnected,
+            primary=self._metric(self._primary, baseline_primary),
+            secondary=self._metric(self._secondary, baseline_secondary),
+            max_utilization=self._metric(
+                self._max_utilization, baseline_max_utilization
+            ),
+        )

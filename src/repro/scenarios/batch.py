@@ -265,6 +265,21 @@ class SweepEngine:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
+    @property
+    def network(self) -> Network:
+        """The intact network the engine was built over."""
+        return self._net
+
+    @property
+    def high_traffic(self) -> TrafficMatrix:
+        """The intact high-priority traffic."""
+        return self._high_tm
+
+    @property
+    def low_traffic(self) -> TrafficMatrix:
+        """The intact low-priority traffic."""
+        return self._low_tm
+
     def evaluate(self, scenario: Scenario) -> ScenarioOutcome:
         """Evaluate one scenario (reusing whatever earlier queries built)."""
         before = len(self._projections)
@@ -278,6 +293,24 @@ class SweepEngine:
             self.stats["shared_projections"] += 1
         return self._evaluate_lowered(scenario, lowered)
 
+    def evaluate_streaming(self, scenario: Scenario) -> ScenarioOutcome:
+        """Evaluate one scenario without growing any engine cache.
+
+        Identical outcome to :meth:`evaluate` — derived-routing and
+        load-row reuse against the intact parent still apply — but the
+        per-scenario :class:`TopologyProjection` and degraded routing
+        are transient: existing routing-memo entries are consulted,
+        none are inserted.  Space sweeps stream millions of *distinct*
+        failure sets through one engine; retaining per-scenario state
+        would peak at the memo cap for reuse that combinatorial
+        enumeration never exhibits, and would evict the entries a
+        long-lived session's interactive queries actually revisit.
+        """
+        lowered = scenario.lower(
+            self._net, self._high_tm, self._low_tm, projections=None
+        )
+        return self._evaluate_lowered(scenario, lowered, memoize=False)
+
     def sweep(self, scenarios: Iterable[Scenario]) -> SweepResult:
         """Evaluate every scenario and fold the outcomes into a result."""
         outcomes = tuple(self.evaluate(scenario) for scenario in scenarios)
@@ -285,19 +318,35 @@ class SweepEngine:
             baseline=self.baseline, outcomes=outcomes, stats=dict(self.stats)
         )
 
+    def sweep_space(self, space, **kwargs):
+        """Stream a combinatorial scenario space through this engine.
+
+        Delegates to
+        :func:`repro.scenarios.spaces.sweep_scenario_space`; ``space``
+        is a :class:`~repro.scenarios.spaces.ScenarioSpace` or a spec
+        string (``"space:all-link-2"``), and keyword arguments
+        (``prune``, ``percentiles``, ``cvar_alpha``, ...) pass through.
+        """
+        from repro.scenarios.spaces import sweep_scenario_space
+
+        return sweep_scenario_space(self, space, **kwargs)
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _evaluate_lowered(
-        self, scenario: Scenario, lowered: LoweredScenario
+        self,
+        scenario: Scenario,
+        lowered: LoweredScenario,
+        memoize: bool = True,
     ) -> ScenarioOutcome:
         self.stats["scenarios"] += 1
         projection = lowered.projection
-        high_routing = self._class_routing(self._high, projection)
+        high_routing = self._class_routing(self._high, projection, memoize)
         if self._low.key == self._high.key:
             low_routing = high_routing
         else:
-            low_routing = self._class_routing(self._low, projection)
+            low_routing = self._class_routing(self._low, projection, memoize)
         high_loads = self._class_loads(
             self._high, projection, high_routing, lowered.high_traffic
         )
@@ -332,7 +381,10 @@ class SweepEngine:
         )
 
     def _class_routing(
-        self, cls: _ClassState, projection: TopologyProjection
+        self,
+        cls: _ClassState,
+        projection: TopologyProjection,
+        memoize: bool = True,
     ) -> Routing:
         """The degraded routing of one class: shared, derived, or rebuilt."""
         if projection.is_identity:
@@ -365,9 +417,10 @@ class SweepEngine:
         else:
             routing = self._derive_routing(cls, projection, projected, affected)
             self.stats["derived_routings"] += 1
-        while len(self._routings) >= ROUTING_MEMO_CAP:
-            self._routings.pop(next(iter(self._routings)))
-        self._routings[key] = routing
+        if memoize:
+            while len(self._routings) >= ROUTING_MEMO_CAP:
+                self._routings.pop(next(iter(self._routings)))
+            self._routings[key] = routing
         return routing
 
     def _flow_relevant_links(self, projection: TopologyProjection) -> tuple[int, ...]:

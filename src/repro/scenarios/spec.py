@@ -21,6 +21,19 @@ Text grammar (``parse_scenario``)::
 ``enumerate_scenarios`` expands one kind into the deterministic grid of
 its instances over a network (every adjacency, every node, ...), which
 is what campaign specs and robustness sweeps iterate.
+
+Combinatorial scenario *spaces* have a grammar of their own
+(``parse_space``), kept in a separate registry so space names never leak
+into the scenario-kind listing::
+
+    space:all-link-2                every 2-adjacency failure
+    space:all-node                  every single-node failure
+    space:srlg-closure              SRLG grid plus all pairwise unions
+    space:surge-sample:n=64:seed=7  seeded degree-weighted surges
+
+Spaces enumerate lazily and sweep through the streaming aggregator — see
+:mod:`repro.scenarios.spaces`, which registers the built-in kinds on
+import (``parse_space`` imports it on first use).
 """
 
 from __future__ import annotations
@@ -66,6 +79,26 @@ class ScenarioKind:
 SCENARIO_KINDS = Registry("scenario kind")
 
 
+@dataclass(frozen=True)
+class SpaceKind:
+    """One registered scenario-space kind.
+
+    Attributes:
+        name: The space name (``"all-link"``, ``"srlg-closure"``, ...).
+        parse: Parser of the argument text (the ``-K`` suffix and any
+            ``:key=value`` options, colon-joined) into a
+            :class:`~repro.scenarios.spaces.ScenarioSpace`.
+        help: One-line spec syntax summary (CLI/HTTP error messages).
+    """
+
+    name: str
+    parse: Callable[[str], object]
+    help: str
+
+
+SPACE_KINDS = Registry("scenario space")
+
+
 def available_scenario_kinds() -> tuple[str, ...]:
     """All registered scenario kind names, sorted."""
     return SCENARIO_KINDS.names()
@@ -74,6 +107,26 @@ def available_scenario_kinds() -> tuple[str, ...]:
 def register_scenario_kind(kind: ScenarioKind, replace: bool = False) -> ScenarioKind:
     """Register a scenario kind (plugins use this like strategies)."""
     return SCENARIO_KINDS.register(kind.name, kind, replace=replace)
+
+
+def available_space_kinds() -> tuple[str, ...]:
+    """All registered scenario-space kind names, sorted."""
+    _load_builtin_spaces()
+    return SPACE_KINDS.names()
+
+
+def register_space_kind(kind: SpaceKind, replace: bool = False) -> SpaceKind:
+    """Register a scenario-space kind (plugins use this like strategies)."""
+    return SPACE_KINDS.register(kind.name, kind, replace=replace)
+
+
+def _load_builtin_spaces() -> None:
+    """Import the built-in spaces (they register themselves on import).
+
+    Lazy because :mod:`repro.scenarios.spaces` imports this module for
+    :class:`SpaceKind`; a top-level import would be circular.
+    """
+    import repro.scenarios.spaces  # noqa: F401
 
 
 # ----------------------------------------------------------------------
@@ -235,6 +288,64 @@ def canonical_spec(scenario) -> str:
     if isinstance(scenario, str):
         scenario = parse_scenario(scenario)
     return scenario.spec()
+
+
+def parse_space(text: str):
+    """Parse a scenario-space spec string (``space:kind[-ARG][:opts]``).
+
+    The leading ``space:`` prefix is accepted but optional, so the CLI's
+    ``--space all-link-2`` and a canonical ``space:all-link-2`` name the
+    same space.  Kind resolution tries the full head first, then splits
+    a trailing ``-ARG`` (``all-link-2`` is the ``all-link`` kind with
+    argument ``2``); remaining ``:``-separated text is handed to the
+    kind's parser (``surge-sample:n=64:seed=7``).
+
+    Raises:
+        UnknownNameError: for an unregistered space kind, listing the
+            registered alternatives (the CLI prints this and exits 2,
+            the HTTP frontend answers 400 with it).
+        ValueError: for a malformed argument, naming the expected syntax.
+    """
+    _load_builtin_spaces()
+    body = text.strip()
+    prefix, sep, rest = body.partition(":")
+    if sep and prefix.strip() == "space":
+        body = rest.strip()
+    if not body:
+        raise ValueError("empty space spec")
+    head, _, tail = body.partition(":")
+    name = head.strip()
+    registered = set(SPACE_KINDS.names())
+    if name in registered:
+        kind: SpaceKind = SPACE_KINDS.get(name)
+        arg = tail.strip()
+    else:
+        stem, dash, suffix = name.rpartition("-")
+        if dash and stem in registered:
+            kind = SPACE_KINDS.get(stem)
+            arg = suffix if not tail else f"{suffix}:{tail.strip()}"
+        else:
+            # Unknown either way: raise the registry's listing error.
+            kind = SPACE_KINDS.get(name)
+            raise AssertionError("unreachable")  # pragma: no cover
+    try:
+        return kind.parse(arg)
+    except ValueError as exc:
+        raise ValueError(
+            f"space {text!r}: {exc} (syntax: {kind.help})"
+        ) from None
+
+
+def canonical_space_spec(space) -> str:
+    """The canonical spec string of a scenario space (or spec text).
+
+    Strings are parsed first, so every spelling of one space maps to one
+    canonical key, and ``parse_space(canonical_space_spec(x))`` equals
+    ``parse_space(x)`` — the round-trip law the property suite states.
+    """
+    if isinstance(space, str):
+        space = parse_space(space)
+    return space.spec()
 
 
 def require_enumerable(kind_name: str) -> ScenarioKind:

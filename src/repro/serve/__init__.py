@@ -29,7 +29,12 @@ Quickstart::
 """
 
 from repro.serve.cache import PlanCache
-from repro.serve.encoding import canonical_body, sweep_payload, whatif_payload
+from repro.serve.encoding import (
+    canonical_body,
+    space_payload,
+    sweep_payload,
+    whatif_payload,
+)
 from repro.serve.http import WhatIfServer, serve_forever
 from repro.serve.pool import SessionPool, SessionSpec
 from repro.serve.scheduler import MicroBatchScheduler
@@ -45,5 +50,6 @@ __all__ = [
     "serve_forever",
     "whatif_payload",
     "sweep_payload",
+    "space_payload",
     "canonical_body",
 ]

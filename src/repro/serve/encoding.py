@@ -22,7 +22,9 @@ import json
 from typing import Any
 
 from repro.api.queries import WhatIfResult
+from repro.scenarios.aggregate import MetricAggregate
 from repro.scenarios.batch import SweepResult
+from repro.scenarios.spaces import SpaceSweepResult
 
 
 def canonical_body(payload: Any) -> bytes:
@@ -100,4 +102,36 @@ def sweep_payload(result: SweepResult, scenario_specs: list) -> dict:
         "disconnected_count": result.disconnected_count,
         "outcomes": outcomes,
         "by_class": by_class,
+    }
+
+
+def _metric_payload(metric: MetricAggregate) -> dict:
+    return {
+        "worst": metric.worst,
+        "mean": metric.mean,
+        "percentiles": [[level, value] for level, value in metric.percentiles],
+        "cvar": metric.cvar,
+    }
+
+
+def space_payload(result: SpaceSweepResult) -> dict:
+    """JSON-safe encoding of one streaming scenario-space sweep answer.
+
+    Only the streaming aggregate crosses the wire — per-scenario outcomes
+    are never materialized server-side, so they cannot be encoded either.
+    """
+    aggregate = result.aggregate
+    return {
+        "space": result.space,
+        "scenarios": result.scenarios,
+        "evaluated": result.evaluated,
+        "pruned": result.pruned,
+        "disconnected": result.disconnected,
+        "connected": aggregate.connected,
+        "baseline_primary": result.baseline_primary,
+        "baseline_secondary": result.baseline_secondary,
+        "baseline_max_utilization": result.baseline_max_utilization,
+        "primary": _metric_payload(aggregate.primary),
+        "secondary": _metric_payload(aggregate.secondary),
+        "max_utilization": _metric_payload(aggregate.max_utilization),
     }

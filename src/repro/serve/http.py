@@ -11,7 +11,9 @@ path       method  body / answer
 /whatif    POST    ``{"scenario": SPEC, "session": {...}?}`` ->
                    the encoded what-if payload (plus ``"served"``)
 /sweep     POST    ``{"scenarios": [SPEC...]?, "kinds": [KIND...]?,
-                   "session": {...}?}`` -> the encoded sweep payload
+                   "space": SPACE?, "session": {...}?}`` -> the encoded
+                   sweep payload (space requests stream the enumeration
+                   and answer from the aggregator)
 =========  ======  ====================================================
 
 Error contract: malformed JSON, unknown session-spec fields, malformed
@@ -150,12 +152,18 @@ class _Handler(BaseHTTPRequestHandler):
     def _sweep(self, body: dict) -> tuple[int, dict]:
         scenarios = body.get("scenarios")
         kinds = body.get("kinds")
+        space = body.get("space")
         if scenarios is not None and not isinstance(scenarios, list):
             raise _BadRequest("'scenarios' must be a list of spec strings")
         if kinds is not None and not isinstance(kinds, list):
             raise _BadRequest("'kinds' must be a list of scenario kinds")
+        if space is not None and not isinstance(space, str):
+            raise _BadRequest("'space' must be a scenario-space spec string")
         payload = self.server.service.sweep(
-            scenarios=scenarios, kinds=kinds, session_spec=body.get("session")
+            scenarios=scenarios,
+            kinds=kinds,
+            session_spec=body.get("session"),
+            space=space,
         )
         return 200, payload
 

@@ -25,12 +25,13 @@ from typing import Optional, Sequence
 from repro.api.session import Session
 from repro.scenarios.spec import (
     ScenarioSet,
+    canonical_space_spec,
     canonical_spec,
     enumerate_scenarios,
     parse_scenario,
 )
 from repro.serve.cache import PlanCache
-from repro.serve.encoding import sweep_payload, whatif_payload
+from repro.serve.encoding import space_payload, sweep_payload, whatif_payload
 from repro.serve.pool import SessionPool, SessionSpec
 from repro.serve.scheduler import MicroBatchScheduler
 
@@ -125,14 +126,26 @@ class ServeService:
         scenarios: Optional[Sequence[str]] = None,
         kinds: Optional[Sequence[str]] = None,
         session_spec: Optional[dict] = None,
+        space: Optional[str] = None,
     ) -> dict:
-        """A batched sweep: explicit specs, whole kinds, or both.
+        """A batched sweep: explicit specs, whole kinds, or a space.
 
         Runs in one pass over the session's sweep engine (a sweep *is*
         already a batch, so it bypasses the scheduler's window), under
-        the session lock.
+        the session lock.  A ``space`` answers from the streaming
+        aggregator — per-scenario outcomes are never materialized — and
+        is exclusive with explicit ``scenarios``/``kinds``.
         """
         key, session = self._resolve(session_spec)
+        if space is not None:
+            if scenarios or kinds:
+                raise ValueError(
+                    "a space sweep streams its own enumeration: pass either "
+                    "'space' or 'scenarios'/'kinds', not both"
+                )
+            spec = canonical_space_spec(space)
+            with session.lock:
+                return space_payload(session.sweep_space(spec))
         specs: list[str] = [canonical_spec(s) for s in (scenarios or [])]
         with session.lock:
             for kind in kinds or []:

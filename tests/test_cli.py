@@ -266,6 +266,83 @@ class TestCampaignScenarioGrids:
         assert "warp" in capsys.readouterr().err
 
 
+class TestSpaceSweepCommand:
+    """The `sweep` verb and `campaign run --spaces`: shared exit-2 contract."""
+
+    def test_unknown_space_exits_2_with_registry_listing(self, capsys):
+        # Validated before any session build; lists the registered spaces.
+        assert main(["sweep", "--topology", "isp", "--space", "space:warp"]) == 2
+        err = capsys.readouterr().err
+        assert "registered scenario space names" in err
+        assert "all-link" in err and "surge-sample" in err
+
+    def test_malformed_space_exits_2_with_syntax_help(self, capsys):
+        code = main(["sweep", "--topology", "isp", "--space", "space:all-link-x"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "bad failure size" in err
+        assert "syntax" in err
+
+    def test_sweep_prints_streaming_aggregate(self, capsys):
+        code = main([
+            "sweep", "--topology", "isp", "--utilization", "0.5",
+            "--space", "all-link-1",
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "space sweep space:all-link-1" in printed
+        assert "35 scenarios" in printed
+        assert "cvar=" in printed
+
+    def test_no_prune_evaluates_everything(self, capsys):
+        code = main([
+            "sweep", "--topology", "isp", "--utilization", "0.5",
+            "--space", "all-link-1", "--no-prune",
+        ])
+        assert code == 0
+        assert "0 pruned" in capsys.readouterr().out
+
+    def test_campaign_unknown_space_exits_2(self, tmp_path, capsys):
+        code = main([
+            "campaign", "run", "--out", str(tmp_path / "c"),
+            "--spaces", "space:warp",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "registered scenario space names" in err
+
+    def test_campaign_malformed_space_in_spec_file_exits_2(self, tmp_path, capsys):
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({
+            "topologies": ["isp"], "scenario_spaces": ["space:all-link-x"],
+        }))
+        code = main(
+            ["campaign", "run", "--out", str(tmp_path / "c"), "--spec", str(spec)]
+        )
+        assert code == 2
+        assert "bad failure size" in capsys.readouterr().err
+
+    def test_campaign_stores_space_aggregates(self, tmp_path, capsys):
+        out = tmp_path / "camp"
+        code = main([
+            "campaign", "run", "--out", str(out), "--topologies", "isp",
+            "--utilizations", "0.5", "--seeds", "1", "--scale", "0.02",
+            "--spaces", "all-link-1", "--quiet",
+        ])
+        assert code == 0
+        records = list((out / "records").glob("*.json"))
+        assert len(records) == 1
+        record = json.loads(records[0].read_text())
+        spaces = record["scenario_spaces"]
+        assert spaces["spaces"] == ["space:all-link-1"]
+        for label in ("str", "dtr"):
+            summary = spaces[label]["space:all-link-1"]
+            assert summary["scenarios"] == 35
+            assert summary["evaluated"] + summary["pruned"] == 35
+            assert summary["worst_secondary"] >= summary["mean_secondary"]
+            assert summary["degradation_factor"] >= 1.0
+
+
 class TestCampaignCommand:
     def test_run_status_aggregate(self, tmp_path, capsys):
         out = tmp_path / "camp"
@@ -388,6 +465,24 @@ class TestServeAndQuery:
         assert main(["query", "--url", live_server, "--metrics"]) == 0
         metrics = json.loads(capsys.readouterr().out)
         assert set(metrics) == {"pool", "scheduler", "plan_cache"}
+
+    def test_query_unknown_space_exits_2_locally(self, capsys):
+        # Validated locally: exits 2 before any network traffic.
+        assert main(["query", "--space", "space:warp"]) == 2
+        err = capsys.readouterr().err
+        assert "registered scenario space names" in err
+
+    def test_query_malformed_space_exits_2_locally(self, capsys):
+        assert main(["query", "--space", "space:surge-sample:n=maybe"]) == 2
+        assert "syntax" in capsys.readouterr().err
+
+    def test_query_space_against_live_server(self, live_server, capsys):
+        code = main(["query", "--url", live_server, "--space", "all-link-1"])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "space space:all-link-1: 35 scenarios" in printed
+        assert "cvar=" in printed
+        assert "max_utilization" in printed
 
     def test_serve_rejects_bad_weights_file(self, tmp_path, capsys):
         weights = tmp_path / "weights.json"

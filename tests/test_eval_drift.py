@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.eval.drift import drift_sweep
+from repro.eval.drift import DEFAULT_SCALES, drift_sweep, drift_sweep_session
 from repro.routing.weights import random_weights, unit_weights
 from repro.traffic.gravity import gravity_traffic_matrix
 from repro.traffic.highpriority import random_high_priority
@@ -75,3 +75,46 @@ def test_validation(setup):
         drift_sweep(net, w, w, high_tm, low_tm, scales=())
     with pytest.raises(ValueError, match="positive"):
         drift_sweep(net, w, w, high_tm, low_tm, scales=(0.0,))
+
+
+def _session(setup):
+    from repro.api import Session
+
+    net, high_tm, low_tm = setup
+    session = Session(net, high_tm, low_tm, cost_model="load")
+    session.set_weights(unit_weights(net.num_links))
+    return session
+
+
+def test_session_path_matches_legacy_wrapper(setup):
+    """drift_sweep is drift_sweep_session over a session it builds itself."""
+    net, high_tm, low_tm = setup
+    w = unit_weights(net.num_links)
+    scales = (0.8, 1.0, 1.2)
+    legacy = drift_sweep(net, w, w, high_tm, low_tm, scales=scales)
+    direct = drift_sweep_session(_session(setup), scales=scales)
+    assert direct == legacy
+
+
+def test_session_sweep_rides_the_scenario_engine(setup):
+    """A drift sweep goes through Session.sweep, not a private evaluator."""
+    session = _session(setup)
+    report = drift_sweep_session(session, scales=(1.0, 1.1))
+    # Scale 1.0 is the identity scenario: it must reproduce the baseline.
+    baseline = session.evaluate()
+    point = report.point_at(1.0)
+    assert point.phi_high == baseline.phi_high
+    assert point.phi_low == baseline.phi_low
+    assert point.max_utilization == baseline.max_utilization
+
+
+def test_session_default_scales(setup):
+    report = drift_sweep_session(_session(setup))
+    assert [p.scale for p in report.points] == list(DEFAULT_SCALES)
+
+
+def test_session_validation(setup):
+    with pytest.raises(ValueError, match="at least one"):
+        drift_sweep_session(_session(setup), scales=())
+    with pytest.raises(ValueError, match="positive"):
+        drift_sweep_session(_session(setup), scales=(-1.0,))

@@ -262,3 +262,67 @@ def test_session_spec_selects_another_baseline(base_url):
     other = SessionSpec(topology="isp", utilization=0.4).build()
     expected = canonical_body(whatif_payload(other.under_scenario("node:3")))
     assert _served_body_without_envelope(body) == expected
+
+
+# ----------------------------------------------------------------------
+# Scenario spaces over /sweep
+# ----------------------------------------------------------------------
+def test_space_sweep_bit_identical_to_direct_session(base_url, reference_session):
+    """A /sweep space answer equals encoding a direct sweep_space call."""
+    from repro.serve import space_payload
+
+    status, body = _post(base_url, "/sweep", {"space": "all-link-1"})
+    assert status == 200
+    expected = canonical_body(
+        space_payload(reference_session.sweep_space("space:all-link-1"))
+    )
+    assert body == expected
+
+
+def test_space_sweep_answer_is_streaming_aggregate_only(base_url):
+    """Space answers carry the aggregate, never per-scenario outcomes."""
+    status, body = _post(
+        base_url, "/sweep", {"space": "space:surge-sample:n=8:seed=3"}
+    )
+    assert status == 200
+    data = json.loads(body)
+    assert data["space"] == "space:surge-sample:n=8:seed=3"
+    assert data["scenarios"] == 8
+    assert data["connected"] + data["disconnected"] == 8
+    assert "outcomes" not in data
+    for metric in ("primary", "secondary", "max_utilization"):
+        assert set(data[metric]) == {"worst", "mean", "percentiles", "cvar"}
+    # Seeded sampling: the repeat is byte-identical.
+    assert _post(
+        base_url, "/sweep", {"space": "space:surge-sample:n=8:seed=3"}
+    )[1] == body
+
+
+def test_unknown_space_is_400_with_registry_listing(base_url):
+    status, body = _post(base_url, "/sweep", {"space": "space:warp"})
+    assert status == 400
+    message = json.loads(body)["error"]
+    assert "registered scenario space names" in message
+    assert "all-link" in message and "surge-sample" in message
+
+
+def test_malformed_space_is_400_with_syntax_help(base_url):
+    status, body = _post(base_url, "/sweep", {"space": "space:all-link-x"})
+    assert status == 400
+    message = json.loads(body)["error"]
+    assert "bad failure size" in message
+    assert "syntax" in message
+
+
+def test_non_string_space_is_400(base_url):
+    status, body = _post(base_url, "/sweep", {"space": 7})
+    assert status == 400
+    assert "'space' must be" in json.loads(body)["error"]
+
+
+def test_space_is_exclusive_with_scenarios_and_kinds(base_url):
+    status, body = _post(
+        base_url, "/sweep", {"space": "all-link-1", "kinds": ["link"]}
+    )
+    assert status == 400
+    assert "not both" in json.loads(body)["error"]

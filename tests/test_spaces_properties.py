@@ -1,0 +1,246 @@
+"""Executable laws of scenario spaces (hypothesis).
+
+* **Pruning soundness** — whenever the dominance pruner claims a failure
+  scenario is dominated, evaluating that scenario from scratch really
+  does disconnect positive demand.  Pruning is an optimization with an
+  exactness proof, so the law is unconditional: one counterexample is a
+  correctness bug, not noise.
+* **Aggregator fidelity** — the streaming fold's worst / mean /
+  percentiles / CVaR are bit-equal to numpy applied to the materialized
+  value list, for any inputs and any percentile set; an empty fold falls
+  back to the baseline everywhere.
+* **Sampler determinism** — importance-sampled surges are a pure
+  function of ``(seed, index)``: re-sampling, re-ordering, or
+  re-instantiating the space never changes a drawn scenario.
+* **Round-trip** — ``parse_space(space.spec()) == space`` for every
+  space family, so specs are a faithful wire format.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.graph import Network
+from repro.routing.weights import random_weights
+from repro.scenarios import (
+    AllLinkFailures,
+    AllNodeFailures,
+    DominancePruner,
+    LinkFailure,
+    NodeFailure,
+    SrlgClosure,
+    SrlgFailure,
+    SurgeSample,
+    SweepEngine,
+    parse_space,
+    sweep_scenario_space,
+)
+from repro.scenarios.aggregate import StreamingAggregate
+from repro.traffic.gravity import gravity_traffic_matrix
+from repro.traffic.highpriority import random_high_priority
+from repro.traffic.scaling import scale_to_utilization
+
+
+def _bridged_topology() -> Network:
+    net = Network(8, name="bridged")
+    for block in ((0, 1, 2, 3), (4, 5, 6, 7)):
+        for i, u in enumerate(block):
+            for v in block[i + 1 :]:
+                net.add_duplex_link(u, v)
+    net.add_duplex_link(3, 4)
+    return net
+
+
+NET = _bridged_topology()
+PAIRS = NET.duplex_pairs()
+
+_rng = random.Random(77)
+_low = gravity_traffic_matrix(NET.num_nodes, _rng)
+_high = random_high_priority(_low, density=0.1, fraction=0.3, rng=_rng)
+HIGH, LOW = scale_to_utilization(NET, _high.matrix, _low, 0.5)
+
+_weights_rng = random.Random(78)
+WH = random_weights(NET.num_links, _weights_rng)
+WL = random_weights(NET.num_links, _weights_rng)
+
+
+def _engine() -> SweepEngine:
+    return SweepEngine(NET, WH, WL, HIGH, LOW)
+
+
+failure_sets = st.lists(
+    st.sampled_from(PAIRS), min_size=1, max_size=3, unique=True
+)
+pure_failures = st.one_of(
+    failure_sets.map(lambda pairs: LinkFailure(pairs=tuple(pairs))),
+    st.integers(min_value=0, max_value=NET.num_nodes - 1).map(
+        NodeFailure.single
+    ),
+    st.lists(st.sampled_from(PAIRS), min_size=2, max_size=3, unique=True).map(
+        lambda pairs: SrlgFailure(pairs=tuple(pairs), name="h")
+    ),
+)
+
+
+# ----------------------------------------------------------------------
+# Dominance-pruning soundness
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(scenario=pure_failures)
+def test_dominated_scenarios_are_really_disconnected(scenario):
+    """``dominated(s) is not None`` implies evaluating ``s`` disconnects."""
+    pruner = DominancePruner(NET, HIGH, LOW)
+    witness = pruner.dominated(scenario)
+    if witness is not None:
+        outcome = _engine().evaluate_streaming(scenario)
+        assert outcome.disconnected, (
+            f"pruner claimed {scenario.spec()} dominated ({witness}) but "
+            "direct evaluation routes all demand"
+        )
+
+
+def test_every_pruned_scenario_in_a_sweep_is_disconnected():
+    """The on_prune hook's claims hold for a whole space sweep."""
+    pruned_scenarios = []
+    engine = _engine()
+    result = sweep_scenario_space(
+        engine,
+        AllLinkFailures(k=2),
+        prune=True,
+        on_prune=lambda scenario, witness: pruned_scenarios.append(scenario),
+    )
+    assert len(pruned_scenarios) == result.pruned > 0
+    oracle = _engine()
+    for scenario in pruned_scenarios:
+        assert oracle.evaluate_streaming(scenario).disconnected
+
+
+def test_pruner_cores_stay_a_minimal_antichain():
+    """No learned core is a subset of another (supersets are dropped)."""
+    pruner = DominancePruner(NET, HIGH, LOW)
+    for pairs in ((PAIRS[0],), (PAIRS[0], PAIRS[1]), (PAIRS[2], PAIRS[3])):
+        scenario = LinkFailure(pairs=pairs)
+        if pruner.dominated(scenario) is None:
+            if _engine().evaluate_streaming(scenario).disconnected:
+                pruner.record(scenario)
+    cores = pruner.cores
+    for i, a in enumerate(cores):
+        for j, b in enumerate(cores):
+            assert i == j or not a.issubset(b)
+
+
+# ----------------------------------------------------------------------
+# Streaming aggregator == numpy on the materialized list
+# ----------------------------------------------------------------------
+values_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False, width=64),
+    min_size=1,
+    max_size=60,
+)
+percentile_sets = st.lists(
+    st.sampled_from([0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0]),
+    min_size=1,
+    max_size=5,
+    unique=True,
+)
+alphas = st.sampled_from([0.5, 0.9, 0.95, 0.99])
+
+
+@settings(max_examples=200, deadline=None)
+@given(values=values_lists, levels=percentile_sets, alpha=alphas)
+def test_streaming_aggregate_bit_equal_to_numpy(values, levels, alpha):
+    aggregate = StreamingAggregate(
+        percentiles=tuple(levels), cvar_alpha=alpha
+    )
+    for v in values:
+        aggregate.add(v, 2.0 * v, min(v, 1.0))
+    folded = aggregate.finalize(0.0, 0.0, 0.0)
+    for metric, column in (
+        (folded.primary, np.asarray(values, dtype=np.float64)),
+        (folded.secondary, np.asarray([2.0 * v for v in values])),
+        (folded.max_utilization, np.asarray([min(v, 1.0) for v in values])),
+    ):
+        assert metric.worst == float(column.max())
+        assert metric.mean == float(column.mean())
+        for level, value in metric.percentiles:
+            assert value == float(np.percentile(column, level))
+        var = np.percentile(column, alpha * 100.0)
+        assert metric.cvar == float(column[column >= var].mean())
+
+
+@given(
+    baseline=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    disconnected=st.integers(min_value=0, max_value=5),
+)
+def test_empty_aggregate_falls_back_to_baseline(baseline, disconnected):
+    """No connected scenarios: every statistic is the baseline value."""
+    aggregate = StreamingAggregate()
+    for _ in range(disconnected):
+        aggregate.add_disconnected()
+    folded = aggregate.finalize(baseline, baseline, baseline)
+    assert folded.connected == 0
+    assert folded.disconnected == disconnected
+    for metric in (folded.primary, folded.secondary, folded.max_utilization):
+        assert metric.worst == metric.mean == metric.cvar == baseline
+        assert all(value == baseline for _level, value in metric.percentiles)
+
+
+# ----------------------------------------------------------------------
+# Seeded samplers: deterministic, order-insensitive pure functions
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    n=st.integers(min_value=1, max_value=16),
+    data=st.randoms(use_true_random=False),
+)
+def test_surge_sampler_deterministic_and_order_insensitive(seed, n, data):
+    space = SurgeSample(n=n, seed=seed)
+    in_order = list(space.scenarios(NET))
+    assert len(in_order) == n == space.size(NET)
+    # Re-instantiating and re-iterating reproduces the same scenarios.
+    assert list(SurgeSample(n=n, seed=seed).scenarios(NET)) == in_order
+    # Sampling indices in any call order gives the same per-index draw.
+    indices = list(range(n))
+    data.shuffle(indices)
+    shuffled = {i: space.sample(NET, i) for i in indices}
+    assert [shuffled[i] for i in range(n)] == in_order
+
+
+@given(
+    seed_a=st.integers(min_value=0, max_value=1000),
+    seed_b=st.integers(min_value=0, max_value=1000),
+)
+def test_different_seeds_are_independent_streams(seed_a, seed_b):
+    a = list(SurgeSample(n=8, seed=seed_a).scenarios(NET))
+    b = list(SurgeSample(n=8, seed=seed_b).scenarios(NET))
+    if seed_a == seed_b:
+        assert a == b
+
+
+# ----------------------------------------------------------------------
+# Spec round-trip
+# ----------------------------------------------------------------------
+spaces = st.one_of(
+    st.integers(min_value=1, max_value=6).map(lambda k: AllLinkFailures(k=k)),
+    st.just(AllNodeFailures()),
+    st.just(SrlgClosure()),
+    st.tuples(
+        st.integers(min_value=1, max_value=512),
+        st.integers(min_value=0, max_value=2**31),
+    ).map(lambda t: SurgeSample(n=t[0], seed=t[1])),
+)
+
+
+@given(space=spaces)
+def test_spec_round_trip(space):
+    """``parse_space`` inverts ``spec()`` exactly, prefix included."""
+    text = space.spec()
+    assert text.startswith("space:")
+    assert parse_space(text) == space
+    # The prefix-less spelling parses to the same space.
+    assert parse_space(text[len("space:") :]) == space
