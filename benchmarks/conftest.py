@@ -11,15 +11,23 @@ faithful pass:
 * ``REPRO_BENCH_JSON`` — directory the perf-trend artifacts are written
   to (unset disables emission).  Every speedup/throughput benchmark
   calls :func:`emit_bench`, which writes ``BENCH_<name>.json`` there
-  under one shared schema::
+  under one shared schema (version 2)::
 
-      {"bench": "<name>", "schema": 1,
-       "metrics": {"<section>": {...}, ...},
-       "python": "<major.minor.micro>"}
+      {"bench": "<name>", "schema": 2,
+       "metrics": {"<section>": {"<metric>": <number>, ...}, ...},
+       "python": "<major.minor.micro>",
+       "scale": <REPRO_BENCH_SCALE>, "seed": <REPRO_BENCH_SEED>,
+       "git": "<commit sha or null>"}
 
-  Sections merge on rewrite, so a bench with several tests accumulates
-  one file; CI uploads the whole directory as a single artifact, giving
-  the perf trajectory one consistent shape across benches.
+  Schema 1 artifacts lack the ``scale``/``seed``/``git`` provenance
+  fields; everything that parses these files (the tolerance-band
+  comparator in :mod:`repro.eval.trends`, the merge-on-rewrite below)
+  accepts both versions.  Sections merge on rewrite, so a bench with
+  several tests accumulates one file; CI uploads the whole directory as
+  a single artifact, giving the perf trajectory one consistent shape
+  across benches.  Writes are atomic (tmp + rename, like the campaign
+  store), so a crashed or interrupted bench can never leave a truncated
+  JSON for the comparator to misparse.
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ import json
 import os
 import pathlib
 import platform
+import subprocess
 
 import pytest
 
@@ -35,7 +44,27 @@ BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
 SWEEP_TARGETS = (0.45, 0.60, 0.75)
 
-BENCH_SCHEMA_VERSION = 1
+BENCH_SCHEMA_VERSION = 2
+
+_GIT_REVISION_CACHE: list = []  # lazily holds one entry: the sha or None
+
+
+def _git_revision():
+    """Commit sha of the working tree, or ``None`` outside a checkout."""
+    if not _GIT_REVISION_CACHE:
+        try:
+            proc = subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                capture_output=True,
+                text=True,
+                timeout=10,
+                cwd=pathlib.Path(__file__).resolve().parent,
+            )
+            sha = proc.stdout.strip() if proc.returncode == 0 else None
+        except OSError:
+            sha = None
+        _GIT_REVISION_CACHE.append(sha or None)
+    return _GIT_REVISION_CACHE[0]
 
 
 def emit_bench(bench: str, section: str, metrics: dict) -> None:
@@ -43,8 +72,12 @@ def emit_bench(bench: str, section: str, metrics: dict) -> None:
 
     Writes ``$REPRO_BENCH_JSON/BENCH_<bench>.json`` (creating the
     directory) with the shared schema above; a no-op when the variable
-    is unset.  Existing sections of the same file are preserved, so the
-    several tests of one bench accumulate into one artifact.
+    is unset.  Existing sections of the same file are preserved — schema
+    1 and schema 2 files merge alike — so the several tests of one bench
+    accumulate into one artifact.  A pre-existing file that does not
+    parse (e.g. truncated by a crash predating atomic writes) is
+    discarded and rebuilt rather than propagated.  The write itself is
+    tmp + ``os.replace``, so readers only ever observe complete JSON.
     """
     out = os.environ.get("REPRO_BENCH_JSON")
     if not out:
@@ -54,15 +87,25 @@ def emit_bench(bench: str, section: str, metrics: dict) -> None:
     path = root / f"BENCH_{bench}.json"
     sections = {}
     if path.exists():
-        sections = json.loads(path.read_text()).get("metrics", {})
+        try:
+            sections = json.loads(path.read_text()).get("metrics", {})
+        except (json.JSONDecodeError, AttributeError):
+            sections = {}
+        if not isinstance(sections, dict):
+            sections = {}
     sections[section] = metrics
     payload = {
         "bench": bench,
         "schema": BENCH_SCHEMA_VERSION,
         "metrics": sections,
         "python": platform.python_version(),
+        "scale": BENCH_SCALE,
+        "seed": BENCH_SEED,
+        "git": _git_revision(),
     }
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    os.replace(tmp, path)
 
 
 @pytest.fixture(scope="session")

@@ -24,6 +24,14 @@ Subcommands::
     repro-dtr query     --url http://127.0.0.1:8093 --scenario node:3
     repro-dtr query     --url ... --sweep link node [--metrics]
     repro-dtr query     --url ... --space space:all-link-2
+    repro-dtr bench compare         --current-dir bench-trends [--strict] \
+                        [--baseline-dir benchmarks/baselines] [--json out.json]
+    repro-dtr bench baseline-update --current-dir bench-trends \
+                        [--baseline-dir benchmarks/baselines] [--no-new]
+    repro-dtr bench trends          [--baseline-dir ...] [--current-dir ...]
+    repro-dtr results render --out results/ [--campaign DIR] \
+                        [--trends bench-trends] [--baselines DIR] \
+                        [--figures fig2c fig9 ...] [--scale 0.05] [--seed 1]
 
 ``figure`` accepts: fig2a..fig2f, fig3a..fig3c, fig4, fig5a, fig5b, fig6,
 fig7, fig8a, fig8b, fig9, table1.  ``compare`` evaluates neighbor moves
@@ -54,6 +62,18 @@ scheduler, and plan cache.  ``query`` is its client — it validates the
 scenario spec locally (a malformed spec or unknown kind exits 2 with
 the registry listing, before any network traffic) and prints the
 server's answer.
+``bench`` consumes the ``BENCH_*.json`` perf-trend artifacts
+(:mod:`repro.eval.trends`): ``compare`` classifies every committed
+baseline metric as improved/within-band/regressed under the tolerance
+policy and exits 0 when clean, 2 on a schema or coverage mismatch (a
+bench or metric present in the baselines but missing from the run —
+gating cannot silently narrow), and 3 with ``--strict`` when any
+metric regressed beyond its band; ``baseline-update`` refreshes the
+committed baselines all-or-nothing, keeping a bounded per-metric
+history; ``trends`` prints the per-metric sparklines.
+``results render`` is the raw → table → figure pipeline
+(:mod:`repro.eval.pipeline`): campaign store + bench trends in, CSV
+tables, ASCII figures 2–9, and trend sparklines out.
 
 Every usage error — unknown strategy, unknown scenario kind, malformed
 spec, bad campaign grid — exits 2 through one shared helper, with the
@@ -83,6 +103,8 @@ from repro.network.io import save_network
 from repro.network.topology_isp import isp_topology
 from repro.network.topology_powerlaw import powerlaw_topology
 from repro.network.topology_random import random_topology
+
+DEFAULT_BASELINE_DIR = "benchmarks/baselines"
 
 _FIGURE_RUNNERS = {
     "fig2a": lambda scale, seed: figures.fig2("random", LOAD_MODE, scale=scale, seed=seed),
@@ -287,6 +309,66 @@ def build_parser() -> argparse.ArgumentParser:
                      help="micro-batch coalescing window")
     srv.add_argument("--log", dest="log_path", default=None,
                      help="JSONL request log path")
+
+    bench = sub.add_parser(
+        "bench", help="compare, refresh, or plot the perf-trend baselines"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    bcmp = bench_sub.add_parser(
+        "compare",
+        help="gate a bench-trends directory against the committed baselines",
+    )
+    bcmp.add_argument("--current-dir", required=True,
+                      help="directory of BENCH_*.json artifacts from this run")
+    bcmp.add_argument("--baseline-dir", default=DEFAULT_BASELINE_DIR,
+                      help="committed baseline store (with policy.json)")
+    bcmp.add_argument("--strict", action="store_true",
+                      help="exit 3 when any metric regressed beyond its band")
+    bcmp.add_argument("--json", dest="json_out", default=None,
+                      help="also save the machine-readable verdict here")
+
+    bupd = bench_sub.add_parser(
+        "baseline-update",
+        help="refresh the committed baselines from a bench-trends directory",
+    )
+    bupd.add_argument("--current-dir", required=True,
+                      help="directory of BENCH_*.json artifacts to commit")
+    bupd.add_argument("--baseline-dir", default=DEFAULT_BASELINE_DIR,
+                      help="committed baseline store to refresh")
+    bupd.add_argument("--no-new", dest="allow_new", action="store_false",
+                      default=True,
+                      help="refuse benches that have no baseline yet")
+
+    btr = bench_sub.add_parser(
+        "trends", help="print per-metric sparklines over the baseline history"
+    )
+    btr.add_argument("--baseline-dir", default=DEFAULT_BASELINE_DIR,
+                     help="committed baseline store")
+    btr.add_argument("--current-dir", default=None,
+                     help="optionally append this run's artifacts as the last point")
+
+    res = sub.add_parser(
+        "results", help="the raw -> table -> figure results pipeline"
+    )
+    res_sub = res.add_subparsers(dest="results_command", required=True)
+    render = res_sub.add_parser(
+        "render", help="render CSV tables, ASCII figures, and trend sparklines"
+    )
+    render.add_argument("--out", required=True, help="output directory")
+    render.add_argument("--campaign", default=None,
+                        help="campaign store backing figures 2/4/5")
+    render.add_argument("--trends", dest="trends_dir", default=None,
+                        help="BENCH_*.json directory (current perf point)")
+    render.add_argument("--baselines", dest="baselines_dir", default=None,
+                        help="baseline store providing the trend history")
+    render.add_argument("--figures", nargs="+", default=None, metavar="ID",
+                        help="subset of figure ids (default: all)")
+    render.add_argument("--scale", type=float, default=0.05,
+                        help="search-budget scale for recomputed figures")
+    render.add_argument("--seed", type=int, default=1)
+    render.add_argument("--echo", action="store_true",
+                        help="print each figure's text as it completes")
 
     qry = sub.add_parser(
         "query", help="query a running what-if service (validates specs locally)"
@@ -561,6 +643,89 @@ def _run_campaign_aggregate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_bench_compare(args: argparse.Namespace) -> int:
+    from repro.eval.results import to_jsonable
+    from repro.eval.trends import BenchFormatError, compare_dirs
+
+    try:
+        report = compare_dirs(args.current_dir, args.baseline_dir)
+    except (FileNotFoundError, BenchFormatError) as exc:
+        return _usage_error(exc)
+    print(report.format())
+    if args.json_out:
+        payload = {
+            "metrics": to_jsonable(report.metrics),
+            "problems": list(report.problems),
+            "new_benches": list(report.new_benches),
+            "regressions": [m.path for m in report.regressions],
+            "exit_code": report.exit_code(strict=args.strict),
+            "strict": args.strict,
+        }
+        with open(args.json_out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"saved JSON to {args.json_out}")
+    code = report.exit_code(strict=args.strict)
+    if code == 2:
+        print("error: schema/coverage mismatch between run and baselines",
+              file=sys.stderr)
+    elif code == 3:
+        names = ", ".join(m.path for m in report.regressions)
+        print(f"error: perf regression beyond tolerance band: {names}",
+              file=sys.stderr)
+    return code
+
+
+def _run_bench_baseline_update(args: argparse.Namespace) -> int:
+    from repro.eval.trends import BenchFormatError, load_policy, update_baselines
+
+    try:
+        # Surface a malformed policy now: a baseline refresh that the
+        # comparator cannot consume afterwards is a partial update too.
+        load_policy(args.baseline_dir)
+        update = update_baselines(
+            args.current_dir, args.baseline_dir, allow_new=args.allow_new
+        )
+    except (FileNotFoundError, BenchFormatError) as exc:
+        return _usage_error(exc)
+    print(update.format())
+    return 0
+
+
+def _run_bench_trends(args: argparse.Namespace) -> int:
+    from repro.eval.trends import BenchFormatError, trend_lines
+
+    try:
+        blocks = trend_lines(args.baseline_dir, args.current_dir)
+    except (FileNotFoundError, BenchFormatError) as exc:
+        return _usage_error(exc)
+    for name, block in blocks.items():
+        print(f"== {name}")
+        print(block)
+        print()
+    return 0
+
+
+def _run_results_render(args: argparse.Namespace) -> int:
+    from repro.eval.pipeline import render_results
+    from repro.eval.trends import BenchFormatError
+
+    try:
+        summary = render_results(
+            args.out,
+            campaign_dir=args.campaign,
+            trends_dir=args.trends_dir,
+            baseline_dir=args.baselines_dir,
+            figure_ids=args.figures,
+            scale=args.scale,
+            seed=args.seed,
+            echo=args.echo,
+        )
+    except (KeyError, FileNotFoundError, BenchFormatError, ValueError) as exc:
+        return _usage_error(exc)
+    print(summary.format())
+    return 0
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     from repro.serve import ServeService, SessionPool, SessionSpec, serve_forever
 
@@ -726,6 +891,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_campaign_status(args)
         if args.campaign_command == "aggregate":
             return _run_campaign_aggregate(args)
+    if args.command == "bench":
+        if args.bench_command == "compare":
+            return _run_bench_compare(args)
+        if args.bench_command == "baseline-update":
+            return _run_bench_baseline_update(args)
+        if args.bench_command == "trends":
+            return _run_bench_trends(args)
+    if args.command == "results":
+        if args.results_command == "render":
+            return _run_results_render(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

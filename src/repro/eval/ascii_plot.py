@@ -48,6 +48,36 @@ def format_series(
     return format_table([x_label, *y_labels], points)
 
 
+SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def format_sparkline(values: Sequence[float]) -> str:
+    """Render a numeric series as one row of block characters.
+
+    The range is normalized per call (min → lowest block, max → full
+    block); a constant or single-point series renders at mid height, and
+    non-finite points render as ``·`` so a NaN in a trend is visible
+    instead of silently skipped.  Empty input renders as ``(empty)``.
+    """
+    if not len(values):
+        return "(empty)"
+    finite = [float(v) for v in values if np.isfinite(v)]
+    top = len(SPARK_LEVELS) - 1
+    if not finite:
+        return "·" * len(values)
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    chars = []
+    for v in values:
+        if not np.isfinite(v):
+            chars.append("·")
+        elif span == 0.0:
+            chars.append(SPARK_LEVELS[top // 2])
+        else:
+            chars.append(SPARK_LEVELS[round((float(v) - lo) / span * top)])
+    return "".join(chars)
+
+
 def _fmt(cell: object) -> str:
     if isinstance(cell, float):
         if cell == float("inf"):

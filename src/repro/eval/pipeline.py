@@ -1,0 +1,324 @@
+"""The raw → table → figure results pipeline.
+
+One entry point, :func:`render_results`, walks the repo's two result
+stores — a campaign directory of content-addressed experiment records
+and a bench-trends directory of ``BENCH_*.json`` perf artifacts — and
+renders everything a paper reader or CI job wants to look at:
+
+* ``tables/<figure>.csv`` — the exact series each figure plots, one CSV
+  per figure/table (figures 2–9, Table 1, and the scenario-robustness
+  extension figure);
+* ``figures/<figure>.txt`` — the ASCII rendering of the same result
+  (``result.format()``, the repo's plotting surface);
+* ``trends/<bench>.txt`` — per-metric ASCII sparklines over the
+  committed baseline history plus the current run
+  (:func:`repro.eval.trends.trend_lines`);
+* ``index.md`` — a manifest linking all of the above.
+
+Campaign-backed figures (2, 4, 5) aggregate stored records when the
+campaign holds matching grid points — milliseconds instead of a fresh
+search — and transparently fall back to recomputation at the
+pipeline's ``scale``/``seed`` when it does not.  Everything else runs
+through the same registry :mod:`repro.eval.report` uses, so the
+pipeline and the Markdown report can never drift apart on what a
+figure means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.eval import figures, trends
+from repro.eval.figures import (
+    Fig2Result,
+    Fig3Result,
+    Fig4Result,
+    Fig5Result,
+    Fig6Result,
+    Fig7Result,
+    Fig8Result,
+    Fig9Result,
+    FigScenariosResult,
+    Table1Result,
+)
+from repro.eval.report import RUNNERS
+from repro.eval.results import save_csv
+
+DEFAULT_FIGURES: tuple[str, ...] = tuple(RUNNERS)
+"""Every registered figure/table id, in report order."""
+
+_CAMPAIGN_BACKED = {
+    "fig2a": lambda agg: figures.fig2_from_campaign(agg, "random", "load"),
+    "fig2b": lambda agg: figures.fig2_from_campaign(agg, "powerlaw", "load"),
+    "fig2c": lambda agg: figures.fig2_from_campaign(agg, "isp", "load"),
+    "fig2d": lambda agg: figures.fig2_from_campaign(agg, "random", "sla"),
+    "fig2e": lambda agg: figures.fig2_from_campaign(agg, "powerlaw", "sla"),
+    "fig2f": lambda agg: figures.fig2_from_campaign(agg, "isp", "sla"),
+    "fig4": figures.fig4_from_campaign,
+    "fig5a": lambda agg: figures.fig5_from_campaign(agg, "load"),
+    "fig5b": lambda agg: figures.fig5_from_campaign(agg, "sla"),
+}
+
+
+# ----------------------------------------------------------------------
+# Figure result → CSV rows
+# ----------------------------------------------------------------------
+def figure_csv(result: object) -> tuple[list[str], list[tuple]]:
+    """``(headers, rows)`` of the series a figure result plots.
+
+    Every figure/table result type of :mod:`repro.eval.figures` is
+    supported; an unknown type raises ``TypeError`` so a new figure
+    cannot silently render an empty table.
+    """
+    if isinstance(result, Fig2Result):
+        return (
+            ["topology", "mode", "target_utilization", "measured_utilization",
+             "ratio_high", "ratio_low"],
+            [(result.topology, result.mode, *row) for row in result.series.rows()],
+        )
+    if isinstance(result, (Fig4Result, Fig5Result, Fig8Result)):
+        mode = getattr(result, "mode", "load")
+        return (
+            ["mode", "series", "target_utilization", "measured_utilization",
+             "ratio_high", "ratio_low"],
+            [
+                (mode, series.label, *row)
+                for series in result.series
+                for row in series.rows()
+            ],
+        )
+    if isinstance(result, Fig3Result):
+        return (
+            ["mode", "high_density", "bin_low", "bin_high", "str_count", "dtr_count"],
+            [
+                (
+                    result.mode,
+                    result.high_density,
+                    float(result.bin_edges[i]),
+                    float(result.bin_edges[i + 1]),
+                    int(result.str_counts[i]),
+                    int(result.dtr_counts[i]),
+                )
+                for i in range(len(result.str_counts))
+            ],
+        )
+    if isinstance(result, Fig6Result):
+        return (
+            ["high_density", "rank", "str_high_utilization"],
+            [
+                (k, rank, float(value))
+                for k, curve in sorted(result.curves.items())
+                for rank, value in enumerate(curve)
+            ],
+        )
+    if isinstance(result, Fig7Result):
+        return (
+            ["prop_delay_ms", "str_utilization", "dtr_utilization"],
+            [
+                (
+                    float(result.prop_delays_ms[i]),
+                    float(result.str_utilization[i]),
+                    float(result.dtr_utilization[i]),
+                )
+                for i in range(len(result.prop_delays_ms))
+            ],
+        )
+    if isinstance(result, Fig9Result):
+        return (
+            ["theta_ms", "str_violations", "dtr_violations", "str_phi_low",
+             "dtr_phi_low", "str_max_utilization", "dtr_max_utilization"],
+            [
+                (p.theta_ms, p.str_violations, p.dtr_violations, p.str_phi_low,
+                 p.dtr_phi_low, p.str_max_utilization, p.dtr_max_utilization)
+                for p in result.points
+            ],
+        )
+    if isinstance(result, Table1Result):
+        return (
+            ["topology", "average_utilization", "ratio_low", "ratio_low_5pct",
+             "ratio_low_30pct"],
+            [
+                (topology, r.average_utilization, r.ratio_low, r.ratio_low_5pct,
+                 r.ratio_low_30pct)
+                for topology, rows in result.rows_by_topology.items()
+                for r in rows
+            ],
+        )
+    if isinstance(result, FigScenariosResult):
+        return (
+            ["kind", "scenarios", "disconnected", "str_worst_degradation",
+             "dtr_worst_degradation", "str_mean_phi_low", "dtr_mean_phi_low"],
+            [
+                (r.kind, r.scenarios, r.disconnected, r.str_worst_degradation,
+                 r.dtr_worst_degradation, r.str_mean_phi_low, r.dtr_mean_phi_low)
+                for r in result.rows
+            ],
+        )
+    raise TypeError(
+        f"no CSV extraction registered for figure result type "
+        f"{type(result).__name__}"
+    )
+
+
+# ----------------------------------------------------------------------
+# The pipeline
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RenderedFigure:
+    """One figure's outputs: where its table and plot landed."""
+
+    figure_id: str
+    source: str  # "campaign" or "computed"
+    csv_path: Path
+    figure_path: Path
+    rows: int
+
+
+@dataclass(frozen=True)
+class RenderSummary:
+    """Everything one :func:`render_results` call produced."""
+
+    out_dir: Path
+    figures: tuple[RenderedFigure, ...]
+    trend_paths: tuple[Path, ...]
+    index_path: Path
+
+    def format(self) -> str:
+        lines = [f"results pipeline → {self.out_dir}"]
+        for fig in self.figures:
+            lines.append(
+                f"  {fig.figure_id:>10} [{fig.source}] {fig.rows} rows → "
+                f"{fig.csv_path.name}, {fig.figure_path.name}"
+            )
+        for path in self.trend_paths:
+            lines.append(f"  trend {path.stem} → {path}")
+        lines.append(f"  index → {self.index_path}")
+        return "\n".join(lines)
+
+
+def render_results(
+    out_dir: Union[str, Path],
+    campaign_dir: Optional[Union[str, Path]] = None,
+    trends_dir: Optional[Union[str, Path]] = None,
+    baseline_dir: Optional[Union[str, Path]] = None,
+    figure_ids: Optional[Sequence[str]] = None,
+    scale: float = 0.05,
+    seed: int = 1,
+    echo: bool = False,
+) -> RenderSummary:
+    """Render CSV tables, ASCII figures, and perf-trend sparklines.
+
+    Args:
+        out_dir: Output root; ``tables/``, ``figures/``, ``trends/`` and
+            ``index.md`` are created inside it.
+        campaign_dir: Campaign store whose aggregated records back
+            figures 2/4/5 when their grid points are present.
+        trends_dir: A ``BENCH_*.json`` directory (e.g. CI's
+            ``bench-trends`` artifact) appended as the current point of
+            each trend sparkline.
+        baseline_dir: The committed baseline store the sparkline history
+            comes from; required for the trends section.
+        figure_ids: Subset of figure/table ids (default: all).
+        scale: Search-budget scale for figures that must be recomputed.
+        seed: Seed for recomputed figures.
+        echo: Print each figure's text as it completes.
+
+    Raises:
+        KeyError: when ``figure_ids`` names an unknown figure.
+    """
+    ids = list(figure_ids) if figure_ids else list(DEFAULT_FIGURES)
+    for figure_id in ids:
+        if figure_id not in RUNNERS:
+            raise KeyError(
+                f"unknown figure id {figure_id!r}; have {sorted(RUNNERS)}"
+            )
+
+    out_dir = Path(out_dir)
+    tables_dir = out_dir / "tables"
+    figures_dir = out_dir / "figures"
+    for directory in (tables_dir, figures_dir):
+        directory.mkdir(parents=True, exist_ok=True)
+
+    aggregate = None
+    if campaign_dir is not None:
+        from repro.eval.campaign import aggregate_campaign
+
+        aggregate = aggregate_campaign(campaign_dir)
+
+    rendered = []
+    for figure_id in ids:
+        result, source = None, "computed"
+        if aggregate is not None and figure_id in _CAMPAIGN_BACKED:
+            try:
+                result = _CAMPAIGN_BACKED[figure_id](aggregate)
+                source = "campaign"
+            except ValueError:
+                result = None  # grid points absent: recompute below
+        if result is None:
+            result = RUNNERS[figure_id](scale, seed)
+        headers, rows = figure_csv(result)
+        csv_path = tables_dir / f"{figure_id}.csv"
+        count = save_csv(csv_path, headers, rows)
+        figure_path = figures_dir / f"{figure_id}.txt"
+        body = result.format()
+        figure_path.write_text(body + "\n")
+        if echo:
+            print(body)
+            print(f"[{figure_id} rendered from {source}]", flush=True)
+        rendered.append(
+            RenderedFigure(
+                figure_id=figure_id,
+                source=source,
+                csv_path=csv_path,
+                figure_path=figure_path,
+                rows=count,
+            )
+        )
+
+    trend_paths = []
+    if baseline_dir is not None:
+        trends_out = out_dir / "trends"
+        trends_out.mkdir(parents=True, exist_ok=True)
+        for bench, block in trends.trend_lines(baseline_dir, trends_dir).items():
+            path = trends_out / f"{bench}.txt"
+            path.write_text(block + "\n")
+            trend_paths.append(path)
+
+    index_path = out_dir / "index.md"
+    index_path.write_text(_index_markdown(rendered, trend_paths, campaign_dir))
+    return RenderSummary(
+        out_dir=out_dir,
+        figures=tuple(rendered),
+        trend_paths=tuple(trend_paths),
+        index_path=index_path,
+    )
+
+
+def _index_markdown(
+    rendered: Sequence[RenderedFigure],
+    trend_paths: Sequence[Path],
+    campaign_dir: Optional[Union[str, Path]],
+) -> str:
+    lines = [
+        "# Results pipeline output",
+        "",
+        "Generated by `repro-dtr results render`.",
+        "",
+    ]
+    if campaign_dir is not None:
+        lines.extend([f"Campaign store: `{campaign_dir}`", ""])
+    lines.extend(["## Figures and tables", ""])
+    for fig in rendered:
+        lines.append(
+            f"- **{fig.figure_id}** ({fig.source}, {fig.rows} rows): "
+            f"[table](tables/{fig.csv_path.name}), "
+            f"[figure](figures/{fig.figure_path.name})"
+        )
+    if trend_paths:
+        lines.extend(["", "## Perf trends", ""])
+        for path in trend_paths:
+            lines.append(f"- **{path.stem}**: [sparklines](trends/{path.name})")
+    lines.append("")
+    return "\n".join(lines)

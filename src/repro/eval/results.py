@@ -10,10 +10,11 @@ in the archive.
 
 from __future__ import annotations
 
+import csv
 import dataclasses
 import json
 from pathlib import Path
-from typing import Any, Union
+from typing import Any, Iterable, Sequence, Union
 
 import numpy as np
 
@@ -67,6 +68,32 @@ def canonical_dumps(value: Any) -> str:
 def save_result(result: Any, path: Union[str, Path]) -> None:
     """Write any result dataclass to ``path`` as pretty-printed JSON."""
     Path(path).write_text(json.dumps(to_jsonable(result), indent=2))
+
+
+def save_csv(
+    path: Union[str, Path], headers: Sequence[str], rows: Iterable[Sequence[Any]]
+) -> int:
+    """Write one results table as CSV and return the number of data rows.
+
+    Values pass through :func:`to_jsonable` first, so numpy scalars and
+    ``LexCost`` cells serialize faithfully (a ``LexCost`` becomes its
+    JSON list form); anything unserializable raises, exactly like the
+    JSON writers.
+    """
+    path = Path(path)
+    count = 0
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(headers))
+        for row in rows:
+            cells = [to_jsonable(cell) for cell in row]
+            if len(cells) != len(headers):
+                raise ValueError(
+                    f"CSV row has {len(cells)} cells, expected {len(headers)}"
+                )
+            writer.writerow(cells)
+            count += 1
+    return count
 
 
 def load_result(path: Union[str, Path]) -> Any:

@@ -1,0 +1,620 @@
+"""Perf-trend baseline store and tolerance-band comparator.
+
+The benchmarks emit one ``BENCH_<name>.json`` trend artifact per bench
+(:mod:`benchmarks.conftest`); this module is what finally *consumes*
+them.  Three pieces:
+
+* a **baseline store** — committed snapshots under
+  ``benchmarks/baselines/`` with provenance (``scale``, ``seed``,
+  ``git``) and a bounded per-metric ``history`` of previous baseline
+  values, refreshed all-or-nothing by :func:`update_baselines`;
+* a **tolerance-band comparator** — :func:`compare_bench` /
+  :func:`compare_dirs` classify every baseline metric as improved /
+  within-band / regressed under per-metric :class:`MetricPolicy` rules
+  (direction, relative band, absolute floor) resolved from a
+  ``policy.json`` next to the baselines; the report knows its CI exit
+  code (0 ok, 2 schema/coverage mismatch, 3 regression under
+  ``strict``).  A bench present in the baselines but missing from the
+  run is a *coverage* failure, so gating can never silently narrow;
+* **trend rendering** — :func:`trend_lines` draws an ASCII sparkline
+  per metric over the recorded baseline history plus the current run.
+
+Everything here reads both artifact schema versions: schema 1
+(``{"bench", "schema", "metrics", "python"}``) and schema 2 (adds the
+provenance fields).  Malformed or truncated files raise
+:class:`BenchFormatError` — the comparator treats them as schema
+mismatches (exit 2), never as a silently passing gate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import fnmatch
+import json
+import math
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.eval.ascii_plot import format_sparkline, format_table
+
+KNOWN_SCHEMAS = (1, 2)
+HISTORY_LIMIT = 12
+"""Previous baseline values kept per metric when a baseline is refreshed."""
+
+POLICY_FILENAME = "policy.json"
+BENCH_PREFIX = "BENCH_"
+
+# Classification statuses, in the order the report table sorts them.
+REGRESSED = "regressed"
+MISSING = "missing"
+IMPROVED = "improved"
+WITHIN = "within-band"
+IGNORED = "ignored"
+_STATUS_ORDER = {REGRESSED: 0, MISSING: 1, IMPROVED: 2, WITHIN: 3, IGNORED: 4}
+
+
+class BenchFormatError(ValueError):
+    """A bench artifact, baseline, or policy file violates the schema."""
+
+
+# ----------------------------------------------------------------------
+# Artifact parsing (schema 1 and 2)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BenchArtifact:
+    """One parsed ``BENCH_<name>.json`` (either schema version).
+
+    ``metrics`` is the artifact's metric *tree* flattened to dotted
+    paths (``section.metric``, or deeper for benches that nest, e.g.
+    ``closed_loop.metrics.scheduler.batches``) — the comparator's unit
+    of gating is the numeric leaf, wherever it sits.
+    """
+
+    name: str
+    schema: int
+    metrics: dict[str, float]
+    python: Optional[str] = None
+    scale: Optional[float] = None
+    seed: Optional[int] = None
+    git: Optional[str] = None
+    history: dict[str, tuple[float, ...]] = field(default_factory=dict)
+
+    def metric_paths(self) -> list[str]:
+        """Dotted metric paths, sorted for stable output."""
+        return sorted(self.metrics)
+
+    def value(self, path: str) -> Optional[float]:
+        """The metric at dotted ``path``, or ``None`` when absent."""
+        return self.metrics.get(path)
+
+
+def _flatten_metrics(
+    tree: dict, source: str, prefix: str = ""
+) -> dict[str, float]:
+    flat: dict[str, float] = {}
+    for key, value in tree.items():
+        path = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.update(_flatten_metrics(value, source, prefix=f"{path}."))
+        elif isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise BenchFormatError(
+                f"{source}: metric {path} has non-numeric value {value!r}"
+            )
+        else:
+            flat[path] = float(value)
+    return flat
+
+
+def parse_bench(data: object, source: str = "<memory>") -> BenchArtifact:
+    """Validate one bench payload (schema 1 or 2) into a :class:`BenchArtifact`.
+
+    Raises:
+        BenchFormatError: on any structural violation — wrong top-level
+            type, missing keys, unknown schema version, non-object
+            metric sections, or non-numeric metric leaves.
+    """
+    if not isinstance(data, dict):
+        raise BenchFormatError(f"{source}: bench artifact must be a JSON object")
+    for key in ("bench", "schema", "metrics"):
+        if key not in data:
+            raise BenchFormatError(f"{source}: missing required key {key!r}")
+    schema = data["schema"]
+    if schema not in KNOWN_SCHEMAS:
+        raise BenchFormatError(
+            f"{source}: unknown schema version {schema!r}; known: {KNOWN_SCHEMAS}"
+        )
+    metrics_in = data["metrics"]
+    if not isinstance(metrics_in, dict):
+        raise BenchFormatError(f"{source}: 'metrics' must be an object")
+    metrics = _flatten_metrics(metrics_in, source)
+    history: dict[str, tuple[float, ...]] = {}
+    for path, values in (data.get("history") or {}).items():
+        if not isinstance(values, list):
+            raise BenchFormatError(f"{source}: history of {path!r} must be a list")
+        history[str(path)] = tuple(float(v) for v in values)
+    return BenchArtifact(
+        name=str(data["bench"]),
+        schema=int(schema),
+        metrics=metrics,
+        python=data.get("python"),
+        scale=data.get("scale"),
+        seed=data.get("seed"),
+        git=data.get("git"),
+        history=history,
+    )
+
+
+def load_bench(path: Union[str, Path]) -> BenchArtifact:
+    """Parse one ``BENCH_<name>.json`` file, either schema version.
+
+    Raises:
+        BenchFormatError: when the file is truncated, not JSON, or
+            violates the schema.
+        FileNotFoundError: when it does not exist.
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise BenchFormatError(
+            f"{path}: not valid JSON ({exc}); the artifact is likely truncated"
+        ) from exc
+    return parse_bench(data, source=str(path))
+
+
+def discover_benches(directory: Union[str, Path]) -> dict[str, Path]:
+    """Map bench name → path for every ``BENCH_*.json`` in ``directory``."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise FileNotFoundError(f"no such bench directory: {directory}")
+    found = {}
+    for path in sorted(directory.glob(f"{BENCH_PREFIX}*.json")):
+        found[path.stem[len(BENCH_PREFIX):]] = path
+    return found
+
+
+# ----------------------------------------------------------------------
+# Tolerance policies
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MetricPolicy:
+    """How one metric is judged against its baseline.
+
+    ``direction`` declares which way is better: ``"higher"`` (speedups,
+    throughput), ``"lower"`` (latencies), or ``"ignore"`` (provenance
+    counts and machine-absolute numbers that must not gate).  A change
+    in the worse direction regresses only when it exceeds *both* the
+    relative band (``relative_band * |baseline|``) and the absolute
+    floor — the floor keeps near-zero baselines from turning noise into
+    a failure.
+    """
+
+    direction: str = "higher"
+    relative_band: float = 0.25
+    absolute_floor: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("higher", "lower", "ignore"):
+            raise BenchFormatError(
+                f"policy direction must be higher/lower/ignore, got "
+                f"{self.direction!r}"
+            )
+        if self.relative_band < 0 or self.absolute_floor < 0:
+            raise BenchFormatError("policy bands must be non-negative")
+
+    def allowance(self, baseline: float) -> float:
+        """Largest worse-direction delta that still counts as in-band."""
+        return max(self.absolute_floor, self.relative_band * abs(baseline))
+
+
+@dataclass(frozen=True)
+class TolerancePolicy:
+    """Per-metric policy resolution: defaults plus ordered glob overrides.
+
+    Overrides match the dotted ``bench.section.metric`` path with
+    :func:`fnmatch.fnmatch`; later entries win, so a policy file reads
+    top-down from general to specific.  Override entries may set any
+    subset of the :class:`MetricPolicy` fields; unset fields inherit.
+    """
+
+    defaults: MetricPolicy = field(default_factory=MetricPolicy)
+    overrides: tuple[tuple[str, dict], ...] = ()
+
+    def for_metric(self, path: str) -> MetricPolicy:
+        """Resolve the effective policy for a dotted metric path."""
+        resolved = dataclasses.asdict(self.defaults)
+        for pattern, partial in self.overrides:
+            if fnmatch.fnmatch(path, pattern):
+                resolved.update(partial)
+        return MetricPolicy(**resolved)
+
+    @classmethod
+    def from_jsonable(cls, data: object, source: str = "<memory>") -> "TolerancePolicy":
+        """Build from the ``policy.json`` shape; validates eagerly."""
+        if not isinstance(data, dict):
+            raise BenchFormatError(f"{source}: policy must be a JSON object")
+        known_fields = {f.name for f in dataclasses.fields(MetricPolicy)}
+
+        def check_partial(partial: object, label: str) -> dict:
+            if not isinstance(partial, dict):
+                raise BenchFormatError(f"{source}: {label} must be an object")
+            unknown = set(partial) - known_fields
+            if unknown:
+                raise BenchFormatError(
+                    f"{source}: {label} has unknown policy fields {sorted(unknown)}"
+                )
+            return dict(partial)
+
+        defaults = MetricPolicy(**check_partial(data.get("defaults", {}), "'defaults'"))
+        overrides = []
+        raw = data.get("overrides", [])
+        if not isinstance(raw, list):
+            raise BenchFormatError(f"{source}: 'overrides' must be a list")
+        for i, entry in enumerate(raw):
+            if not isinstance(entry, dict) or "match" not in entry:
+                raise BenchFormatError(
+                    f"{source}: overrides[{i}] must be an object with a 'match' glob"
+                )
+            partial = {k: v for k, v in entry.items() if k != "match"}
+            partial = check_partial(partial, f"overrides[{i}]")
+            # Validate the merged result now, not at first use.
+            MetricPolicy(**{**dataclasses.asdict(defaults), **partial})
+            overrides.append((str(entry["match"]), partial))
+        return cls(defaults=defaults, overrides=tuple(overrides))
+
+
+def load_policy(directory: Union[str, Path]) -> TolerancePolicy:
+    """Load ``policy.json`` from a baseline directory (defaults when absent)."""
+    path = Path(directory) / POLICY_FILENAME
+    if not path.exists():
+        return TolerancePolicy()
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise BenchFormatError(f"{path}: not valid JSON ({exc})") from exc
+    return TolerancePolicy.from_jsonable(data, source=str(path))
+
+
+# ----------------------------------------------------------------------
+# Comparator
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MetricComparison:
+    """One metric's verdict: baseline vs current under its policy."""
+
+    path: str  # dotted bench.section.metric
+    status: str
+    baseline: Optional[float]
+    current: Optional[float]
+    allowance: float
+    direction: str
+
+    @property
+    def delta(self) -> Optional[float]:
+        if self.baseline is None or self.current is None:
+            return None
+        return self.current - self.baseline
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """The full verdict of a current bench directory against the baselines.
+
+    ``problems`` carries schema/coverage failures (truncated artifacts,
+    NaN values, benches or metrics present in the baselines but absent
+    from the run); any entry there makes the report exit 2 regardless of
+    strictness.  ``new_benches`` (present in the run, not yet
+    baselined) are informational only.
+    """
+
+    metrics: tuple[MetricComparison, ...]
+    problems: tuple[str, ...] = ()
+    new_benches: tuple[str, ...] = ()
+
+    def by_status(self, status: str) -> list[MetricComparison]:
+        return [m for m in self.metrics if m.status == status]
+
+    @property
+    def regressions(self) -> list[MetricComparison]:
+        return self.by_status(REGRESSED)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems and not self.regressions
+
+    def exit_code(self, strict: bool = False) -> int:
+        """The CI gate contract: 2 schema/coverage, 3 regression, else 0."""
+        if self.problems:
+            return 2
+        if strict and self.regressions:
+            return 3
+        return 0
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for m in self.metrics:
+            out[m.status] = out.get(m.status, 0) + 1
+        return out
+
+    def format(self) -> str:
+        """The human table plus a one-line verdict."""
+        rows = []
+        for m in sorted(
+            self.metrics, key=lambda m: (_STATUS_ORDER[m.status], m.path)
+        ):
+            rows.append(
+                (
+                    m.path,
+                    "-" if m.baseline is None else f"{m.baseline:.4g}",
+                    "-" if m.current is None else f"{m.current:.4g}",
+                    "-" if m.delta is None else f"{m.delta:+.4g}",
+                    "-" if m.direction == "ignore"
+                    else f"{m.direction}±{m.allowance:.3g}",
+                    m.status,
+                )
+            )
+        lines = [format_table(
+            ["metric", "baseline", "current", "delta", "band", "status"], rows
+        )]
+        for problem in self.problems:
+            lines.append(f"PROBLEM: {problem}")
+        if self.new_benches:
+            lines.append(
+                "new benches (not yet baselined): " + ", ".join(self.new_benches)
+            )
+        counts = self.counts()
+        summary = ", ".join(
+            f"{counts[s]} {s}" for s in _STATUS_ORDER if counts.get(s)
+        ) or "no metrics"
+        if self.problems:
+            verdict = "SCHEMA/COVERAGE MISMATCH"
+        elif self.regressions:
+            verdict = "REGRESSED: " + ", ".join(m.path for m in self.regressions)
+        else:
+            verdict = "OK"
+        lines.append(f"verdict: {verdict} ({summary})")
+        return "\n".join(lines)
+
+
+def _compare_metric(
+    path: str, baseline: float, current: Optional[float], policy: MetricPolicy
+) -> tuple[MetricComparison, Optional[str]]:
+    """Classify one metric; also return a problem string when it cannot gate."""
+    comparison = lambda status: MetricComparison(  # noqa: E731
+        path=path,
+        status=status,
+        baseline=baseline,
+        current=current,
+        allowance=policy.allowance(baseline),
+        direction=policy.direction,
+    )
+    if not math.isfinite(baseline):
+        return comparison(MISSING), f"{path}: baseline value {baseline!r} is not finite"
+    if policy.direction == "ignore":
+        return comparison(IGNORED), None
+    if current is None:
+        return comparison(MISSING), (
+            f"{path}: present in baseline but missing from the current run"
+        )
+    if not math.isfinite(current):
+        return comparison(MISSING), f"{path}: current value {current!r} is not finite"
+    worse = baseline - current if policy.direction == "higher" else current - baseline
+    if worse < 0:
+        return comparison(IMPROVED), None
+    if worse <= policy.allowance(baseline):
+        return comparison(WITHIN), None
+    return comparison(REGRESSED), None
+
+
+def compare_bench(
+    current: Optional[BenchArtifact],
+    baseline: BenchArtifact,
+    policy: TolerancePolicy,
+) -> ComparisonReport:
+    """Compare one bench artifact against its baseline snapshot.
+
+    Coverage is judged from the baseline's side: every baseline metric
+    must appear in ``current`` (``current=None`` means the whole bench
+    was missing from the run — every non-ignored metric becomes a
+    coverage problem).  Metrics only present in ``current`` are
+    reported as new benches at directory level, never here.
+    """
+    metrics: list[MetricComparison] = []
+    problems: list[str] = []
+    if current is None:
+        problems.append(
+            f"bench {baseline.name!r}: present in baselines but missing from "
+            "the current run"
+        )
+    for path in baseline.metric_paths():
+        value = baseline.value(path)
+        current_value = None if current is None else current.value(path)
+        comparison, problem = _compare_metric(
+            f"{baseline.name}.{path}",
+            value,
+            current_value,
+            policy.for_metric(f"{baseline.name}.{path}"),
+        )
+        metrics.append(comparison)
+        if problem and current is not None:
+            problems.append(problem)
+    if not baseline.metrics:
+        problems.append(f"bench {baseline.name!r}: baseline has no metrics to gate on")
+    return ComparisonReport(metrics=tuple(metrics), problems=tuple(problems))
+
+
+def compare_dirs(
+    current_dir: Union[str, Path],
+    baseline_dir: Union[str, Path],
+    policy: Optional[TolerancePolicy] = None,
+) -> ComparisonReport:
+    """Compare every committed baseline against a current bench directory.
+
+    The policy defaults to ``<baseline_dir>/policy.json``.  Unreadable
+    or malformed artifacts on either side become problems (exit 2), not
+    exceptions — the gate must report, not crash.
+    """
+    baseline_dir = Path(baseline_dir)
+    if policy is None:
+        policy = load_policy(baseline_dir)
+    baselines = discover_benches(baseline_dir)
+    if not baselines:
+        raise FileNotFoundError(f"no {BENCH_PREFIX}*.json baselines in {baseline_dir}")
+    try:
+        currents = discover_benches(current_dir)
+    except FileNotFoundError:
+        currents = {}
+    metrics: list[MetricComparison] = []
+    problems: list[str] = []
+    if not currents:
+        problems.append(f"no {BENCH_PREFIX}*.json artifacts in {current_dir}")
+    for name, path in baselines.items():
+        try:
+            baseline = load_bench(path)
+        except BenchFormatError as exc:
+            problems.append(str(exc))
+            continue
+        current: Optional[BenchArtifact] = None
+        if name in currents:
+            try:
+                current = load_bench(currents[name])
+            except BenchFormatError as exc:
+                problems.append(str(exc))
+                continue
+        report = compare_bench(current, baseline, policy)
+        metrics.extend(report.metrics)
+        problems.extend(report.problems)
+    new = tuple(sorted(set(currents) - set(baselines)))
+    return ComparisonReport(
+        metrics=tuple(metrics), problems=tuple(problems), new_benches=new
+    )
+
+
+# ----------------------------------------------------------------------
+# Baseline store
+# ----------------------------------------------------------------------
+def _write_atomic(path: Path, text: str) -> None:
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+@dataclass(frozen=True)
+class BaselineUpdate:
+    """What :func:`update_baselines` wrote: bench name → baseline path."""
+
+    written: dict[str, Path]
+
+    def format(self) -> str:
+        lines = [f"updated {len(self.written)} baseline(s):"]
+        lines.extend(f"  {name}: {path}" for name, path in sorted(self.written.items()))
+        return "\n".join(lines)
+
+
+def update_baselines(
+    current_dir: Union[str, Path],
+    baseline_dir: Union[str, Path],
+    allow_new: bool = True,
+) -> BaselineUpdate:
+    """Refresh the committed baselines from a current bench directory.
+
+    All-or-nothing: every current artifact is parsed and validated
+    first, and every *existing* baseline must be covered by the run —
+    a partial run can never overwrite half the store and leave the gate
+    comparing apples to apples-from-last-month.  Each refreshed
+    baseline appends the previous baseline's metric values to a bounded
+    per-metric ``history`` (last :data:`HISTORY_LIMIT`), which the
+    trend sparklines render.
+
+    Raises:
+        BenchFormatError: when any current artifact is malformed, or
+            the run covers only a subset of the existing baselines.
+        FileNotFoundError: when ``current_dir`` has no artifacts.
+    """
+    current_dir = Path(current_dir)
+    baseline_dir = Path(baseline_dir)
+    currents_paths = discover_benches(current_dir)
+    if not currents_paths:
+        raise FileNotFoundError(f"no {BENCH_PREFIX}*.json artifacts in {current_dir}")
+    currents = {name: load_bench(path) for name, path in currents_paths.items()}
+
+    baseline_dir.mkdir(parents=True, exist_ok=True)
+    existing = discover_benches(baseline_dir)
+    uncovered = sorted(set(existing) - set(currents))
+    if uncovered:
+        raise BenchFormatError(
+            "refusing partial baseline update: the run is missing existing "
+            f"baseline bench(es) {uncovered}; re-run the full bench suite or "
+            "delete the stale baselines explicitly"
+        )
+    if not allow_new:
+        extra = sorted(set(currents) - set(existing))
+        if extra:
+            raise BenchFormatError(
+                f"refusing to add new baseline bench(es) {extra} (allow_new=False)"
+            )
+
+    written: dict[str, Path] = {}
+    for name, artifact in sorted(currents.items()):
+        path = baseline_dir / f"{BENCH_PREFIX}{name}.json"
+        history: dict[str, list[float]] = {}
+        if name in existing:
+            previous = load_bench(path)
+            for metric_path in previous.metric_paths():
+                trail = list(previous.history.get(metric_path, ()))
+                trail.append(previous.value(metric_path))
+                history[metric_path] = trail[-HISTORY_LIMIT:]
+        payload = {
+            "bench": artifact.name,
+            "schema": max(artifact.schema, 2),
+            "metrics": artifact.metrics,
+            "python": artifact.python,
+            "scale": artifact.scale,
+            "seed": artifact.seed,
+            "git": artifact.git,
+            "history": history,
+        }
+        _write_atomic(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        written[name] = path
+    return BaselineUpdate(written=written)
+
+
+# ----------------------------------------------------------------------
+# Trend rendering
+# ----------------------------------------------------------------------
+def trend_lines(
+    baseline_dir: Union[str, Path],
+    current_dir: Optional[Union[str, Path]] = None,
+    benches: Optional[Iterable[str]] = None,
+) -> dict[str, str]:
+    """Per-bench ASCII trend blocks: one sparkline per metric.
+
+    Each line covers the recorded baseline history (oldest first), then
+    the committed baseline, then — when ``current_dir`` is given and
+    holds the bench — the current run's value, so the rightmost step of
+    the sparkline is "this run vs everything committed".
+    """
+    baselines = discover_benches(baseline_dir)
+    currents = discover_benches(current_dir) if current_dir else {}
+    names: Sequence[str] = sorted(benches) if benches else sorted(baselines)
+    blocks: dict[str, str] = {}
+    for name in names:
+        if name not in baselines:
+            raise FileNotFoundError(f"no baseline for bench {name!r} in {baseline_dir}")
+        baseline = load_bench(baselines[name])
+        current = load_bench(currents[name]) if name in currents else None
+        rows = []
+        for path in baseline.metric_paths():
+            values = list(baseline.history.get(path, ()))
+            values.append(baseline.value(path))
+            latest = baseline.value(path)
+            if current is not None and current.value(path) is not None:
+                latest = current.value(path)
+                values.append(latest)
+            rows.append(
+                (path, format_sparkline(values), len(values), f"{latest:.4g}")
+            )
+        blocks[name] = format_table(["metric", "trend", "n", "latest"], rows)
+    return blocks

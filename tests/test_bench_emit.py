@@ -1,0 +1,81 @@
+"""Atomicity and schema of the bench trend emitter
+(:func:`benchmarks.conftest.emit_bench`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCHEMA_VERSION, emit_bench
+from repro.eval.trends import load_bench
+
+
+@pytest.fixture
+def bench_dir(tmp_path, monkeypatch):
+    out = tmp_path / "bench-trends"
+    monkeypatch.setenv("REPRO_BENCH_JSON", str(out))
+    return out
+
+
+def test_emit_writes_schema2_with_provenance(bench_dir):
+    emit_bench("alpha", "run", {"speedup": 3.0})
+    artifact = load_bench(bench_dir / "BENCH_alpha.json")
+    assert artifact.schema == BENCH_SCHEMA_VERSION == 2
+    assert artifact.value("run.speedup") == 3.0
+    assert artifact.scale is not None and artifact.seed is not None
+    # Inside this checkout the sha resolves; the field must exist either way.
+    payload = json.loads((bench_dir / "BENCH_alpha.json").read_text())
+    assert "git" in payload
+
+
+def test_emit_merges_sections_across_calls(bench_dir):
+    emit_bench("alpha", "first", {"a": 1.0})
+    emit_bench("alpha", "second", {"b": 2.0})
+    artifact = load_bench(bench_dir / "BENCH_alpha.json")
+    assert artifact.metrics == {"first.a": 1.0, "second.b": 2.0}
+
+
+def test_emit_merges_into_schema1_file(bench_dir):
+    bench_dir.mkdir(parents=True)
+    (bench_dir / "BENCH_alpha.json").write_text(
+        json.dumps(
+            {
+                "bench": "alpha",
+                "schema": 1,
+                "metrics": {"old": {"a": 1.0}},
+                "python": "3.10.0",
+            }
+        )
+    )
+    emit_bench("alpha", "new", {"b": 2.0})
+    artifact = load_bench(bench_dir / "BENCH_alpha.json")
+    assert artifact.schema == 2  # rewrites upgrade the schema
+    assert artifact.metrics == {"old.a": 1.0, "new.b": 2.0}
+
+
+def test_emit_recovers_from_injected_partial_file(bench_dir):
+    """A truncated artifact (crash predating atomic writes) is rebuilt."""
+    bench_dir.mkdir(parents=True)
+    (bench_dir / "BENCH_alpha.json").write_text('{"bench": "alpha", "metr')
+    emit_bench("alpha", "run", {"speedup": 3.0})
+    artifact = load_bench(bench_dir / "BENCH_alpha.json")
+    assert artifact.metrics == {"run.speedup": 3.0}
+
+
+def test_emit_leaves_no_tmp_files(bench_dir):
+    emit_bench("alpha", "run", {"speedup": 3.0})
+    emit_bench("beta", "run", {"speedup": 2.0})
+    leftovers = [p.name for p in bench_dir.iterdir() if p.suffix == ".tmp"]
+    assert leftovers == []
+    assert sorted(p.name for p in bench_dir.glob("BENCH_*.json")) == [
+        "BENCH_alpha.json",
+        "BENCH_beta.json",
+    ]
+
+
+def test_emit_is_a_noop_without_env(tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_JSON", raising=False)
+    monkeypatch.chdir(tmp_path)
+    emit_bench("alpha", "run", {"speedup": 3.0})
+    assert list(tmp_path.iterdir()) == []

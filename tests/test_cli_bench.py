@@ -1,0 +1,218 @@
+"""Exit-code contract of ``bench compare/baseline-update/trends`` and
+``results render`` (:mod:`repro.cli`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def write_bench(directory, name="alpha", speedup=3.0):
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / f"BENCH_{name}.json").write_text(
+        json.dumps(
+            {
+                "bench": name,
+                "schema": 2,
+                "metrics": {"run": {"speedup": speedup}},
+                "python": "3.11.7",
+                "scale": 0.05,
+                "seed": 1,
+                "git": None,
+            }
+        )
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    """Seeded baselines (speedup=3.0, gated higher ±25%) + current dir."""
+    baselines = tmp_path / "baselines"
+    current = tmp_path / "current"
+    write_bench(current)
+    (tmp_path / "policy.json")  # no policy file: defaults apply
+    assert (
+        main(
+            [
+                "bench",
+                "baseline-update",
+                "--current-dir",
+                str(current),
+                "--baseline-dir",
+                str(baselines),
+            ]
+        )
+        == 0
+    )
+    (baselines / "policy.json").write_text(
+        json.dumps(
+            {
+                "defaults": {
+                    "direction": "higher",
+                    "relative_band": 0.25,
+                    "absolute_floor": 0.0,
+                }
+            }
+        )
+    )
+    return baselines, current
+
+
+def compare(baselines, current, *extra):
+    return main(
+        [
+            "bench",
+            "compare",
+            "--current-dir",
+            str(current),
+            "--baseline-dir",
+            str(baselines),
+            *extra,
+        ]
+    )
+
+
+def test_compare_clean_exits_zero(store, capsys):
+    baselines, current = store
+    assert compare(baselines, current, "--strict") == 0
+    assert "verdict: OK" in capsys.readouterr().out
+
+
+def test_compare_regression_exits_three_only_under_strict(store, capsys):
+    baselines, current = store
+    write_bench(current, speedup=1.0)
+    assert compare(baselines, current) == 0  # informational
+    assert compare(baselines, current, "--strict") == 3
+    captured = capsys.readouterr()
+    assert "alpha.run.speedup" in captured.err  # names the metric
+    assert "REGRESSED" in captured.out
+
+
+def test_compare_missing_bench_exits_two(store, tmp_path):
+    baselines, _ = store
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert compare(baselines, empty, "--strict") == 2
+
+
+def test_compare_truncated_artifact_exits_two(store):
+    baselines, current = store
+    (current / "BENCH_alpha.json").write_text('{"bench": "alpha", "sch')
+    assert compare(baselines, current, "--strict") == 2
+
+
+def test_compare_nonexistent_baseline_dir_exits_two(store, tmp_path):
+    _, current = store
+    assert compare(tmp_path / "nope", current) == 2
+
+
+def test_compare_json_verdict(store, tmp_path, capsys):
+    baselines, current = store
+    write_bench(current, speedup=1.0)
+    out = tmp_path / "verdict.json"
+    assert compare(baselines, current, "--strict", "--json", str(out)) == 3
+    payload = json.loads(out.read_text())
+    assert payload["regressions"] == ["alpha.run.speedup"]
+    assert payload["exit_code"] == 3
+
+
+def test_baseline_update_partial_run_exits_two(store, capsys):
+    baselines, current = store
+    write_bench(current, "beta")
+    assert (
+        main(
+            [
+                "bench",
+                "baseline-update",
+                "--current-dir",
+                str(current),
+                "--baseline-dir",
+                str(baselines),
+            ]
+        )
+        == 0
+    )
+    (current / "BENCH_beta.json").unlink()
+    code = main(
+        [
+            "bench",
+            "baseline-update",
+            "--current-dir",
+            str(current),
+            "--baseline-dir",
+            str(baselines),
+        ]
+    )
+    assert code == 2
+    assert "partial" in capsys.readouterr().err
+
+
+def test_baseline_update_no_new_exits_two(store):
+    baselines, current = store
+    write_bench(current, "beta")
+    code = main(
+        [
+            "bench",
+            "baseline-update",
+            "--current-dir",
+            str(current),
+            "--baseline-dir",
+            str(baselines),
+            "--no-new",
+        ]
+    )
+    assert code == 2
+
+
+def test_bench_trends_prints_sparklines(store, capsys):
+    baselines, current = store
+    code = main(
+        [
+            "bench",
+            "trends",
+            "--baseline-dir",
+            str(baselines),
+            "--current-dir",
+            str(current),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "== alpha" in out and "run.speedup" in out
+
+
+def test_results_render_unknown_figure_exits_two(tmp_path, capsys):
+    code = main(
+        ["results", "render", "--out", str(tmp_path / "o"), "--figures", "fig99"]
+    )
+    assert code == 2
+    assert "unknown figure id" in capsys.readouterr().err
+
+
+def test_results_render_trends_only(store, tmp_path, capsys):
+    baselines, current = store
+    out = tmp_path / "render"
+    code = main(
+        [
+            "results",
+            "render",
+            "--out",
+            str(out),
+            "--trends",
+            str(current),
+            "--baselines",
+            str(baselines),
+            "--figures",
+            "fig3a",
+            "--scale",
+            "0.01",
+        ]
+    )
+    assert code == 0
+    assert (out / "trends" / "alpha.txt").exists()
+    assert (out / "tables" / "fig3a.csv").read_text().count("\n") >= 2
+    assert (out / "figures" / "fig3a.txt").exists()
+    assert (out / "index.md").exists()

@@ -1,0 +1,195 @@
+"""The raw → table → figure pipeline (:mod:`repro.eval.pipeline`)."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.eval import figures
+from repro.eval.pipeline import (
+    DEFAULT_FIGURES,
+    figure_csv,
+    render_results,
+)
+from repro.eval.report import RUNNERS
+
+TINY = 0.01  # search-budget scale for in-test recomputation
+
+
+@pytest.fixture(scope="module")
+def campaign_dir(tmp_path_factory):
+    """A real two-record campaign store (isp/load, the fig2c grid point)."""
+    from repro.eval.campaign import CampaignSpec, run_campaign
+
+    root = tmp_path_factory.mktemp("campaign")
+    spec = CampaignSpec(
+        topologies=("isp",),
+        modes=("load",),
+        target_utilizations=(0.5, 0.6),
+        seeds=(1,),
+        scale=TINY,
+    )
+    run_campaign(spec, root)
+    return root
+
+
+def read_csv(path):
+    with open(path, newline="") as handle:
+        rows = list(csv.reader(handle))
+    return rows[0], rows[1:]
+
+
+# ----------------------------------------------------------------------
+# CSV extraction per figure type
+# ----------------------------------------------------------------------
+def test_figure_csv_covers_every_registered_figure_type():
+    # Build the cheapest instance of each result type directly.
+    seen = set()
+    results = [
+        figures.Fig2Result(
+            topology="isp",
+            mode="load",
+            series=figures.RatioSeries(
+                "isp", (figures.RatioPoint(0.5, 0.51, 1.0, 2.0),)
+            ),
+        ),
+        figures.Fig3Result(
+            mode="load",
+            high_density=0.1,
+            bin_edges=np.array([0.0, 0.5, 1.0]),
+            str_counts=np.array([3, 1]),
+            dtr_counts=np.array([2, 2]),
+        ),
+        figures.Fig4Result(
+            series=(
+                figures.RatioSeries(
+                    "f=20%", (figures.RatioPoint(0.5, 0.51, 1.0, 2.0),)
+                ),
+            )
+        ),
+        figures.Fig5Result(
+            mode="sla",
+            series=(
+                figures.RatioSeries(
+                    "k=10%", (figures.RatioPoint(0.5, 0.51, 1.0, 2.0),)
+                ),
+            ),
+        ),
+        figures.Fig6Result(curves={0.1: np.array([0.9, 0.5])}),
+        figures.Fig7Result(
+            prop_delays_ms=np.array([1.0, 2.0]),
+            str_utilization=np.array([0.5, 0.6]),
+            dtr_utilization=np.array([0.4, 0.3]),
+        ),
+        figures.Fig8Result(
+            mode="load",
+            series=(
+                figures.RatioSeries(
+                    "Uniform", (figures.RatioPoint(0.5, 0.51, 1.0, 2.0),)
+                ),
+            ),
+        ),
+        figures.Fig9Result(
+            points=(figures.Fig9Point(25.0, 3, 1, 10.0, 5.0, 0.9, 0.7),)
+        ),
+        figures.Table1Result(
+            rows_by_topology={"isp": (figures.Table1Row(0.5, 4.0, 3.0, 2.0),)}
+        ),
+        figures.FigScenariosResult(
+            topology="isp",
+            mode="load",
+            kinds=("link",),
+            baseline_str_phi_low=1.0,
+            baseline_dtr_phi_low=1.0,
+            rows=(figures.ScenarioClassRow("link", 5, 1, 1.2, 1.1, 2.0, 1.5),),
+        ),
+    ]
+    for result in results:
+        headers, rows = figure_csv(result)
+        assert headers and rows, type(result).__name__
+        assert all(len(row) == len(headers) for row in rows)
+        seen.add(type(result).__name__)
+    assert len(seen) == len(results)
+
+
+def test_figure_csv_rejects_unknown_types():
+    with pytest.raises(TypeError, match="no CSV extraction"):
+        figure_csv(object())
+
+
+def test_default_figures_match_report_registry():
+    assert set(DEFAULT_FIGURES) == set(RUNNERS)
+
+
+# ----------------------------------------------------------------------
+# End-to-end rendering
+# ----------------------------------------------------------------------
+def test_render_campaign_backed_figure(campaign_dir, tmp_path):
+    summary = render_results(
+        tmp_path / "out",
+        campaign_dir=campaign_dir,
+        figure_ids=["fig2c"],
+        scale=TINY,
+    )
+    (fig,) = summary.figures
+    assert fig.source == "campaign"
+    headers, rows = read_csv(fig.csv_path)
+    assert headers[:2] == ["topology", "mode"]
+    assert len(rows) == 2  # the two utilization grid points
+    assert all(row[0] == "isp" for row in rows)
+    assert fig.figure_path.read_text().startswith("Fig.2 [isp")
+    assert "fig2c" in summary.index_path.read_text()
+
+
+def test_render_falls_back_to_recompute_when_grid_absent(campaign_dir, tmp_path):
+    # fig2a needs random/load records; the campaign only holds isp/load.
+    summary = render_results(
+        tmp_path / "out",
+        campaign_dir=campaign_dir,
+        figure_ids=["fig3a"],
+        scale=TINY,
+    )
+    (fig,) = summary.figures
+    assert fig.source == "computed"
+    headers, rows = read_csv(fig.csv_path)
+    assert "bin_low" in headers
+    assert rows
+
+
+def test_render_trends_section(campaign_dir, tmp_path):
+    from repro.eval.trends import update_baselines
+
+    current = tmp_path / "bench"
+    current.mkdir()
+    (current / "BENCH_alpha.json").write_text(
+        json.dumps(
+            {
+                "bench": "alpha",
+                "schema": 2,
+                "metrics": {"run": {"speedup": 3.0}},
+                "python": "3.11.7",
+            }
+        )
+    )
+    baselines = tmp_path / "baselines"
+    update_baselines(current, baselines)
+    summary = render_results(
+        tmp_path / "out",
+        campaign_dir=campaign_dir,
+        trends_dir=current,
+        baseline_dir=baselines,
+        figure_ids=["fig2c"],
+        scale=TINY,
+    )
+    (trend,) = summary.trend_paths
+    assert trend.stem == "alpha"
+    assert "run.speedup" in trend.read_text()
+    assert "Perf trends" in summary.index_path.read_text()
+
+
+def test_render_rejects_unknown_figure_id(tmp_path):
+    with pytest.raises(KeyError, match="unknown figure id"):
+        render_results(tmp_path / "out", figure_ids=["fig99"])

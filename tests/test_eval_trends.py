@@ -1,0 +1,376 @@
+"""Baseline store and tolerance-band comparator (:mod:`repro.eval.trends`)."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.eval.trends import (
+    HISTORY_LIMIT,
+    BenchFormatError,
+    MetricPolicy,
+    TolerancePolicy,
+    compare_bench,
+    compare_dirs,
+    discover_benches,
+    load_bench,
+    load_policy,
+    parse_bench,
+    trend_lines,
+    update_baselines,
+)
+
+
+def make_artifact(name="alpha", schema=2, metrics=None, **extra):
+    payload = {
+        "bench": name,
+        "schema": schema,
+        "metrics": {"run": {"speedup": 3.0, "elapsed_ms": 120.0}}
+        if metrics is None
+        else metrics,
+        "python": "3.11.7",
+    }
+    if schema >= 2:
+        payload.update({"scale": 0.05, "seed": 1, "git": "deadbeef"})
+    payload.update(extra)
+    return payload
+
+
+def write_bench(directory, name="alpha", **kwargs):
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(json.dumps(make_artifact(name=name, **kwargs)))
+    return path
+
+
+HIGHER = TolerancePolicy(defaults=MetricPolicy("higher", 0.25, 0.0))
+
+
+# ----------------------------------------------------------------------
+# Parsing: both schema versions, nesting, malformed input
+# ----------------------------------------------------------------------
+def test_parse_accepts_both_schema_versions():
+    for schema in (1, 2):
+        artifact = parse_bench(make_artifact(schema=schema))
+        assert artifact.schema == schema
+        assert artifact.value("run.speedup") == 3.0
+    assert parse_bench(make_artifact(schema=1)).git is None
+    assert parse_bench(make_artifact(schema=2)).git == "deadbeef"
+
+
+def test_parse_flattens_nested_metric_trees():
+    artifact = parse_bench(
+        make_artifact(metrics={"a": {"b": {"c": 1.5}, "d": 2}})
+    )
+    assert artifact.metrics == {"a.b.c": 1.5, "a.d": 2.0}
+
+
+@pytest.mark.parametrize(
+    "mutation",
+    [
+        {"schema": 99},
+        {"metrics": "not-a-dict"},
+        {"metrics": {"run": {"speedup": "fast"}}},
+        {"metrics": {"run": {"flag": True}}},
+    ],
+)
+def test_parse_rejects_schema_violations(mutation):
+    with pytest.raises(BenchFormatError):
+        parse_bench(make_artifact(**mutation))
+
+
+def test_parse_rejects_missing_keys():
+    payload = make_artifact()
+    del payload["metrics"]
+    with pytest.raises(BenchFormatError, match="metrics"):
+        parse_bench(payload)
+
+
+def test_load_bench_rejects_truncated_file(tmp_path):
+    path = tmp_path / "BENCH_alpha.json"
+    path.write_text(json.dumps(make_artifact())[:25])
+    with pytest.raises(BenchFormatError, match="truncated"):
+        load_bench(path)
+
+
+# ----------------------------------------------------------------------
+# Policies
+# ----------------------------------------------------------------------
+def test_policy_override_resolution_later_wins():
+    policy = TolerancePolicy.from_jsonable(
+        {
+            "defaults": {"direction": "ignore", "relative_band": 0.5},
+            "overrides": [
+                {"match": "*.speedup", "direction": "higher"},
+                {"match": "alpha.*", "relative_band": 0.1},
+            ],
+        }
+    )
+    resolved = policy.for_metric("alpha.run.speedup")
+    assert resolved.direction == "higher"  # first override
+    assert resolved.relative_band == 0.1  # later override wins
+    assert policy.for_metric("beta.run.elapsed").direction == "ignore"
+
+
+@pytest.mark.parametrize(
+    "data",
+    [
+        {"defaults": {"direction": "sideways"}},
+        {"defaults": {"relative_band": -1}},
+        {"overrides": [{"direction": "higher"}]},  # no match glob
+        {"overrides": [{"match": "*", "banana": 1}]},
+        "not-an-object",
+    ],
+)
+def test_policy_rejects_malformed_input(data):
+    with pytest.raises(BenchFormatError):
+        TolerancePolicy.from_jsonable(data)
+
+
+def test_load_policy_defaults_when_absent(tmp_path):
+    assert load_policy(tmp_path) == TolerancePolicy()
+
+
+def test_metric_policy_allowance_uses_floor_near_zero():
+    policy = MetricPolicy("higher", relative_band=0.25, absolute_floor=0.5)
+    assert policy.allowance(0.0) == 0.5
+    assert policy.allowance(100.0) == 25.0
+
+
+# ----------------------------------------------------------------------
+# Comparator classification
+# ----------------------------------------------------------------------
+def compare_values(baseline, current, direction="higher", band=0.25, floor=0.0):
+    policy = TolerancePolicy(defaults=MetricPolicy(direction, band, floor))
+    report = compare_bench(
+        parse_bench(make_artifact(metrics={"run": {"m": current}})),
+        parse_bench(make_artifact(metrics={"run": {"m": baseline}})),
+        policy,
+    )
+    (metric,) = report.metrics
+    return metric.status, report
+
+
+@pytest.mark.parametrize(
+    "baseline,current,direction,expected",
+    [
+        (4.0, 5.0, "higher", "improved"),
+        (4.0, 4.0, "higher", "within-band"),
+        (4.0, 3.2, "higher", "within-band"),  # -20% inside the 25% band
+        (4.0, 2.0, "higher", "regressed"),
+        (100.0, 80.0, "lower", "improved"),
+        (100.0, 120.0, "lower", "within-band"),
+        (100.0, 200.0, "lower", "regressed"),
+        (4.0, 0.1, "ignore", "ignored"),
+    ],
+)
+def test_direction_and_band_classification(baseline, current, direction, expected):
+    status, report = compare_values(baseline, current, direction)
+    assert status == expected
+    assert not report.problems
+
+
+def test_zero_baseline_gates_on_absolute_floor_only():
+    # A zero baseline has no meaningful relative band; the floor decides.
+    status, _ = compare_values(0.0, 0.4, "lower", band=0.25, floor=0.5)
+    assert status == "within-band"
+    status, _ = compare_values(0.0, 0.6, "lower", band=0.25, floor=0.5)
+    assert status == "regressed"
+    status, _ = compare_values(0.0, 0.0, "lower", band=0.25, floor=0.0)
+    assert status == "within-band"
+
+
+def test_nan_values_are_schema_problems_not_verdicts():
+    for baseline, current in ((math.nan, 1.0), (1.0, math.nan)):
+        status, report = compare_values(baseline, current)
+        assert status == "missing"
+        assert report.problems
+        assert report.exit_code(strict=False) == 2
+
+
+def test_missing_metric_is_a_coverage_problem():
+    report = compare_bench(
+        parse_bench(make_artifact(metrics={"run": {}})),
+        parse_bench(make_artifact(metrics={"run": {"speedup": 3.0}})),
+        HIGHER,
+    )
+    assert [m.status for m in report.metrics] == ["missing"]
+    assert report.exit_code(strict=False) == 2
+
+
+def test_missing_bench_is_a_coverage_problem():
+    report = compare_bench(
+        None, parse_bench(make_artifact()), HIGHER
+    )
+    assert report.problems
+    assert report.exit_code(strict=True) == 2
+
+
+def test_empty_baseline_metrics_cannot_silently_pass():
+    report = compare_bench(
+        parse_bench(make_artifact()),
+        parse_bench(make_artifact(metrics={})),
+        HIGHER,
+    )
+    assert report.problems
+    assert report.exit_code(strict=False) == 2
+
+
+def test_schema1_artifact_compares_against_schema2_baseline():
+    report = compare_bench(
+        parse_bench(make_artifact(schema=1)),
+        parse_bench(make_artifact(schema=2)),
+        HIGHER,
+    )
+    assert report.ok
+    assert report.exit_code(strict=True) == 0
+
+
+def test_exit_code_contract():
+    _, clean = compare_values(4.0, 4.0)
+    assert clean.exit_code(strict=True) == 0
+    _, regressed = compare_values(4.0, 1.0)
+    assert regressed.exit_code(strict=False) == 0  # informational
+    assert regressed.exit_code(strict=True) == 3
+    _, broken = compare_values(math.nan, 1.0)
+    assert broken.exit_code(strict=True) == 2  # schema beats regression
+
+
+def test_report_format_names_regressions():
+    _, report = compare_values(4.0, 1.0)
+    text = report.format()
+    assert "REGRESSED" in text and "alpha.run.m" in text
+
+
+# ----------------------------------------------------------------------
+# Directory-level compare
+# ----------------------------------------------------------------------
+def test_compare_dirs_full_flow(tmp_path):
+    baselines, current = tmp_path / "baselines", tmp_path / "current"
+    write_bench(baselines, "alpha")
+    write_bench(baselines, "beta")
+    write_bench(current, "alpha")
+    write_bench(current, "beta")
+    write_bench(current, "gamma")  # new bench: informational only
+    report = compare_dirs(current, baselines, HIGHER)
+    assert report.ok
+    assert report.new_benches == ("gamma",)
+
+
+def test_compare_dirs_missing_bench_fails_coverage(tmp_path):
+    baselines, current = tmp_path / "baselines", tmp_path / "current"
+    write_bench(baselines, "alpha")
+    write_bench(baselines, "beta")
+    write_bench(current, "alpha")
+    report = compare_dirs(current, baselines, HIGHER)
+    assert any("beta" in p for p in report.problems)
+    assert report.exit_code(strict=False) == 2
+
+
+def test_compare_dirs_truncated_artifact_is_a_problem(tmp_path):
+    baselines, current = tmp_path / "baselines", tmp_path / "current"
+    write_bench(baselines, "alpha")
+    current.mkdir()
+    (current / "BENCH_alpha.json").write_text('{"bench": "alpha", "sch')
+    report = compare_dirs(current, baselines, HIGHER)
+    assert any("truncated" in p for p in report.problems)
+    assert report.exit_code(strict=False) == 2
+
+
+def test_compare_dirs_loads_policy_from_baseline_dir(tmp_path):
+    baselines, current = tmp_path / "baselines", tmp_path / "current"
+    write_bench(baselines, "alpha")
+    write_bench(current, "alpha", metrics={"run": {"speedup": 0.1, "elapsed_ms": 1.0}})
+    (baselines / "policy.json").write_text(
+        json.dumps({"defaults": {"direction": "ignore"}})
+    )
+    assert compare_dirs(current, baselines).ok  # everything ignored
+    (baselines / "policy.json").write_text(
+        json.dumps(
+            {
+                "defaults": {"direction": "ignore"},
+                "overrides": [{"match": "*.speedup", "direction": "higher"}],
+            }
+        )
+    )
+    report = compare_dirs(current, baselines)
+    assert [m.path for m in report.regressions] == ["alpha.run.speedup"]
+
+
+# ----------------------------------------------------------------------
+# Baseline store updates
+# ----------------------------------------------------------------------
+def test_update_baselines_writes_history(tmp_path):
+    baselines, current = tmp_path / "baselines", tmp_path / "current"
+    write_bench(current, "alpha", metrics={"run": {"speedup": 3.0}})
+    update_baselines(current, baselines)
+    first = load_bench(baselines / "BENCH_alpha.json")
+    assert first.history == {}
+    write_bench(current, "alpha", metrics={"run": {"speedup": 4.0}})
+    update_baselines(current, baselines)
+    second = load_bench(baselines / "BENCH_alpha.json")
+    assert second.value("run.speedup") == 4.0
+    assert second.history["run.speedup"] == (3.0,)
+
+
+def test_update_baselines_bounds_history(tmp_path):
+    baselines, current = tmp_path / "baselines", tmp_path / "current"
+    for i in range(HISTORY_LIMIT + 4):
+        write_bench(current, "alpha", metrics={"run": {"speedup": float(i)}})
+        update_baselines(current, baselines)
+    final = load_bench(baselines / "BENCH_alpha.json")
+    trail = final.history["run.speedup"]
+    assert len(trail) == HISTORY_LIMIT
+    assert trail[-1] == float(HISTORY_LIMIT + 2)  # previous baseline
+
+
+def test_update_baselines_refuses_partial_run(tmp_path):
+    baselines, current = tmp_path / "baselines", tmp_path / "current"
+    write_bench(current, "alpha")
+    write_bench(current, "beta")
+    update_baselines(current, baselines)
+    (current / "BENCH_beta.json").unlink()
+    write_bench(current, "alpha", metrics={"run": {"speedup": 9.0}})
+    with pytest.raises(BenchFormatError, match="partial"):
+        update_baselines(current, baselines)
+    # Nothing was overwritten by the refused update.
+    assert load_bench(baselines / "BENCH_alpha.json").value("run.speedup") == 3.0
+
+
+def test_update_baselines_refuses_malformed_artifact(tmp_path):
+    baselines, current = tmp_path / "baselines", tmp_path / "current"
+    current.mkdir()
+    (current / "BENCH_alpha.json").write_text("{not json")
+    with pytest.raises(BenchFormatError):
+        update_baselines(current, baselines)
+
+
+def test_update_baselines_no_new_flag(tmp_path):
+    baselines, current = tmp_path / "baselines", tmp_path / "current"
+    write_bench(current, "alpha")
+    update_baselines(current, baselines)
+    write_bench(current, "beta")
+    with pytest.raises(BenchFormatError, match="new baseline"):
+        update_baselines(current, baselines, allow_new=False)
+
+
+# ----------------------------------------------------------------------
+# Trends
+# ----------------------------------------------------------------------
+def test_trend_lines_cover_history_and_current(tmp_path):
+    baselines, current = tmp_path / "baselines", tmp_path / "current"
+    for value in (1.0, 2.0, 3.0):
+        write_bench(current, "alpha", metrics={"run": {"speedup": value}})
+        update_baselines(current, baselines)
+    write_bench(current, "alpha", metrics={"run": {"speedup": 4.0}})
+    blocks = trend_lines(baselines, current)
+    assert set(blocks) == {"alpha"}
+    assert "run.speedup" in blocks["alpha"]
+    assert "4" in blocks["alpha"]  # current run is the latest point
+
+
+def test_discover_benches_requires_directory(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        discover_benches(tmp_path / "nope")
