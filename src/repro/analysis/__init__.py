@@ -1,0 +1,68 @@
+"""``repro.analysis`` — the repo's AST invariant linter ("repro-lint").
+
+The reproduction's proofs (bit-identical incremental vs. full
+evaluation, parallel-campaign byte-identity, serve responses byte-equal
+to direct Session calls) rest on conventions: seeded
+:func:`repro.determinism.derive_rng` streams, canonical JSON, the
+``session.lock`` discipline, tmp + ``os.replace`` writes.  This package
+machine-checks those conventions *before* a refactor lands instead of
+relying on the differential suites to catch violations after the fact.
+
+Layout:
+
+* :mod:`~repro.analysis.registry` — the rule registry (``RL###`` ids,
+  unknown id lists the registered alternatives, plugin-extensible);
+* :mod:`~repro.analysis.rules` — the built-in rules RL001–RL005;
+* :mod:`~repro.analysis.suppress` — inline ``# repro-lint:
+  disable=<rule>`` directives and the committed grandfather baseline;
+* :mod:`~repro.analysis.findings` / :mod:`~repro.analysis.runner` —
+  the :class:`Finding` model and the driving/rendering layer behind
+  the ``repro-dtr lint`` verb (exit contract: 0 clean, 1 findings,
+  2 usage/config error).
+
+See ``docs/static-analysis.md`` for the rule catalog and the policy on
+suppressions.
+"""
+
+from repro.analysis import rules  # noqa: F401  (registers the built-ins)
+from repro.analysis.findings import Finding
+from repro.analysis.registry import (
+    Rule,
+    UnknownRuleError,
+    all_rules,
+    get_rule,
+    register_rule,
+)
+from repro.analysis.runner import (
+    LintConfigError,
+    LintReport,
+    lint_paths,
+    render_rule_catalog,
+)
+from repro.analysis.suppress import (
+    DEFAULT_BASELINE,
+    Baseline,
+    BaselineEntry,
+    BaselineError,
+    Suppressions,
+    parse_suppressions,
+)
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "BaselineError",
+    "DEFAULT_BASELINE",
+    "Finding",
+    "LintConfigError",
+    "LintReport",
+    "Rule",
+    "Suppressions",
+    "UnknownRuleError",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "parse_suppressions",
+    "register_rule",
+    "render_rule_catalog",
+]

@@ -1,0 +1,45 @@
+"""The linter's unit of output: one :class:`Finding` per violation.
+
+A finding is a ``(rule, location, message)`` triple plus the *context*
+line — the stripped source text of the line the finding anchors to.
+The context is what the suppression baseline matches on (see
+:mod:`repro.analysis.suppress`): baselines keyed by line numbers rot on
+every unrelated edit, while ``(rule, path, context)`` keys survive code
+motion and go stale exactly when the offending code itself changes —
+which is when a human should re-look anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    context: str = ""
+
+    def format(self) -> str:
+        """The one-line human rendering: ``path:line:col: RULE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_jsonable(self) -> dict:
+        """The ``--format json`` record."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "context": self.context,
+        }
+
+    def baseline_key(self) -> tuple[str, str, str]:
+        """The (rule, path, context) key baseline entries match on."""
+        return (self.rule, self.path, self.context)

@@ -1,0 +1,111 @@
+"""The rule registry: one :class:`Rule` per machine-checked contract.
+
+Mirrors the strategy/cost-model registries of :mod:`repro.api`: rules
+register under a stable id (``RL001``, ...) via :func:`register_rule`,
+an unknown id raises listing the registered alternatives verbatim (the
+CLI ships that message on exit 2), and plugins can register additional
+rules before invoking the runner.
+
+A rule is an AST checker bound to a contract prose statement: ``check``
+receives the parsed module, its source lines, and the (as-reported)
+path, and yields :class:`~repro.analysis.findings.Finding` objects.
+``applies_to`` scopes path-specific rules (RL004 only patrols the serve
+tier); everything else runs on every linted file.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional, Sequence
+
+from repro.analysis.findings import Finding
+
+
+class UnknownRuleError(ValueError):
+    """Raised for an unregistered rule id; lists registered ids."""
+
+
+class Rule:
+    """Base class of one lint rule.
+
+    Subclasses set the class attributes and implement :meth:`check`;
+    instantiating happens once, at registration.
+
+    Attributes:
+        id: Stable rule id (``RL001`` ...), the suppression handle.
+        name: Short kebab-case name shown in ``--list-rules``.
+        contract: One-sentence statement of the invariant the rule
+            protects — shown in ``--list-rules`` and the docs catalog.
+    """
+
+    id: str = ""
+    name: str = ""
+    contract: str = ""
+
+    def applies_to(self, path: str) -> bool:
+        """Whether the rule patrols ``path`` (default: every file)."""
+        return True
+
+    def check(
+        self, tree: ast.Module, lines: Sequence[str], path: str
+    ) -> Iterable[Finding]:
+        """Yield findings for one parsed module."""
+        raise NotImplementedError
+
+    def finding(
+        self, node: ast.AST, message: str, lines: Sequence[str], path: str
+    ) -> Finding:
+        """Build a finding anchored at ``node`` with its context line."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        context = lines[line - 1].strip() if 0 < line <= len(lines) else ""
+        return Finding(
+            path=path, line=line, col=col, rule=self.id,
+            message=message, context=context,
+        )
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and register one rule by id.
+
+    Raises:
+        ValueError: on a duplicate or malformed id — registration bugs
+            fail at import, not at first lint.
+    """
+    rule = cls()
+    if not rule.id or not rule.id.startswith("RL"):
+        raise ValueError(f"rule id must look like 'RL###', got {rule.id!r}")
+    if rule.id in _RULES:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    _RULES[rule.id] = rule
+    return cls
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up one registered rule.
+
+    Raises:
+        UnknownRuleError: listing the registered ids verbatim.
+    """
+    try:
+        return _RULES[rule_id]
+    except KeyError:
+        raise UnknownRuleError(
+            f"unknown rule {rule_id!r}; registered rules: "
+            + ", ".join(sorted(_RULES))
+        ) from None
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, in id order."""
+    return [_RULES[rule_id] for rule_id in sorted(_RULES)]
+
+
+def select_rules(ids: Optional[Sequence[str]]) -> list[Rule]:
+    """Resolve an id list (``None`` -> all rules), erroring on unknowns."""
+    if ids is None:
+        return all_rules()
+    return [get_rule(rule_id) for rule_id in ids]

@@ -1,0 +1,151 @@
+"""The lint driver: files in, a :class:`LintReport` out.
+
+Walks the requested paths, parses each module once, runs every selected
+rule over the shared AST, then applies the two suppression layers
+(inline directives, then the baseline).  Rendering (text or JSON) lives
+here too, so the CLI verb stays a thin argument shim with the exit-code
+contract:
+
+* ``0`` — clean (no unsuppressed findings; ``--strict`` additionally
+  requires no stale baseline entries),
+* ``1`` — findings,
+* ``2`` — usage/config error (bad path, unknown rule, malformed
+  baseline, unparseable source).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, select_rules
+from repro.analysis.suppress import Baseline, BaselineEntry, parse_suppressions
+
+
+class LintConfigError(ValueError):
+    """A usage/config problem (exit 2): bad path, unparseable file, ..."""
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    grandfathered: list[Finding] = field(default_factory=list)
+    stale_baseline: list[BaselineEntry] = field(default_factory=list)
+    files: int = 0
+
+    def exit_code(self, strict: bool = False) -> int:
+        """The CI contract: 0 clean, 1 findings (or stale under strict)."""
+        if self.findings:
+            return 1
+        if strict and self.stale_baseline:
+            return 1
+        return 0
+
+    def format(self, strict: bool = False) -> str:
+        """The human rendering: one line per finding plus a summary."""
+        lines = [finding.format() for finding in self.findings]
+        for entry in self.stale_baseline:
+            marker = "error" if strict else "note"
+            lines.append(
+                f"{entry.path}: {marker}: stale baseline entry "
+                f"[{entry.rule}] no longer matches: {entry.context!r}"
+            )
+        lines.append(
+            f"{len(self.findings)} finding(s) in {self.files} file(s) "
+            f"({len(self.suppressed)} suppressed inline, "
+            f"{len(self.grandfathered)} grandfathered, "
+            f"{len(self.stale_baseline)} stale baseline entr(y/ies))"
+        )
+        return "\n".join(lines)
+
+    def to_jsonable(self) -> dict:
+        """The ``--format json`` document."""
+        return {
+            "findings": [f.to_jsonable() for f in self.findings],
+            "suppressed": [f.to_jsonable() for f in self.suppressed],
+            "grandfathered": [f.to_jsonable() for f in self.grandfathered],
+            "stale_baseline": [e.to_jsonable() for e in self.stale_baseline],
+            "files": self.files,
+        }
+
+
+def _collect_files(paths: Sequence[Union[str, Path]]) -> list[Path]:
+    """Expand files/directories into the sorted ``*.py`` worklist."""
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.update(
+                p for p in path.rglob("*.py") if "__pycache__" not in p.parts
+            )
+        elif path.is_file():
+            files.add(path)
+        else:
+            raise LintConfigError(f"no such file or directory: {raw}")
+    return sorted(files)
+
+
+def lint_paths(
+    paths: Sequence[Union[str, Path]],
+    *,
+    rules: Optional[Sequence[str]] = None,
+    baseline: Optional[Baseline] = None,
+) -> LintReport:
+    """Run the selected rules over every ``*.py`` under ``paths``.
+
+    Args:
+        paths: Files and/or directories (directories recurse).
+        rules: Rule ids to run (default: all registered rules); an
+            unknown id raises :class:`~repro.analysis.registry.UnknownRuleError`.
+        baseline: Grandfathered findings to absorb, if any.
+
+    Raises:
+        LintConfigError: on a missing path or an unparseable file —
+            config problems, distinct from findings.
+    """
+    selected: list[Rule] = select_rules(rules)
+    report = LintReport()
+    raw_findings: list[Finding] = []
+    for file_path in _collect_files(paths):
+        report.files += 1
+        path_label = file_path.as_posix()
+        try:
+            source = file_path.read_text()
+            tree = ast.parse(source, filename=path_label)
+        except (OSError, SyntaxError, ValueError) as exc:
+            raise LintConfigError(f"cannot lint {path_label}: {exc}") from exc
+        lines = source.splitlines()
+        suppressions = parse_suppressions(source)
+        for rule in selected:
+            if not rule.applies_to(path_label):
+                continue
+            for finding in rule.check(tree, lines, path_label):
+                if suppressions.covers(finding):
+                    report.suppressed.append(finding)
+                else:
+                    raw_findings.append(finding)
+    raw_findings.sort()
+    if baseline is not None:
+        fresh, grandfathered, stale = baseline.partition(raw_findings)
+        report.findings = fresh
+        report.grandfathered = grandfathered
+        report.stale_baseline = stale
+    else:
+        report.findings = raw_findings
+    return report
+
+
+def render_rule_catalog() -> str:
+    """The ``--list-rules`` text: id, name, and contract per rule."""
+    lines = []
+    for rule in select_rules(None):
+        lines.append(f"{rule.id}  {rule.name}")
+        lines.append(f"       {rule.contract}")
+    return "\n".join(lines)

@@ -1,0 +1,206 @@
+"""Suppression: inline disable comments and the committed baseline.
+
+Two mechanisms, two intents:
+
+* **Inline** — ``# repro-lint: disable=RL001`` (or ``disable=RL001,RL004``,
+  or ``disable=all``) on the finding's line or the line directly above
+  marks a *permanently legitimate* exception, reviewed at the call site
+  (e.g. building a fresh, unshared session without its lock).
+  ``# repro-lint: disable-file=RL005`` anywhere in a file suppresses a
+  rule file-wide (lint fixtures use this).
+* **Baseline** — a committed JSON file of *grandfathered* findings:
+  real violations consciously deferred.  Entries match on
+  ``(rule, path, context line)`` rather than line numbers, so they
+  survive unrelated edits and go stale exactly when the offending code
+  changes.  ``--strict`` (the CI mode) fails on stale entries, keeping
+  the baseline tight; ``--update-baseline`` rewrites it atomically.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.analysis.findings import Finding
+from repro.ioutil import atomic_write_text
+
+DEFAULT_BASELINE = ".repro-lint-baseline.json"
+"""Where the committed baseline lives, relative to the invocation root."""
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_,\s]+)"
+)
+
+
+class BaselineError(ValueError):
+    """A malformed baseline file (usage/config error: exit 2)."""
+
+
+@dataclass
+class Suppressions:
+    """Per-file inline directives, parsed from comment tokens."""
+
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    file_wide: set[str] = field(default_factory=set)
+
+    def covers(self, finding: Finding) -> bool:
+        """Whether an inline directive silences ``finding``.
+
+        A directive on line N covers findings on N and N+1, so both the
+        trailing-comment and comment-line-above styles work.
+        """
+        wanted = {finding.rule, "all"}
+        if self.file_wide & wanted:
+            return True
+        for line in (finding.line, finding.line - 1):
+            if self.by_line.get(line, set()) & wanted:
+                return True
+        return False
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract ``repro-lint`` directives from one file's comments.
+
+    Uses :mod:`tokenize` rather than line regexes so directives inside
+    string literals do not count.
+    """
+    result = Suppressions()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (tok.start[0], tok.string)
+            for tok in tokens
+            if tok.type == tokenize.COMMENT
+        ]
+    except tokenize.TokenizeError:  # the AST parse will report it
+        return result
+    for line, text in comments:
+        match = _DIRECTIVE.search(text)
+        if match is None:
+            continue
+        rules = {part.strip() for part in match.group(2).split(",") if part.strip()}
+        if match.group(1) == "disable-file":
+            result.file_wide |= rules
+        else:
+            result.by_line.setdefault(line, set()).update(rules)
+    return result
+
+
+@dataclass
+class BaselineEntry:
+    """One grandfathered finding: ``count`` occurrences are tolerated."""
+
+    rule: str
+    path: str
+    context: str
+    count: int = 1
+    reason: str = ""
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.context)
+
+    def to_jsonable(self) -> dict:
+        record = {
+            "rule": self.rule,
+            "path": self.path,
+            "context": self.context,
+            "count": self.count,
+        }
+        if self.reason:
+            record["reason"] = self.reason
+        return record
+
+
+@dataclass
+class Baseline:
+    """The committed set of grandfathered findings."""
+
+    entries: list[BaselineEntry] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        """Read a baseline file.
+
+        Raises:
+            BaselineError: on unreadable or malformed content — a CI
+                gate must never silently lint without its baseline.
+        """
+        try:
+            data = json.loads(Path(path).read_text())
+        except OSError as exc:
+            raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"malformed baseline {path}: {exc}") from exc
+        if not isinstance(data, dict) or not isinstance(data.get("findings"), list):
+            raise BaselineError(
+                f"malformed baseline {path}: expected "
+                '{"version": 1, "findings": [...]}'
+            )
+        entries = []
+        for record in data["findings"]:
+            try:
+                entries.append(
+                    BaselineEntry(
+                        rule=str(record["rule"]),
+                        path=str(record["path"]),
+                        context=str(record["context"]),
+                        count=int(record.get("count", 1)),
+                        reason=str(record.get("reason", "")),
+                    )
+                )
+            except (TypeError, KeyError) as exc:
+                raise BaselineError(
+                    f"malformed baseline entry in {path}: {record!r}"
+                ) from exc
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        """Grandfather ``findings`` (the ``--update-baseline`` path)."""
+        counts: dict[tuple[str, str, str], BaselineEntry] = {}
+        for finding in sorted(findings):
+            key = finding.baseline_key()
+            if key in counts:
+                counts[key].count += 1
+            else:
+                counts[key] = BaselineEntry(
+                    rule=finding.rule, path=finding.path, context=finding.context
+                )
+        return cls(sorted(counts.values(), key=lambda e: (e.path, e.rule, e.context)))
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the baseline atomically (it is itself a gated artifact)."""
+        payload = {
+            "version": 1,
+            "findings": [entry.to_jsonable() for entry in self.entries],
+        }
+        atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    def partition(
+        self, findings: Sequence[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+        """Split findings into (fresh, grandfathered) and report stale entries.
+
+        Each entry absorbs up to ``count`` matching findings; entries
+        that absorb none are *stale* — the code they grandfathered has
+        changed or gone, and ``--strict`` insists they be pruned.
+        """
+        budget = {entry.key(): entry.count for entry in self.entries}
+        matched: dict[tuple[str, str, str], int] = {}
+        fresh: list[Finding] = []
+        grandfathered: list[Finding] = []
+        for finding in findings:
+            key = finding.baseline_key()
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                matched[key] = matched.get(key, 0) + 1
+                grandfathered.append(finding)
+            else:
+                fresh.append(finding)
+        stale = [e for e in self.entries if matched.get(e.key(), 0) == 0]
+        return fresh, grandfathered, stale

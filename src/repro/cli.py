@@ -24,6 +24,9 @@ Subcommands::
     repro-dtr query     --url http://127.0.0.1:8093 --scenario node:3
     repro-dtr query     --url ... --sweep link node [--metrics]
     repro-dtr query     --url ... --space space:all-link-2
+    repro-dtr lint      [PATH ...] [--strict] [--format json] \
+                        [--baseline .repro-lint-baseline.json] \
+                        [--update-baseline] [--select RL001,RL004] [--list-rules]
     repro-dtr bench compare         --current-dir bench-trends [--strict] \
                         [--baseline-dir benchmarks/baselines] [--json out.json]
     repro-dtr bench baseline-update --current-dir bench-trends \
@@ -74,6 +77,13 @@ history; ``trends`` prints the per-metric sparklines.
 ``results render`` is the raw → table → figure pipeline
 (:mod:`repro.eval.pipeline`): campaign store + bench trends in, CSV
 tables, ASCII figures 2–9, and trend sparklines out.
+``lint`` runs the AST invariant linter (:mod:`repro.analysis`) over the
+given paths (default ``src/repro``) with the same CI-grade exit-code
+contract as ``bench compare``: 0 clean, 1 unsuppressed findings, 2 on a
+usage/config error (unknown rule id — listed alternatives verbatim —
+bad path, malformed baseline).  ``--strict`` additionally fails on
+stale baseline entries; ``--update-baseline`` grandfathers the current
+findings atomically.
 
 Every usage error — unknown strategy, unknown scenario kind, malformed
 spec, bad campaign grid — exits 2 through one shared helper, with the
@@ -86,6 +96,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -99,6 +110,7 @@ from repro.eval.campaign import (
 )
 from repro.eval.experiment import ExperimentConfig, run_comparison, scaled_config
 from repro.eval.results import save_result
+from repro.ioutil import atomic_write_json
 from repro.network.io import save_network
 from repro.network.topology_isp import isp_topology
 from repro.network.topology_powerlaw import powerlaw_topology
@@ -370,6 +382,29 @@ def build_parser() -> argparse.ArgumentParser:
     render.add_argument("--echo", action="store_true",
                         help="print each figure's text as it completes")
 
+    lint = sub.add_parser(
+        "lint", help="run the AST invariant linter (repro.analysis)"
+    )
+    lint.add_argument("paths", nargs="*", default=["src/repro"],
+                      help="files/directories to lint (default: src/repro)")
+    lint.add_argument("--format", choices=["text", "json"], default="text",
+                      help="output format")
+    lint.add_argument("--baseline", default=None,
+                      help="grandfather baseline file (default: "
+                           ".repro-lint-baseline.json when present)")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="ignore any baseline file")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="rewrite the baseline from the current findings "
+                           "(atomic) and exit 0")
+    lint.add_argument("--strict", action="store_true",
+                      help="also fail (exit 1) on stale baseline entries")
+    lint.add_argument("--select", default=None, metavar="RULES",
+                      help="comma-separated rule ids (default: all); an "
+                           "unknown id exits 2 listing the registered rules")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalog and exit")
+
     qry = sub.add_parser(
         "query", help="query a running what-if service (validates specs locally)"
     )
@@ -406,9 +441,9 @@ def _usage_error(exc: object) -> int:
 
 
 def _run_topology(args: argparse.Namespace) -> int:
-    import random as random_module
+    from repro.determinism import derive_rng
 
-    rng = random_module.Random(args.seed)
+    rng = derive_rng(args.seed, "cli/topology")
     if args.family == "random":
         net = random_topology(rng=rng)
     elif args.family == "powerlaw":
@@ -510,8 +545,7 @@ def _run_optimize(args: argparse.Namespace) -> int:
             "wall_time_s": result.wall_time_s,
             "metadata": result.metadata,
         }
-        with open(args.json_out, "w") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
+        atomic_write_json(args.json_out, payload, indent=2, sort_keys=True)
         print(f"saved JSON to {args.json_out}")
     return 0
 
@@ -661,8 +695,7 @@ def _run_bench_compare(args: argparse.Namespace) -> int:
             "exit_code": report.exit_code(strict=args.strict),
             "strict": args.strict,
         }
-        with open(args.json_out, "w") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
+        atomic_write_json(args.json_out, payload, indent=2, sort_keys=True)
         print(f"saved JSON to {args.json_out}")
     code = report.exit_code(strict=args.strict)
     if code == 2:
@@ -724,6 +757,71 @@ def _run_results_render(args: argparse.Namespace) -> int:
         return _usage_error(exc)
     print(summary.format())
     return 0
+
+
+def _run_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        DEFAULT_BASELINE,
+        Baseline,
+        BaselineError,
+        LintConfigError,
+        UnknownRuleError,
+        lint_paths,
+        render_rule_catalog,
+    )
+
+    if args.list_rules:
+        print(render_rule_catalog())
+        return 0
+    rules = None
+    if args.select is not None:
+        rules = [part.strip() for part in args.select.split(",") if part.strip()]
+        if not rules:
+            return _usage_error("--select needs at least one rule id")
+
+    baseline_path = args.baseline if args.baseline is not None else DEFAULT_BASELINE
+    baseline = None
+    try:
+        if args.no_baseline:
+            if args.baseline is not None:
+                return _usage_error("--baseline and --no-baseline are exclusive")
+        elif args.update_baseline:
+            pass  # rewriting from scratch: the old content is irrelevant
+        elif args.baseline is not None or os.path.exists(baseline_path):
+            baseline = Baseline.load(baseline_path)
+        report = lint_paths(args.paths, rules=rules, baseline=baseline)
+    except (UnknownRuleError, BaselineError, LintConfigError) as exc:
+        return _usage_error(exc)
+
+    if args.update_baseline:
+        updated = Baseline.from_findings(report.findings + report.grandfathered)
+        updated.save(baseline_path)
+        print(
+            f"baseline {baseline_path}: grandfathered "
+            f"{len(updated.entries)} entr(y/ies) covering "
+            f"{len(report.findings) + len(report.grandfathered)} finding(s)"
+        )
+        return 0
+    if args.format == "json":
+        payload = report.to_jsonable()
+        payload["exit_code"] = report.exit_code(strict=args.strict)
+        payload["strict"] = args.strict
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(report.format(strict=args.strict))
+    code = report.exit_code(strict=args.strict)
+    if code == 1 and report.findings:
+        print(
+            f"error: {len(report.findings)} unsuppressed lint finding(s)",
+            file=sys.stderr,
+        )
+    elif code == 1:
+        print(
+            "error: stale baseline entries under --strict: prune them with "
+            "--update-baseline",
+            file=sys.stderr,
+        )
+    return code
 
 
 def _run_serve(args: argparse.Namespace) -> int:
@@ -880,6 +978,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_whatif(args)
     if args.command == "sweep":
         return _run_sweep(args)
+    if args.command == "lint":
+        return _run_lint(args)
     if args.command == "serve":
         return _run_serve(args)
     if args.command == "query":

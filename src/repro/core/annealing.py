@@ -23,6 +23,7 @@ from repro.core.evaluator import DualTopologyEvaluator, Evaluation
 from repro.core.lexicographic import LexCost
 from repro.core.progress import ProgressFn, ProgressTicker
 from repro.core.search_params import SearchParams
+from repro.determinism import default_rng
 from repro.routing.incremental import WeightDelta
 from repro.routing.weights import random_weights
 
@@ -116,7 +117,7 @@ def anneal_str(
         strategy="anneal",
         params=search_params,
         annealing_params=params,
-        rng=rng or random.Random(),
+        rng=rng or default_rng("core/annealing"),
         initial_weights=initial_weights,
         progress=progress,
     )
@@ -153,7 +154,7 @@ def _anneal_str_impl(
     """
     params = params or AnnealingParams()
     search_params = search_params or SearchParams()
-    rng = rng or random.Random()
+    rng = rng or default_rng("core/annealing")
     num_links = evaluator.network.num_links
 
     if initial_weights is None:

@@ -24,6 +24,7 @@ from repro.core.neighborhood import NeighborhoodSampler
 from repro.core.perturbation import perturb_weights
 from repro.core.progress import ProgressFn, ProgressTicker
 from repro.core.search_params import SearchParams
+from repro.determinism import default_rng
 from repro.routing.weights import random_weights
 
 PHASE_HIGH = "high"
@@ -223,7 +224,7 @@ def optimize_dtr(
         Session.from_evaluator(evaluator),
         strategy="dtr",
         params=params,
-        rng=rng or random.Random(),
+        rng=rng or default_rng("core/dtr_search"),
         initial_high=initial_high,
         initial_low=initial_low,
         progress=progress,
@@ -262,7 +263,7 @@ def _optimize_dtr_impl(
         A :class:`DtrResult`.
     """
     params = params or SearchParams()
-    rng = rng or random.Random()
+    rng = rng or default_rng("core/dtr_search")
     num_links = evaluator.network.num_links
 
     if initial_high is None:

@@ -27,6 +27,7 @@ from repro.core.perturbation import perturb_weights
 from repro.core.progress import ProgressFn, ProgressTicker
 from repro.core.search_params import SearchParams
 from repro.costs.load_cost import LoadCostEvaluation
+from repro.determinism import default_rng
 from repro.routing.weights import random_weights
 
 
@@ -85,7 +86,7 @@ def optimize_joint(
         strategy="joint",
         alpha=alpha,
         params=params,
-        rng=rng or random.Random(),
+        rng=rng or default_rng("core/joint_search"),
         initial_weights=initial_weights,
         progress=progress,
     )
@@ -127,7 +128,7 @@ def _optimize_joint_impl(
     if alpha < 0:
         raise ValueError(f"alpha must be non-negative, got {alpha}")
     params = params or SearchParams()
-    rng = rng or random.Random()
+    rng = rng or default_rng("core/joint_search")
     num_links = evaluator.network.num_links
 
     if initial_weights is None:

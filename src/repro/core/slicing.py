@@ -25,6 +25,7 @@ from repro.core.perturbation import perturb_weights
 from repro.core.search_params import SearchParams
 from repro.costs.fortz import fortz_cost_vector
 from repro.costs.residual import residual_capacities
+from repro.determinism import default_rng
 from repro.routing.state import Routing
 from repro.routing.weights import weights_key
 from repro.traffic.matrix import TrafficMatrix
@@ -49,7 +50,7 @@ def slice_traffic_matrix(
     """
     if num_slices < 1:
         raise ValueError(f"num_slices must be >= 1, got {num_slices}")
-    rng = rng or random.Random()
+    rng = rng or default_rng("core/slicing")
     pairs = list(tm.pairs())
     rng.shuffle(pairs)
     pairs.sort(key=lambda e: -e[2])
@@ -138,7 +139,7 @@ def optimize_sliced_low(
     if evaluator.mode != LOAD_MODE:
         raise ValueError("sliced optimization requires a load-mode evaluator")
     params = params or SearchParams()
-    rng = rng or random.Random()
+    rng = rng or default_rng("core/slicing")
     net = evaluator.network
     high_weights = np.array(high_weights, dtype=np.int64)
 

@@ -26,6 +26,7 @@ from repro.core.neighborhood import NeighborhoodSampler
 from repro.core.perturbation import perturb_weights
 from repro.core.progress import ProgressFn, ProgressTicker
 from repro.core.search_params import SearchParams
+from repro.determinism import default_rng
 from repro.routing.weights import random_weights
 
 __all__ = ["ProgressFn", "RelaxedSolution", "StrResult", "optimize_str"]
@@ -115,7 +116,7 @@ def optimize_str(
         Session.from_evaluator(evaluator),
         strategy="str",
         params=params,
-        rng=rng or random.Random(),
+        rng=rng or default_rng("core/str_search"),
         initial_weights=initial_weights,
         relaxation_epsilons=relaxation_epsilons,
         progress=progress,
@@ -153,7 +154,7 @@ def _optimize_str_impl(
         A :class:`StrResult`.
     """
     params = params or SearchParams()
-    rng = rng or random.Random()
+    rng = rng or default_rng("core/str_search")
     num_links = evaluator.network.num_links
     epsilons = sorted(set(float(e) for e in relaxation_epsilons))
     if any(e < 0 for e in epsilons):

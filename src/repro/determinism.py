@@ -1,0 +1,55 @@
+"""Deterministic randomness: named, seed-derived RNG streams.
+
+Every reproducibility proof in this repo — bit-identical incremental vs.
+full evaluation, parallel-campaign byte-identity, serve responses
+byte-equal to direct Session calls — assumes that *all* randomness flows
+from :func:`derive_rng` streams and never from the module-level
+``random`` functions, whose hidden global state is shared (and
+reordered) across threads and campaign workers.  This module is the
+canonical home of that contract; ``repro.eval.experiment`` re-exports
+:func:`derive_rng` for compatibility.
+
+The contract is machine-checked: rule **RL001** of the repo's AST linter
+(:mod:`repro.analysis`, ``repro-dtr lint``) flags module-level
+``random.*`` calls and unseeded ``random.Random()`` constructions.
+Library functions that accept an optional ``rng`` default to
+:func:`default_rng` so an omitted argument still yields a deterministic,
+stream-isolated generator instead of silently tapping global state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+DEFAULT_STREAM_SEED = 0
+"""Base seed of :func:`default_rng` — the library-default streams used
+when a caller omits an explicit ``rng`` argument."""
+
+
+def derive_rng(seed: int, stream: str) -> random.Random:
+    """An independent, deterministic RNG for one named stream of a config.
+
+    Every piece of randomness an experiment consumes comes from a
+    ``random.Random`` derived here from ``(seed, stream)`` — never from
+    the module-level ``random`` functions, whose hidden global state
+    would be shared (and reordered) across campaign workers.  The
+    derivation hashes with SHA-256 rather than ``hash()`` because string
+    hashing is salted per interpreter: two worker processes must map the
+    same config to the same stream bit-for-bit.
+    """
+    digest = hashlib.sha256(f"{seed}/{stream}".encode("utf-8")).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+def default_rng(stream: str) -> random.Random:
+    """The deterministic fallback RNG for one library-default stream.
+
+    Used by functions whose ``rng`` parameter is optional: the fallback
+    must not be an unseeded ``random.Random()`` (non-reproducible, and
+    flagged by lint rule RL001), so each call site derives a fresh
+    generator from :data:`DEFAULT_STREAM_SEED` and a stream name unique
+    to that call site.  Two calls with the same stream name get equal
+    but *independent* generator objects — no state is shared.
+    """
+    return derive_rng(DEFAULT_STREAM_SEED, stream)

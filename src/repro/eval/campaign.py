@@ -30,7 +30,7 @@ from __future__ import annotations
 import hashlib
 import multiprocessing
 import os
-from dataclasses import dataclass, fields, replace
+from dataclasses import dataclass, fields
 from pathlib import Path
 from typing import Any, Callable, Iterator, Optional, Sequence, Union
 
@@ -46,6 +46,7 @@ from repro.eval.experiment import (
     scaled_config,
 )
 from repro.eval.results import canonical_dumps, load_result, to_jsonable
+from repro.ioutil import atomic_write_text
 
 RECORD_FORMAT = 2
 SPEC_FILENAME = "spec.json"
@@ -429,7 +430,7 @@ class CampaignStore:
                     "use a fresh directory or delete the old campaign"
                 )
             return
-        self.spec_path.write_text(text)
+        atomic_write_text(self.spec_path, text)
 
     def load_spec(self) -> CampaignSpec:
         """Read back the pinned spec.

@@ -2,12 +2,12 @@
 
 from __future__ import annotations
 
-import hashlib
 import random
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Optional
 
 from repro.core.dtr_search import DtrResult
+from repro.determinism import derive_rng as _derive_rng
 from repro.core.evaluator import LOAD_MODE, SLA_MODE, DualTopologyEvaluator, Evaluation
 from repro.core.progress import ProgressFn
 from repro.core.search_params import SearchParams
@@ -35,19 +35,9 @@ RANDOM_HIGH_MODEL = "random"
 SINK_HIGH_MODEL = "sink"
 
 
-def derive_rng(seed: int, stream: str) -> random.Random:
-    """An independent, deterministic RNG for one named stream of a config.
-
-    Every piece of randomness an experiment consumes comes from a
-    ``random.Random`` derived here from ``(seed, stream)`` — never from
-    the module-level ``random`` functions, whose hidden global state
-    would be shared (and reordered) across campaign workers.  The
-    derivation hashes with SHA-256 rather than ``hash()`` because string
-    hashing is salted per interpreter: two worker processes must map the
-    same config to the same stream bit-for-bit.
-    """
-    digest = hashlib.sha256(f"{seed}/{stream}".encode("utf-8")).digest()
-    return random.Random(int.from_bytes(digest[:8], "big"))
+# Canonical home is repro.determinism; re-exported here because session,
+# campaign, and the test suites historically import it from this module.
+derive_rng = _derive_rng
 
 
 @dataclass(frozen=True)

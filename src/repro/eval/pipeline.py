@@ -45,6 +45,7 @@ from repro.eval.figures import (
 )
 from repro.eval.report import RUNNERS
 from repro.eval.results import save_csv
+from repro.ioutil import atomic_write_text
 
 DEFAULT_FIGURES: tuple[str, ...] = tuple(RUNNERS)
 """Every registered figure/table id, in report order."""
@@ -263,7 +264,7 @@ def render_results(
         count = save_csv(csv_path, headers, rows)
         figure_path = figures_dir / f"{figure_id}.txt"
         body = result.format()
-        figure_path.write_text(body + "\n")
+        atomic_write_text(figure_path, body + "\n")
         if echo:
             print(body)
             print(f"[{figure_id} rendered from {source}]", flush=True)
@@ -283,11 +284,11 @@ def render_results(
         trends_out.mkdir(parents=True, exist_ok=True)
         for bench, block in trends.trend_lines(baseline_dir, trends_dir).items():
             path = trends_out / f"{bench}.txt"
-            path.write_text(block + "\n")
+            atomic_write_text(path, block + "\n")
             trend_paths.append(path)
 
     index_path = out_dir / "index.md"
-    index_path.write_text(_index_markdown(rendered, trend_paths, campaign_dir))
+    atomic_write_text(index_path, _index_markdown(rendered, trend_paths, campaign_dir))
     return RenderSummary(
         out_dir=out_dir,
         figures=tuple(rendered),

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import csv
 import dataclasses
+import io
 import json
 from pathlib import Path
 from typing import Any, Iterable, Sequence, Union
@@ -19,6 +20,7 @@ from typing import Any, Iterable, Sequence, Union
 import numpy as np
 
 from repro.core.lexicographic import LexCost
+from repro.ioutil import atomic_write_json, atomic_write_text
 
 
 def to_jsonable(value: Any) -> Any:
@@ -67,7 +69,7 @@ def canonical_dumps(value: Any) -> str:
 
 def save_result(result: Any, path: Union[str, Path]) -> None:
     """Write any result dataclass to ``path`` as pretty-printed JSON."""
-    Path(path).write_text(json.dumps(to_jsonable(result), indent=2))
+    atomic_write_json(path, to_jsonable(result), indent=2)
 
 
 def save_csv(
@@ -80,19 +82,19 @@ def save_csv(
     JSON list form); anything unserializable raises, exactly like the
     JSON writers.
     """
-    path = Path(path)
+    buffer = io.StringIO(newline="")
+    writer = csv.writer(buffer)
+    writer.writerow(list(headers))
     count = 0
-    with path.open("w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(list(headers))
-        for row in rows:
-            cells = [to_jsonable(cell) for cell in row]
-            if len(cells) != len(headers):
-                raise ValueError(
-                    f"CSV row has {len(cells)} cells, expected {len(headers)}"
-                )
-            writer.writerow(cells)
-            count += 1
+    for row in rows:
+        cells = [to_jsonable(cell) for cell in row]
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"CSV row has {len(cells)} cells, expected {len(headers)}"
+            )
+        writer.writerow(cells)
+        count += 1
+    atomic_write_text(path, buffer.getvalue())
     return count
 
 

@@ -32,12 +32,12 @@ import dataclasses
 import fnmatch
 import json
 import math
-import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Optional, Sequence, Union
 
 from repro.eval.ascii_plot import format_sparkline, format_table
+from repro.ioutil import atomic_write_text
 
 KNOWN_SCHEMAS = (1, 2)
 HISTORY_LIMIT = 12
@@ -495,12 +495,6 @@ def compare_dirs(
 # ----------------------------------------------------------------------
 # Baseline store
 # ----------------------------------------------------------------------
-def _write_atomic(path: Path, text: str) -> None:
-    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-    tmp.write_text(text)
-    os.replace(tmp, path)
-
-
 @dataclass(frozen=True)
 class BaselineUpdate:
     """What :func:`update_baselines` wrote: bench name → baseline path."""
@@ -576,7 +570,7 @@ def update_baselines(
             "git": artifact.git,
             "history": history,
         }
-        _write_atomic(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
         written[name] = path
     return BaselineUpdate(written=written)
 

@@ -1,0 +1,42 @@
+"""Atomic file writes: the tmp + ``os.replace`` idiom, in one place.
+
+Result stores, bench baselines, and CLI JSON outputs are read back by
+resumable campaigns, CI gates, and other processes; a torn write (the
+process dying mid-``write``) must never leave a half-record behind that
+a resume would then trust.  The contract is: write the full payload to a
+same-directory temporary file, then ``os.replace`` it over the target —
+atomic on POSIX and Windows alike.
+
+This module is the single implementation; lint rule **RL005**
+(:mod:`repro.analysis`) flags direct ``open(path, "w")`` /
+``Path.write_text`` result writes that bypass it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Union
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Atomically replace ``path`` with ``text`` (tmp + ``os.replace``).
+
+    The temporary file lives in the target's directory (``os.replace``
+    must not cross filesystems) and carries the writer's PID, so
+    concurrent writers — campaign workers sharing a store directory —
+    never collide on the tmp name; last replace wins, and readers only
+    ever observe complete documents.
+    """
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    # newline="" writes ``text`` verbatim: CSV payloads already carry
+    # their own \r\n terminators and must not be re-translated.
+    tmp.write_text(text, newline="")
+    os.replace(tmp, path)
+
+
+def atomic_write_json(path: Union[str, Path], payload: Any, **dumps_kwargs: Any) -> None:
+    """Atomically write ``payload`` as JSON (``json.dumps`` kwargs pass through)."""
+    atomic_write_text(path, json.dumps(payload, **dumps_kwargs))

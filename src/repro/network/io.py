@@ -6,6 +6,7 @@ import json
 from pathlib import Path
 from typing import Any, Union
 
+from repro.ioutil import atomic_write_json
 from repro.network.graph import Network
 
 FORMAT_VERSION = 1
@@ -51,7 +52,7 @@ def network_from_dict(data: dict[str, Any]) -> Network:
 
 def save_network(net: Network, path: Union[str, Path]) -> None:
     """Write a network to ``path`` as JSON."""
-    Path(path).write_text(json.dumps(network_to_dict(net), indent=2))
+    atomic_write_json(path, network_to_dict(net), indent=2)
 
 
 def load_network(path: Union[str, Path]) -> Network:

@@ -12,6 +12,7 @@ from __future__ import annotations
 import random
 from typing import Optional
 
+from repro.determinism import default_rng
 from repro.network.graph import Network
 from repro.network.link import DEFAULT_CAPACITY_MBPS
 from repro.network.topology_random import DEFAULT_DELAY_RANGE_MS
@@ -50,7 +51,7 @@ def powerlaw_topology(
         raise ValueError(
             f"num_nodes ({num_nodes}) must exceed attachment ({attachment})"
         )
-    rng = rng or random.Random()
+    rng = rng or default_rng("network/topology_powerlaw")
     lo, hi = delay_range_ms
     if lo < 0 or hi < lo:
         raise ValueError(f"invalid delay range {delay_range_ms}")

@@ -17,6 +17,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.determinism import default_rng
+
 HIGH = 0
 LOW = 1
 
@@ -99,7 +101,7 @@ def simulate_two_class_queue(
     if not 0 <= warmup_fraction < 1:
         raise ValueError("warmup_fraction must be in [0, 1)")
 
-    rng = rng or random.Random()
+    rng = rng or default_rng("queueing/simulator")
     classes = (_ClassState(high_rate, rng), _ClassState(low_rate, rng))
     warmup_count = int(num_packets * warmup_fraction)
     now = 0.0

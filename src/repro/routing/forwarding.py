@@ -14,6 +14,7 @@ import random
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.determinism import default_rng
 from repro.routing.multi_topology import MultiTopology
 from repro.routing.spf import RoutingError
 
@@ -93,7 +94,7 @@ def trace_packet(
         RoutingError: if the destination is unreachable or the hop budget
             is exceeded (would indicate a forwarding loop).
     """
-    rng = rng or random.Random()
+    rng = rng or default_rng("routing/forwarding")
     net = mtr.network
     routing = mtr.routing(class_label)
     limit = max_hops if max_hops is not None else net.num_nodes
@@ -126,7 +127,7 @@ def trace_many(
     """Trace ``count`` packets of one class between the same pair."""
     if count < 1:
         raise ValueError(f"count must be >= 1, got {count}")
-    rng = rng or random.Random()
+    rng = rng or default_rng("routing/forwarding")
     return [trace_packet(mtr, class_label, src, dst, rng) for _ in range(count)]
 
 

@@ -12,6 +12,8 @@ from typing import Iterable, Optional, Union
 
 import numpy as np
 
+from repro.determinism import default_rng
+
 MIN_WEIGHT = 1
 """Smallest allowed link weight."""
 
@@ -61,7 +63,7 @@ def random_weights(
     """Uniform random integer weights in ``[min_weight, max_weight]``."""
     if min_weight < MIN_WEIGHT or max_weight < min_weight:
         raise ValueError(f"invalid weight range [{min_weight}, {max_weight}]")
-    rng = rng or random.Random()
+    rng = rng or default_rng("routing/weights")
     return np.array(
         [rng.randint(min_weight, max_weight) for _ in range(num_links)], dtype=np.int64
     )

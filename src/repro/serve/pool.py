@@ -149,11 +149,18 @@ class SessionSpec:
     def build(self) -> Session:
         """Deterministically build and warm the session this spec names."""
         session = Session.from_config(self.to_config())
+        # This session is freshly built and not yet shared — no other
+        # thread can hold a reference until build() returns it to the
+        # pool, so the lock discipline does not apply here.
         if self.weights == UNIT_WEIGHTS:
-            session.set_weights(unit_weights(session.network.num_links))
+            session.set_weights(  # repro-lint: disable=RL004
+                unit_weights(session.network.num_links)
+            )
         else:
             vectors = dict(self.weights)
-            session.set_weights(vectors["high"], vectors["low"])
+            session.set_weights(  # repro-lint: disable=RL004
+                vectors["high"], vectors["low"]
+            )
         return session.prepare()
 
 

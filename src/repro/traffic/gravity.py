@@ -9,6 +9,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.determinism import default_rng
 from repro.traffic.matrix import TrafficMatrix
 
 
@@ -96,7 +97,7 @@ def gravity_traffic_matrix(
     """
     if num_nodes < 2:
         raise ValueError(f"gravity model needs at least 2 nodes, got {num_nodes}")
-    rng = rng or random.Random()
+    rng = rng or default_rng("traffic/gravity")
     volumes = node_volumes(num_nodes, rng, params)
     masses = node_masses(num_nodes, rng, params)
     attraction = np.array([math.exp(v) for v in masses])

@@ -16,6 +16,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.determinism import default_rng
 from repro.network.graph import Network
 from repro.traffic.matrix import TrafficMatrix
 
@@ -97,7 +98,7 @@ def random_high_priority(
     _check_fraction(fraction)
     if not 0.0 < density <= 1.0:
         raise ValueError(f"SD-pair density k must be in (0, 1], got {density}")
-    rng = rng or random.Random()
+    rng = rng or default_rng("traffic/highpriority")
     n = low_matrix.num_nodes
     all_pairs = [(s, t) for s in range(n) for t in range(n) if s != t]
     count = max(1, round(density * len(all_pairs)))
@@ -149,7 +150,7 @@ def sink_high_priority(
         raise ValueError(
             f"{num_sinks} sinks + {num_clients} clients exceed {n} nodes"
         )
-    rng = rng or random.Random()
+    rng = rng or default_rng("traffic/highpriority")
 
     by_degree = sorted(net.nodes(), key=lambda v: (-net.degree(v), v))
     sinks = by_degree[:num_sinks]

@@ -1,0 +1,10 @@
+"""Fixture: violates no repro-lint rule (the exit-0 case)."""
+
+import json
+import random
+
+
+def deterministic_blob(seed, data):
+    rng = random.Random(seed)
+    ordered = json.dumps(sorted(data.keys()))
+    return rng.random(), ordered

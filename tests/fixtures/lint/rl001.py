@@ -1,0 +1,7 @@
+"""Fixture: exactly one RL001 violation (unseeded random.Random())."""
+
+import random
+
+GOOD = random.Random(42)  # seeded: not a violation
+
+BAD = random.Random()

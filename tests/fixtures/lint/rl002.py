@@ -1,0 +1,9 @@
+"""Fixture: exactly one RL002 violation (time.time in a result path)."""
+
+import time
+
+
+def timed_result():
+    start = time.perf_counter()  # monotonic: not a violation
+    stamp = time.time()
+    return {"stamp": stamp, "elapsed": time.perf_counter() - start}

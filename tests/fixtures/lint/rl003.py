@@ -1,0 +1,9 @@
+"""Fixture: exactly one RL003 violation (.keys() view into json.dumps)."""
+
+import json
+
+
+def canonical(data):
+    ordered = json.dumps(sorted(data.keys()))  # sorted: not a violation
+    unordered = json.dumps(list(data.keys()))
+    return ordered, unordered

@@ -1,0 +1,16 @@
+"""Fixture: exactly one RL005 violation (non-atomic artifact write)."""
+
+import json
+import os
+
+
+def torn_write(path, payload):
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+
+
+def atomic_write(path, payload):
+    tmp = f"{path}.tmp"  # tmp + os.replace: the idiom itself, not a violation
+    with open(tmp, "w") as handle:
+        json.dump(payload, handle)
+    os.replace(tmp, path)

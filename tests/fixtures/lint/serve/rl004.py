@@ -1,0 +1,11 @@
+"""Fixture: exactly one RL004 violation (session mutation outside the lock).
+
+Lives under a ``serve/`` directory because RL004 only applies to the
+serve tier, where sessions are shared across threads.
+"""
+
+
+def handle(session, link, weight):
+    with session.lock:
+        session.evaluate()  # under the lock: not a violation
+    return session.what_if(link, weight)

@@ -1,0 +1,10 @@
+"""Fixture: two violations, both silenced by inline directives."""
+
+import random
+
+TRAILING = random.Random()  # repro-lint: disable=RL001
+
+# repro-lint: disable=RL001
+ABOVE = random.Random()
+
+NOT_A_DIRECTIVE = "# repro-lint: disable=RL001 inside a string does not count"

@@ -1,0 +1,212 @@
+"""The repro-lint engine (:mod:`repro.analysis`): rules, suppression,
+baseline partitioning, and the registry contract."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    BaselineEntry,
+    BaselineError,
+    LintConfigError,
+    UnknownRuleError,
+    all_rules,
+    get_rule,
+    lint_paths,
+    parse_suppressions,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+
+
+def lint_file(name, **kwargs):
+    return lint_paths([FIXTURES / name], **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Each rule fires exactly once on its fixture, and nowhere else
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "fixture, rule",
+    [
+        ("rl001.py", "RL001"),
+        ("rl002.py", "RL002"),
+        ("rl003.py", "RL003"),
+        ("serve/rl004.py", "RL004"),
+        ("rl005.py", "RL005"),
+    ],
+)
+def test_rule_fires_once_on_its_fixture(fixture, rule):
+    report = lint_file(fixture)
+    assert [f.rule for f in report.findings] == [rule]
+
+
+def test_clean_fixture_produces_no_findings():
+    report = lint_file("clean.py")
+    assert report.findings == []
+    assert report.exit_code() == 0
+
+
+def test_findings_carry_position_and_context():
+    (finding,) = lint_file("rl001.py").findings
+    assert finding.path.endswith("rl001.py")
+    assert finding.line > 0 and finding.col >= 0
+    assert finding.context == "BAD = random.Random()"
+    assert finding.format().startswith(f"{finding.path}:{finding.line}:")
+
+
+def test_rl004_only_applies_to_serve_paths(tmp_path):
+    # The same source outside a serve/ directory is not RL004's business.
+    source = (FIXTURES / "serve" / "rl004.py").read_text()
+    elsewhere = tmp_path / "handlers.py"
+    elsewhere.write_text(source)
+    assert lint_paths([elsewhere]).findings == []
+
+
+def test_rl004_lock_containment_is_lexical(tmp_path):
+    serve_dir = tmp_path / "serve"
+    serve_dir.mkdir()
+    path = serve_dir / "nested.py"
+    path.write_text(
+        "def handler(session, jobs):\n"
+        "    with session.lock:\n"
+        "        for job in jobs:\n"
+        "            session.evaluate()\n"
+        "        thunk = lambda: session.what_if(1, 2)\n"
+        "    return thunk\n"
+    )
+    assert lint_paths([path]).findings == []
+
+
+# ----------------------------------------------------------------------
+# Inline suppression
+# ----------------------------------------------------------------------
+def test_inline_directives_silence_both_styles():
+    report = lint_file("suppressed.py")
+    assert report.findings == []
+    assert sorted(f.rule for f in report.suppressed) == ["RL001", "RL001"]
+
+
+def test_directive_inside_string_literal_does_not_count():
+    source = 'TEXT = "# repro-lint: disable=RL001"\n'
+    suppressions = parse_suppressions(source)
+    assert not suppressions.by_line and not suppressions.file_wide
+
+
+def test_disable_file_directive_covers_whole_file(tmp_path):
+    path = tmp_path / "wide.py"
+    path.write_text(
+        "# repro-lint: disable-file=RL001\n"
+        "import random\n"
+        "A = random.Random()\n"
+        "\n"
+        "B = random.Random()\n"
+    )
+    report = lint_paths([path])
+    assert report.findings == []
+    assert len(report.suppressed) == 2
+
+
+def test_disable_all_silences_every_rule(tmp_path):
+    path = tmp_path / "anything.py"
+    path.write_text("import random\nA = random.Random()  # repro-lint: disable=all\n")
+    assert lint_paths([path]).findings == []
+
+
+# ----------------------------------------------------------------------
+# Baseline: grandfathering, staleness, round-trip
+# ----------------------------------------------------------------------
+def test_baseline_absorbs_matching_findings():
+    raw = lint_file("rl001.py")
+    baseline = Baseline.from_findings(raw.findings)
+    report = lint_file("rl001.py", baseline=baseline)
+    assert report.findings == []
+    assert len(report.grandfathered) == 1
+    assert report.stale_baseline == []
+    assert report.exit_code(strict=True) == 0
+
+
+def test_baseline_entries_go_stale_when_code_changes():
+    baseline = Baseline(
+        [BaselineEntry(rule="RL001", path="gone.py", context="x = random.Random()")]
+    )
+    report = lint_file("clean.py", baseline=baseline)
+    assert report.findings == []
+    assert len(report.stale_baseline) == 1
+    assert report.exit_code(strict=False) == 0
+    assert report.exit_code(strict=True) == 1  # CI mode keeps the baseline tight
+
+
+def test_baseline_count_bounds_absorption(tmp_path):
+    path = tmp_path / "twice.py"
+    path.write_text("import random\nA = random.Random()\nB = random.Random()\n")
+    raw = lint_paths([path])
+    assert len(raw.findings) == 2
+    # The two findings share a rule but differ in context, so a baseline
+    # for only the first line leaves the second fresh.
+    baseline = Baseline.from_findings(raw.findings[:1])
+    report = lint_paths([path], baseline=baseline)
+    assert len(report.findings) == 1
+    assert len(report.grandfathered) == 1
+
+
+def test_baseline_save_load_round_trip(tmp_path):
+    raw = lint_file("rl005.py")
+    baseline = Baseline.from_findings(raw.findings)
+    path = tmp_path / "baseline.json"
+    baseline.save(path)
+    assert Baseline.load(path).entries == baseline.entries
+
+
+@pytest.mark.parametrize("payload", ["not json", "[]", '{"findings": 3}'])
+def test_malformed_baseline_raises(tmp_path, payload):
+    path = tmp_path / "baseline.json"
+    path.write_text(payload)
+    with pytest.raises(BaselineError):
+        Baseline.load(path)
+
+
+# ----------------------------------------------------------------------
+# Registry and runner config errors
+# ----------------------------------------------------------------------
+def test_registry_holds_the_five_builtins():
+    assert [rule.id for rule in all_rules()] == [
+        "RL001", "RL002", "RL003", "RL004", "RL005",
+    ]
+    assert get_rule("RL003").name == "unordered-iteration-to-canonical-output"
+
+
+def test_unknown_rule_error_lists_alternatives():
+    with pytest.raises(UnknownRuleError, match="RL001"):
+        get_rule("RL999")
+    with pytest.raises(UnknownRuleError):
+        lint_paths([FIXTURES / "clean.py"], rules=["RL999"])
+
+
+def test_rule_selection_restricts_the_run():
+    report = lint_paths([FIXTURES], rules=["RL002"])
+    assert [f.rule for f in report.findings] == ["RL002"]
+
+
+def test_missing_path_is_a_config_error():
+    with pytest.raises(LintConfigError):
+        lint_paths([FIXTURES / "does-not-exist.py"])
+
+
+def test_unparseable_source_is_a_config_error(tmp_path):
+    path = tmp_path / "broken.py"
+    path.write_text("def oops(:\n")
+    with pytest.raises(LintConfigError):
+        lint_paths([path])
+
+
+def test_json_report_shape():
+    report = lint_file("rl002.py")
+    doc = report.to_jsonable()
+    assert doc["files"] == 1
+    (finding,) = doc["findings"]
+    assert finding["rule"] == "RL002"
+    assert set(finding) >= {"path", "line", "col", "rule", "message", "context"}

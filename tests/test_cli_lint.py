@@ -1,0 +1,143 @@
+"""Exit-code contract of ``repro-dtr lint`` (:mod:`repro.cli`):
+0 clean, 1 findings, 2 usage/config error."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+
+
+def run(capsys, *argv):
+    code = main(["lint", *argv])
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_clean_file_exits_zero(capsys):
+    code, out, _ = run(capsys, str(FIXTURES / "clean.py"), "--no-baseline")
+    assert code == 0
+    assert "0 finding(s)" in out
+
+
+def test_findings_exit_one(capsys):
+    code, out, err = run(capsys, str(FIXTURES), "--no-baseline")
+    assert code == 1
+    for rule in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+        assert rule in out
+    assert "5 unsuppressed" in err
+
+
+def test_missing_path_is_usage_error(capsys):
+    code, _, err = run(capsys, str(FIXTURES / "nope.py"), "--no-baseline")
+    assert code == 2
+    assert "no such file" in err
+
+
+def test_unknown_rule_is_usage_error(capsys):
+    code, _, err = run(capsys, str(FIXTURES), "--select", "RL999")
+    assert code == 2
+    assert "RL999" in err
+
+
+def test_select_restricts_rules(capsys):
+    code, out, _ = run(capsys, str(FIXTURES), "--no-baseline", "--select", "RL002")
+    assert code == 1
+    assert "RL002" in out and "RL001" not in out
+
+
+def test_missing_explicit_baseline_is_usage_error(tmp_path, capsys):
+    code, _, err = run(
+        capsys, str(FIXTURES), "--baseline", str(tmp_path / "absent.json")
+    )
+    assert code == 2
+    assert "baseline" in err
+
+
+def test_malformed_baseline_is_usage_error(tmp_path, capsys):
+    bad = tmp_path / "baseline.json"
+    bad.write_text("[]")
+    code, _, err = run(capsys, str(FIXTURES), "--baseline", str(bad))
+    assert code == 2
+    assert "malformed baseline" in err
+
+
+def test_update_baseline_then_lint_is_clean(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    code, out, _ = run(
+        capsys, str(FIXTURES), "--update-baseline", "--baseline", str(baseline)
+    )
+    assert code == 0
+    assert "grandfathered" in out
+    doc = json.loads(baseline.read_text())
+    assert doc["version"] == 1
+    assert len(doc["findings"]) == 5
+
+    code, out, _ = run(capsys, str(FIXTURES), "--baseline", str(baseline), "--strict")
+    assert code == 0
+    assert "5 grandfathered" in out
+
+
+def test_stale_baseline_fails_only_under_strict(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(
+        json.dumps(
+            {
+                "version": 1,
+                "findings": [
+                    {
+                        "rule": "RL001",
+                        "path": "gone.py",
+                        "context": "x = random.Random()",
+                        "count": 1,
+                    }
+                ],
+            }
+        )
+    )
+    clean = str(FIXTURES / "clean.py")
+    assert main(["lint", clean, "--baseline", str(baseline)]) == 0
+    capsys.readouterr()
+    code, out, err = run(capsys, clean, "--baseline", str(baseline), "--strict")
+    assert code == 1
+    assert "stale baseline" in out
+    assert "stale" in err
+
+
+def test_json_format_is_machine_readable(capsys):
+    code, out, _ = run(
+        capsys, str(FIXTURES / "rl003.py"), "--no-baseline", "--format", "json"
+    )
+    assert code == 1
+    doc = json.loads(out)
+    assert doc["exit_code"] == 1
+    assert [f["rule"] for f in doc["findings"]] == ["RL003"]
+
+
+def test_list_rules_exits_zero(capsys):
+    code, out, _ = run(capsys, "--list-rules")
+    assert code == 0
+    for rule in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+        assert rule in out
+
+
+def test_baseline_and_no_baseline_conflict(capsys):
+    code, _, err = run(
+        capsys, str(FIXTURES), "--baseline", "x.json", "--no-baseline"
+    )
+    assert code == 2
+    assert "exclusive" in err
+
+
+def test_repo_tree_is_lint_clean(monkeypatch):
+    # The merged tree must satisfy its own gate (ISSUE acceptance):
+    # the committed baseline covers the grandfathered findings and
+    # nothing is stale.  Baseline entries match on repo-relative paths,
+    # so run from the repo root exactly as CI does.
+    monkeypatch.chdir(Path(__file__).parent.parent)
+    assert main(["lint", "src/repro", "--strict"]) == 0

@@ -1,6 +1,5 @@
 """Tests for the gravity traffic model (paper Eqs. 6-7)."""
 
-import math
 import random
 
 import numpy as np

@@ -1,6 +1,5 @@
 """Tests for traffic scaling to a target average utilization."""
 
-import random
 
 import numpy as np
 import pytest
