@@ -27,7 +27,11 @@ from repro.traffic.scaling import scale_to_utilization
 
 NUM_NODES = 100
 NUM_QUERIES = 100
-MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "2.0"))
+# Floor calibrated against the vectorized from-scratch path (measured
+# ~1.6-1.8x): the repro.routing.soa kernels sped full re-evaluation up
+# ~5x, compressing the what-if ratio — both sides got faster in
+# absolute terms.
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "1.4"))
 
 
 def _workload():

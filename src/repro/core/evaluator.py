@@ -50,7 +50,7 @@ from repro.routing.incremental import (
     derive_routing,
 )
 from repro.routing.state import Routing
-from repro.routing.weights import weights_key
+from repro.routing.weights import as_weight_array, weights_key
 from repro.traffic.matrix import TrafficMatrix
 
 LOAD_MODE = "load"
@@ -156,6 +156,10 @@ class DualTopologyEvaluator:
             against a full rebuild and raise
             :class:`IncrementalMismatchError` on disagreement.  Expensive;
             meant for tests and debugging.
+        vectorized: Whether routings run per-destination accumulation on
+            the struct-of-arrays kernels (:mod:`repro.routing.soa`) or on
+            the scalar reference loop.  Both produce bit-identical
+            results; ``False`` is the differential-test reference path.
     """
 
     def __init__(
@@ -168,6 +172,7 @@ class DualTopologyEvaluator:
         cache_size: int = 128,
         incremental: bool = True,
         verify_incremental: bool = False,
+        vectorized: bool = True,
     ) -> None:
         if mode not in (LOAD_MODE, SLA_MODE):
             raise ValueError(f"mode must be '{LOAD_MODE}' or '{SLA_MODE}', got {mode!r}")
@@ -180,6 +185,7 @@ class DualTopologyEvaluator:
         self.sla_params = sla_params or SlaParams()
         self.incremental = bool(incremental)
         self.verify_incremental = bool(verify_incremental)
+        self.vectorized = bool(vectorized)
         self._high_cache = _LruCache(cache_size)
         self._low_cache = _LruCache(cache_size)
         self._full_cache = _LruCache(cache_size * 2)
@@ -241,25 +247,30 @@ class DualTopologyEvaluator:
         routines consume.
         """
         self.evaluations += 1
-        hk = weights_key(np.asarray(high_weights, dtype=np.int64))
-        lk = weights_key(np.asarray(low_weights, dtype=np.int64))
+        # Validate BEFORE keying: a bare int64 cast truncates fractional
+        # weights, silently keying `w + 0.5` as `floor(w)` and returning a
+        # cached result computed for different weights.
+        hw = as_weight_array(high_weights, self._net.num_links)
+        lw = as_weight_array(low_weights, self._net.num_links)
+        hk = weights_key(hw)
+        lk = weights_key(lw)
         full_key = hk + b"|" + lk
         cached = self._full_cache.get(full_key)
         if cached is not None:
             return cached
 
         hbk = (
-            weights_key(np.asarray(high_base, dtype=np.int64))
+            weights_key(as_weight_array(high_base, self._net.num_links))
             if high_base is not None
             else None
         )
         lbk = (
-            weights_key(np.asarray(low_base, dtype=np.int64))
+            weights_key(as_weight_array(low_base, self._net.num_links))
             if low_base is not None
             else None
         )
-        high = self._high_layer(hk, high_weights, base_key=hbk, delta=high_delta)
-        low = self._low_layer(lk, low_weights, base_key=lbk, delta=low_delta)
+        high = self._high_layer(hk, hw, base_key=hbk, delta=high_delta)
+        low = self._low_layer(lk, lw, base_key=lbk, delta=low_delta)
         per_link_low = fortz_cost_vector(low.loads, high.residual)
         utilization = (high.loads + low.loads) / self._net.capacities()
 
@@ -336,13 +347,13 @@ class DualTopologyEvaluator:
 
     def high_routing(self, high_weights: np.ndarray) -> Routing:
         """The (cached) high-priority routing for ``high_weights``."""
-        hk = weights_key(np.asarray(high_weights, dtype=np.int64))
-        return self._high_layer(hk, high_weights).routing
+        hw = as_weight_array(high_weights, self._net.num_links)
+        return self._high_layer(weights_key(hw), hw).routing
 
     def low_routing(self, low_weights: np.ndarray) -> Routing:
         """The (cached) low-priority routing for ``low_weights``."""
-        lk = weights_key(np.asarray(low_weights, dtype=np.int64))
-        return self._low_layer(lk, low_weights).routing
+        lw = as_weight_array(low_weights, self._net.num_links)
+        return self._low_layer(weights_key(lw), lw).routing
 
     def cache_stats(self) -> dict[str, int]:
         """Hit/miss counters of the cache layers plus incremental-SPF counters.
@@ -445,7 +456,7 @@ class DualTopologyEvaluator:
                 )
             )
         if parent_routing is None or delta is None:
-            routing, affected = Routing(self._net, weights), None
+            routing, affected = Routing(self._net, weights, vectorized=self.vectorized), None
         else:
             derived, affected_array = derive_routing(parent_routing, delta)
             if not np.array_equal(derived.weights, np.asarray(weights, dtype=np.int64)):
@@ -467,17 +478,25 @@ class DualTopologyEvaluator:
         parent_rows: Optional[np.ndarray],
         affected: Optional[set[int]],
     ) -> np.ndarray:
-        """Per-destination load rows, reusing parent rows where possible."""
+        """Per-destination load rows, reusing parent rows where possible.
+
+        Rows are computed through :meth:`Routing.destination_rows` — one
+        batched kernel pass over every destination that needs rebuilding
+        instead of a per-destination Python loop.
+        """
         if affected is None:
-            rows = np.empty((active.size, self._net.num_links))
-            for i, t in enumerate(active):
-                rows[i] = routing.destination_link_loads(int(t), demands[:, t])
-            return rows
+            if active.size == 0:
+                return np.empty((0, self._net.num_links))
+            if active.size == demands.shape[1]:
+                # Every destination active: the transpose view skips a
+                # full-matrix column gather (the kernel copies anyway).
+                return routing.destination_rows(active, demands.T)
+            return routing.destination_rows(active, demands[:, active].T)
         rows = parent_rows.copy()
-        for i, t in enumerate(active):
-            t = int(t)
-            if t in affected:
-                rows[i] = routing.destination_link_loads(t, demands[:, t])
+        idx = [i for i, t in enumerate(active) if int(t) in affected]
+        if idx:
+            ts = active[idx]
+            rows[idx] = routing.destination_rows(ts, demands[:, ts].T)
         return rows
 
     def _build_high_layer(
@@ -513,15 +532,29 @@ class DualTopologyEvaluator:
             delays = link_delays_ms(
                 self._net, loads, per_link_cost, self.sla_params.packet_size_bits
             )
+            # Pairs sharing a destination share its DAG: group them so
+            # each destination's fractions come from one batched kernel
+            # pass, then fold penalties in the original pairs() order
+            # (the accumulation order is part of the bit-identity
+            # contract with the non-grouped build).
+            by_dest: dict[int, list[int]] = {}
+            for s, t, _rate in self._high_traffic.pairs():
+                if affected is not None and t not in affected:
+                    continue
+                by_dest.setdefault(t, []).append(s)
+            fresh: dict[tuple[int, int], np.ndarray] = {}
+            for t, sources in by_dest.items():
+                frac_rows = routing.pair_fraction_rows(t, sources)
+                for j, s in enumerate(sources):
+                    fresh[(s, t)] = frac_rows[j].copy()
             fractions: dict[tuple[int, int], np.ndarray] = {}
             pair_delays: dict[tuple[int, int], float] = {}
             penalty = 0.0
             violations = 0
             for s, t, _rate in self._high_traffic.pairs():
-                if affected is not None and t not in affected:
+                frac = fresh.get((s, t))
+                if frac is None:
                     frac = parent.pair_fractions[(s, t)]
-                else:
-                    frac = routing.pair_link_fractions(s, t)
                 fractions[(s, t)] = frac
                 xi = float(frac @ delays)
                 pair_delays[(s, t)] = xi
@@ -561,7 +594,14 @@ class DualTopologyEvaluator:
         )
 
     def _verify_layer(self, derived, rebuilt, which: str) -> None:
-        """Cross-check a derived layer against a full rebuild."""
+        """Cross-check a derived layer against a full rebuild.
+
+        Derived and rebuilt layers are contractually *bit-identical*, so
+        the per-destination rows and every derived field are compared
+        exactly — a corrupted row that still sums within the loads
+        tolerance (the old blind spot) cannot slip through and resurface
+        later via row reuse.
+        """
         if not np.allclose(
             derived.routing.distance_matrix,
             rebuilt.routing.distance_matrix,
@@ -569,9 +609,31 @@ class DualTopologyEvaluator:
             atol=1e-9,
         ):
             raise IncrementalMismatchError(f"{which} layer: distance matrices differ")
+        if not np.array_equal(derived.dest_rows, rebuilt.dest_rows):
+            raise IncrementalMismatchError(
+                f"{which} layer: per-destination rows differ"
+            )
         if not np.allclose(derived.loads, rebuilt.loads, rtol=1e-12, atol=1e-9):
             raise IncrementalMismatchError(f"{which} layer: link loads differ")
+        if which == "high":
+            if not np.array_equal(derived.residual, rebuilt.residual):
+                raise IncrementalMismatchError("high layer: residuals differ")
+            if not np.array_equal(derived.per_link_cost, rebuilt.per_link_cost):
+                raise IncrementalMismatchError("high layer: per-link costs differ")
         if which == "high" and self.mode == SLA_MODE:
+            if not np.array_equal(derived.link_delays, rebuilt.link_delays):
+                raise IncrementalMismatchError("high layer: link delays differ")
+            if set(derived.pair_fractions) != set(rebuilt.pair_fractions):
+                raise IncrementalMismatchError("high layer: pair sets differ")
+            for pair, frac in rebuilt.pair_fractions.items():
+                if not np.array_equal(derived.pair_fractions[pair], frac):
+                    raise IncrementalMismatchError(
+                        f"high layer: pair fractions differ for {pair}"
+                    )
+            if derived.pair_delays != rebuilt.pair_delays:
+                raise IncrementalMismatchError("high layer: pair delays differ")
+            if derived.violations != rebuilt.violations:
+                raise IncrementalMismatchError("high layer: violation counts differ")
             if abs(derived.penalty - rebuilt.penalty) > 1e-9 * max(
                 1.0, abs(rebuilt.penalty)
             ):

@@ -202,6 +202,25 @@ class Network:
             self._cache["rev_perm"],
         )
 
+    def forward_csr_structure(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-source grouping of link indices, for SoA DAG assembly.
+
+        Returns ``(indptr, perm)``: ``perm`` lists link indices grouped
+        by source node (ascending link index within each source — the
+        stable sort preserves insertion order) and
+        ``perm[indptr[u]:indptr[u+1]]`` are node ``u``'s out-links.
+        Like :meth:`reverse_csr_structure`, the structure depends only on
+        the topology and is cached.
+        """
+        if "fwd_indptr" not in self._cache:
+            srcs = self.link_sources()
+            counts = np.bincount(srcs, minlength=self._num_nodes)
+            self._cache["fwd_perm"] = np.argsort(srcs, kind="stable")
+            self._cache["fwd_indptr"] = np.concatenate(
+                ([0], np.cumsum(counts))
+            ).astype(np.int64)
+        return self._cache["fwd_indptr"], self._cache["fwd_perm"]
+
     def weight_matrix(self, weights: Iterable[float]) -> np.ndarray:
         """Dense ``num_nodes x num_nodes`` matrix of link weights.
 

@@ -14,13 +14,23 @@ from repro.routing.spf import (
     RoutingError,
     distances_to_all,
     distances_to_subset,
+    distances_to_subsets_batched,
     shortest_path_dag_mask,
+    shortest_path_dag_masks,
+)
+from repro.routing.soa import (
+    DestinationDag,
+    Schedule,
+    accumulate_rows,
+    build_destination_dags,
+    build_schedule,
 )
 from repro.routing.state import Routing
 from repro.routing.incremental import (
     WeightDelta,
     affected_destinations,
     derive_routing,
+    derive_routings_batch,
     incremental_distances,
 )
 from repro.routing.multi_topology import DualRouting, MultiTopology
@@ -54,10 +64,18 @@ __all__ = [
     "RoutingError",
     "distances_to_all",
     "distances_to_subset",
+    "distances_to_subsets_batched",
     "shortest_path_dag_mask",
+    "shortest_path_dag_masks",
+    "DestinationDag",
+    "Schedule",
+    "accumulate_rows",
+    "build_destination_dags",
+    "build_schedule",
     "WeightDelta",
     "affected_destinations",
     "derive_routing",
+    "derive_routings_batch",
     "incremental_distances",
     "as_weight_array",
     "unit_weights",

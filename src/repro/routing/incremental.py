@@ -43,7 +43,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.network.graph import Network
-from repro.routing.spf import _DISTANCE_ATOL, distances_to_subset
+from repro.routing.spf import (
+    _DISTANCE_ATOL,
+    distances_to_subset,
+    distances_to_subsets_batched,
+)
 from repro.routing.state import Routing
 
 
@@ -234,9 +238,69 @@ def derive_routing(
     new_weights = delta.apply(parent.weights)
     affected = affected_destinations(net, parent.distance_matrix, delta)
     dist = incremental_distances(net, new_weights, parent.distance_matrix, affected)
+    child = _child_routing(parent, new_weights, dist, affected)
+    return child, affected
+
+
+def _child_routing(
+    parent: Routing, new_weights: np.ndarray, dist: np.ndarray, affected: np.ndarray
+) -> Routing:
+    """Assemble a child routing sharing the parent's unaffected DAG caches.
+
+    Both DAG representations are shared — the list-of-lists cache the
+    path/forwarding helpers consume and the CSR
+    :class:`~repro.routing.soa.DestinationDag` cache the vectorized
+    kernels ride — so a derived routing re-traverses nothing the parent
+    already built.
+    """
     affected_set = set(int(t) for t in affected)
     reusable_dags = {
         t: dag for t, dag in parent.dag_cache().items() if t not in affected_set
     }
-    child = Routing.from_precomputed(net, new_weights, dist, dag_out=reusable_dags)
-    return child, affected
+    reusable_soa = {
+        t: dag for t, dag in parent.soa_dag_cache().items() if t not in affected_set
+    }
+    return Routing.from_precomputed(
+        parent.network,
+        new_weights,
+        dist,
+        dag_out=reusable_dags,
+        dags=reusable_soa,
+        vectorized=parent.vectorized,
+    )
+
+
+def derive_routings_batch(
+    parent: Routing, deltas
+) -> list[tuple[Routing, np.ndarray]]:
+    """Derive many children of one parent with a single blocked Dijkstra.
+
+    Equivalent to ``[derive_routing(parent, d) for d in deltas]`` — same
+    children bit for bit — but every child's restricted Dijkstra runs in
+    one :func:`repro.routing.spf.distances_to_subsets_batched` call, so a
+    batch of cache misses (e.g. the neighborhood a search ranks, or the
+    deltas a sweep chunk requests) pays the scipy call overhead once.
+
+    Args:
+        parent: The routing of the parent weight vector.
+        deltas: The weight changes, each relative to the parent.
+
+    Returns:
+        ``(child, affected)`` pairs in ``deltas`` order.
+    """
+    net = parent.network
+    prepared = []
+    for delta in deltas:
+        new_weights = delta.apply(parent.weights)
+        affected = affected_destinations(net, parent.distance_matrix, delta)
+        prepared.append((new_weights, affected))
+    blocks = distances_to_subsets_batched(
+        (net, new_weights, affected) for new_weights, affected in prepared
+    )
+    out = []
+    for (new_weights, affected), rows in zip(prepared, blocks):
+        dist = parent.distance_matrix.copy()
+        if affected.size:
+            dist[affected] = rows
+        out.append((_child_routing(parent, new_weights, dist, affected), affected))
+    return out

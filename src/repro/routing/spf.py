@@ -78,13 +78,78 @@ def shortest_path_dag_mask(
     Returns:
         Boolean vector over link indices.
     """
+    return shortest_path_dag_masks(net, weights, np.atleast_2d(dist_to_t))[0]
+
+
+def shortest_path_dag_masks(
+    net: Network, weights: np.ndarray, dist_rows: np.ndarray
+) -> np.ndarray:
+    """Shortest-path DAG masks for many destinations in one broadcast.
+
+    The slack test of :func:`shortest_path_dag_mask` evaluated as a
+    ``(k, num_links)`` grid: row ``i`` is the DAG mask of the destination
+    whose distance row is ``dist_rows[i]``.
+
+    Args:
+        net: The network.
+        weights: Per-link weights used to compute ``dist_rows``.
+        dist_rows: ``(k, num_nodes)`` stack of rows from
+            :func:`distances_to_all` / :func:`distances_to_subset`.
+
+    Returns:
+        Boolean matrix of shape ``(k, num_links)``.
+    """
     w = np.asarray(weights, dtype=float)
-    src_dist = dist_to_t[net.link_sources()]
-    dst_dist = dist_to_t[net.link_destinations()]
-    finite = np.isfinite(src_dist) & np.isfinite(dst_dist)
+    dist_rows = np.asarray(dist_rows, dtype=float)
+    src_dist = dist_rows[:, net.link_sources()]
+    dst_dist = dist_rows[:, net.link_destinations()]
+    # Unreachable endpoints need no explicit finiteness mask: an inf on
+    # either side makes the slack inf (or nan, for inf - inf), and
+    # neither satisfies the <= comparison.
     with np.errstate(invalid="ignore"):  # inf - inf on unreachable endpoints
-        on_dag = np.abs(src_dist - (w + dst_dist)) <= _DISTANCE_ATOL
-    return finite & on_dag
+        return np.abs(src_dist - (w[None, :] + dst_dist)) <= _DISTANCE_ATOL
+
+
+def distances_to_subsets_batched(tasks) -> list[np.ndarray]:
+    """Several :func:`distances_to_subset` calls as one Dijkstra invocation.
+
+    The per-task reversed graphs are stacked into one block-diagonal
+    sparse matrix and solved with a single ``scipy`` ``dijkstra`` call —
+    the batching the scenario sweep engine uses to amortize the per-call
+    overhead of its derived-routing cache misses.  Blocks are mutually
+    unreachable, and Dijkstra distances are exact sums of the integer
+    weights, so every block's rows are bit-identical to a standalone
+    :func:`distances_to_subset` call.
+
+    Args:
+        tasks: Iterable of ``(net, weights, destinations)`` triples.
+
+    Returns:
+        One ``(len(destinations), net.num_nodes)`` matrix per task, in
+        task order.
+    """
+    from scipy.sparse import block_diag
+
+    tasks = list(tasks)
+    graphs, idx_list, spans = [], [], []
+    node_offset = 0
+    for net, weights, destinations in tasks:
+        dests = np.asarray(destinations, dtype=np.int64)
+        graphs.append(_reverse_graph(net, weights))
+        idx_list.append(dests + node_offset)
+        spans.append((node_offset, net.num_nodes, dests.size))
+        node_offset += net.num_nodes
+    all_idx = np.concatenate(idx_list) if idx_list else np.empty(0, dtype=np.int64)
+    if all_idx.size == 0:
+        return [np.empty((0, n)) for (_off, n, _k) in spans]
+    big = block_diag(graphs, format="csr")
+    dmat = np.atleast_2d(dijkstra(big, directed=True, indices=all_idx))
+    out = []
+    row = 0
+    for offset, n, k in spans:
+        out.append(np.ascontiguousarray(dmat[row : row + k, offset : offset + n]))
+        row += k
+    return out
 
 
 def descending_distance_order(dist_to_t: np.ndarray) -> np.ndarray:

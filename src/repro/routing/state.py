@@ -2,11 +2,21 @@
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Iterable, Optional, Union
 
 import numpy as np
 
 from repro.network.graph import Network
+from repro.routing.soa import (
+    DestinationDag,
+    Schedule,
+    accumulate_rows,
+    build_arrays_and_schedule,
+    build_destination_dags,
+    build_schedule,
+    slice_destination_dags,
+)
 from repro.routing.spf import (
     RoutingError,
     descending_distance_order,
@@ -18,6 +28,19 @@ from repro.traffic.matrix import TrafficMatrix
 
 DemandsLike = Union[TrafficMatrix, np.ndarray]
 
+_PAIR_SCHEDULE_CAP = 64
+"""Single-row pair-fraction schedules kept per routing (FIFO).  Bounds the
+memory of long-lived memoized routings (the sweep engine keeps hundreds)
+while covering every destination an SLA costing pass revisits."""
+
+_DEST_SCHEDULE_CAP = 2
+"""Multi-row destination schedules kept per routing (FIFO), keyed by the
+requested destination list.  Two entries cover the evaluator's hot path —
+the high and the low layer of one evaluation request rows for the same
+active-destination list, so the second layer reuses the first layer's
+compiled schedule — while keeping the worst case (two full-network
+schedules) small next to the DAG cache itself."""
+
 
 class Routing:
     """Immutable routing state for a single link-weight vector.
@@ -26,13 +49,29 @@ class Routing:
     per-destination shortest-path DAGs, ECMP link loads for any traffic
     matrix, and per-pair link flow fractions — the primitives every cost
     function in the paper needs.
+
+    Per-destination accumulation (:meth:`destination_rows`,
+    :meth:`destination_link_loads`, :meth:`pair_link_fractions`) runs on
+    the struct-of-arrays kernels of :mod:`repro.routing.soa` by default;
+    ``vectorized=False`` keeps the scalar Python reference loop, which
+    the kernels are bit-identical to (the cross-check the differential
+    suites pin down).
     """
 
-    def __init__(self, net: Network, weights: Iterable[float]) -> None:
+    def __init__(
+        self, net: Network, weights: Iterable[float], vectorized: bool = True
+    ) -> None:
         self._net = net
         self._weights = as_weight_array(weights, net.num_links)
         self._dist = distances_to_all(net, self._weights)
+        self._dist.setflags(write=False)
         self._dag_out: dict[int, list[list[int]]] = {}
+        self._dags: dict[int, DestinationDag] = {}
+        self._pending_dags: Optional[tuple[list[int], tuple]] = None
+        self._pair_schedules: OrderedDict[int, Schedule] = OrderedDict()
+        self._dest_schedules: OrderedDict[bytes, Schedule] = OrderedDict()
+        self._all_finite: Optional[bool] = None
+        self._vectorized = bool(vectorized)
 
     @classmethod
     def from_precomputed(
@@ -41,22 +80,33 @@ class Routing:
         weights: Iterable[float],
         dist: np.ndarray,
         dag_out: Optional[dict[int, list[list[int]]]] = None,
+        dags: Optional[dict[int, DestinationDag]] = None,
+        vectorized: bool = True,
     ) -> "Routing":
         """Build a routing from an externally computed distance matrix.
 
         This is the constructor the incremental-SPF path uses
         (:func:`repro.routing.incremental.derive_routing`): ``dist`` must
-        equal ``distances_to_all(net, weights)`` and ``dag_out`` may seed
-        the per-destination DAG cache with entries that are known to be
-        valid under ``weights`` (e.g. reused from a parent routing whose
-        distance rows are unchanged).  No recomputation or validation is
-        performed, so callers are responsible for consistency.
+        equal ``distances_to_all(net, weights)`` and ``dag_out`` /
+        ``dags`` may seed the per-destination DAG caches with entries
+        that are known to be valid under ``weights`` (e.g. reused from a
+        parent routing whose distance rows are unchanged).  No
+        recomputation or validation is performed, so callers are
+        responsible for consistency.  ``dist`` is marked read-only: it is
+        shared state from this point on.
         """
         routing = cls.__new__(cls)
         routing._net = net
         routing._weights = as_weight_array(weights, net.num_links)
+        dist.setflags(write=False)
         routing._dist = dist
         routing._dag_out = dict(dag_out) if dag_out else {}
+        routing._dags = dict(dags) if dags else {}
+        routing._pending_dags = None
+        routing._pair_schedules = OrderedDict()
+        routing._dest_schedules = OrderedDict()
+        routing._all_finite = None
+        routing._vectorized = bool(vectorized)
         return routing
 
     # ------------------------------------------------------------------
@@ -72,6 +122,11 @@ class Routing:
         """The (read-only) link weight vector."""
         return self._weights
 
+    @property
+    def vectorized(self) -> bool:
+        """Whether accumulation runs on the SoA kernels or the scalar loop."""
+        return self._vectorized
+
     def distance(self, src: int, dst: int) -> float:
         """Shortest-path distance from ``src`` to ``dst`` (``inf`` if unreachable)."""
         return float(self._dist[dst, src])
@@ -84,8 +139,9 @@ class Routing:
     def distance_matrix(self) -> np.ndarray:
         """The full ``(num_nodes, num_nodes)`` matrix ``D[t, u] = dist(u, t)``.
 
-        Treat as read-only: the matrix is shared with internal caches (and,
-        on the incremental path, potentially with other routings).
+        Read-only (``writeable=False``): the matrix is shared with
+        internal caches and, on the incremental path, with other
+        routings.
         """
         return self._dist
 
@@ -97,16 +153,44 @@ class Routing:
         """
         return self._dag_out
 
+    def soa_dag_cache(self) -> dict[int, DestinationDag]:
+        """The CSR-form per-destination DAG cache (``dst -> DestinationDag``).
+
+        The struct-of-arrays counterpart of :meth:`dag_cache`, shared the
+        same way by :func:`repro.routing.incremental.derive_routing`;
+        treat entries as read-only.
+        """
+        self._materialize_pending_dags()
+        return self._dags
+
+    def ensure_dags(self, dests) -> list[DestinationDag]:
+        """CSR DAGs for ``dests``, building any missing ones in one batch."""
+        self._materialize_pending_dags()
+        missing = [t for t in dict.fromkeys(int(t) for t in dests) if t not in self._dags]
+        if missing:
+            dist_rows = self._dist[np.asarray(missing, dtype=np.int64)]
+            built = build_destination_dags(self._net, self._weights, dist_rows, missing)
+            for t, dag in zip(missing, built):
+                self._dags[t] = dag
+        return [self._dags[int(t)] for t in dests]
+
     def dag_out_links(self, dst: int) -> list[list[int]]:
         """Per-node outgoing link indices on the shortest-path DAG toward ``dst``."""
         cached = self._dag_out.get(dst)
         if cached is not None:
             return cached
-        mask = shortest_path_dag_mask(self._net, self._weights, self._dist[dst])
-        out: list[list[int]] = [[] for _ in range(self._net.num_nodes)]
-        sources = self._net.link_sources()
-        for link_idx in np.flatnonzero(mask):
-            out[sources[link_idx]].append(int(link_idx))
+        if self._vectorized:
+            dag = self.ensure_dags([dst])[0]
+            out = [
+                dag.links[dag.indptr[u] : dag.indptr[u + 1]].tolist()
+                for u in range(self._net.num_nodes)
+            ]
+        else:
+            mask = shortest_path_dag_mask(self._net, self._weights, self._dist[dst])
+            out = [[] for _ in range(self._net.num_nodes)]
+            sources = self._net.link_sources()
+            for link_idx in np.flatnonzero(mask):
+                out[sources[link_idx]].append(int(link_idx))
         self._dag_out[dst] = out
         return out
 
@@ -127,6 +211,13 @@ class Routing:
         ``t`` (locally originated plus transit) splits evenly over its
         shortest-path DAG out-links.
 
+        This entry point deliberately keeps the scalar reference loop in
+        both modes: it interleaves per-destination additions into one
+        shared accumulator, an addition grouping the row-based kernels
+        cannot reproduce bitwise, and its exact bits feed
+        :func:`repro.traffic.scaling.scale_to_utilization` (and through
+        it every search trajectory).
+
         Args:
             traffic: Traffic matrix (or raw ``n x n`` demand array) in Mb/s.
 
@@ -144,6 +235,80 @@ class Routing:
             self._accumulate_destination(int(t), demands[:, t], loads, link_dst)
         return loads
 
+    def destination_rows(self, dests, injections: np.ndarray) -> np.ndarray:
+        """Per-link load rows for many ``(destination, injection)`` pairs.
+
+        Row ``i`` equals ``destination_link_loads(dests[i],
+        injections[i])``; all rows are computed in one batched kernel
+        pass when the routing is vectorized.
+
+        Args:
+            dests: Destination node per row (repeats allowed).
+            injections: ``(len(dests), num_nodes)`` per-row demands
+                toward the row's destination, in Mb/s.
+
+        Returns:
+            Matrix of shape ``(len(dests), num_links)``.
+
+        Raises:
+            RoutingError: if any positive injection has no path to its
+                row's destination (reported for the first offending row,
+                lowest node first — the scalar loop's error order).
+        """
+        dests = [int(t) for t in dests]
+        k = len(dests)
+        inj = np.asarray(injections, dtype=float)
+        if inj.shape != (k, self._net.num_nodes):
+            raise ValueError(
+                f"expected injections of shape ({k}, {self._net.num_nodes}), "
+                f"got {inj.shape}"
+            )
+        if k == 0:
+            return np.empty((0, self._net.num_links))
+        darr = np.asarray(dests, dtype=np.int64)
+        if not self._reachable_from_everywhere():
+            dist_rows = self._dist[darr]
+            bad = ~np.isfinite(dist_rows) & (inj > 0)
+            if bad.any():
+                i, u = (int(x) for x in np.argwhere(bad)[0])
+                raise RoutingError(f"node {dests[i]} unreachable from node {u}")
+        if not self._vectorized:
+            rows = np.zeros((k, self._net.num_links))
+            link_dst = self._net.link_destinations()
+            for i, t in enumerate(dests):
+                self._accumulate_destination(t, inj[i], rows[i], link_dst)
+            return rows
+        key = darr.tobytes()
+        schedule = self._dest_schedules.get(key)
+        if schedule is None:
+            net = self._net
+            self._materialize_pending_dags()
+            uncached = [t for t in dict.fromkeys(dests) if t not in self._dags]
+            if len(uncached) == k:
+                # No destination cached and no repeats: build the DAG
+                # arrays and their schedule in one fused pass.  The
+                # per-destination tuples are sliced out lazily — the
+                # evaluator's load-mode passes only ever run the
+                # schedule, so the slicing cost would be pure overhead
+                # on the hottest path.
+                if k == net.num_nodes and np.array_equal(darr, np.arange(k)):
+                    dist_rows = self._dist
+                else:
+                    dist_rows = self._dist[darr]
+                arrays, schedule = build_arrays_and_schedule(
+                    net, self._weights, dist_rows, dests, net.link_destinations()
+                )
+                self._pending_dags = (dests, arrays)
+            else:
+                dags = self.ensure_dags(dests)
+                schedule = build_schedule(
+                    dags, net.link_destinations(), net.num_nodes, net.num_links
+                )
+            while len(self._dest_schedules) >= _DEST_SCHEDULE_CAP:
+                self._dest_schedules.popitem(last=False)
+            self._dest_schedules[key] = schedule
+        return accumulate_rows(schedule, inj)
+
     def destination_link_loads(self, dst: int, injections: np.ndarray) -> np.ndarray:
         """Per-link loads contributed by traffic destined to ``dst`` alone.
 
@@ -159,9 +324,8 @@ class Routing:
         Raises:
             RoutingError: if any positive injection has no path to ``dst``.
         """
-        row = np.zeros(self._net.num_links)
-        self._accumulate_destination(dst, np.asarray(injections, dtype=float), row, self._net.link_destinations())
-        return row
+        inj = np.asarray(injections, dtype=float)
+        return self.destination_rows([dst], inj[None, :])[0]
 
     def pair_link_fractions(self, src: int, dst: int) -> np.ndarray:
         """Fraction of the ``(src, dst)`` flow crossing each link.
@@ -179,6 +343,10 @@ class Routing:
         dist = self._dist[dst]
         if not np.isfinite(dist[src]):
             raise RoutingError(f"node {dst} unreachable from node {src}")
+        if self._vectorized:
+            inj = np.zeros((1, self._net.num_nodes))
+            inj[0, src] = 1.0
+            return accumulate_rows(self._pair_schedule(dst), inj)[0]
         dag_out = self.dag_out_links(dst)
         node_frac = np.zeros(self._net.num_nodes)
         node_frac[src] = 1.0
@@ -193,6 +361,43 @@ class Routing:
                 fractions[link_idx] += share
                 node_frac[self._net.link(link_idx).dst] += share
         return fractions
+
+    def pair_fraction_rows(self, dst: int, sources) -> np.ndarray:
+        """Pair fractions toward ``dst`` for many sources in one kernel pass.
+
+        Row ``i`` equals ``pair_link_fractions(sources[i], dst)`` — the
+        batching the SLA evaluator layer rides (all pairs sharing a
+        destination share its DAG and schedule).
+
+        Raises:
+            ValueError: if any source equals ``dst``.
+            RoutingError: if ``dst`` is unreachable from any source
+                (reported for the first offending source in order).
+        """
+        sources = [int(s) for s in sources]
+        dist = self._dist[dst]
+        for s in sources:
+            if s == dst:
+                raise ValueError("src and dst must differ")
+            if not np.isfinite(dist[s]):
+                raise RoutingError(f"node {dst} unreachable from node {s}")
+        if not self._vectorized:
+            rows = np.empty((len(sources), self._net.num_links))
+            for i, s in enumerate(sources):
+                rows[i] = self.pair_link_fractions(s, dst)
+            return rows
+        if not sources:
+            return np.empty((0, self._net.num_links))
+        dag = self.ensure_dags([dst])[0]
+        schedule = build_schedule(
+            [dag] * len(sources),
+            self._net.link_destinations(),
+            self._net.num_nodes,
+            self._net.num_links,
+        )
+        inj = np.zeros((len(sources), self._net.num_nodes))
+        inj[np.arange(len(sources)), sources] = 1.0
+        return accumulate_rows(schedule, inj)
 
     def average_hop_count(self, src: int, dst: int) -> float:
         """Mean number of hops of the ECMP flow from ``src`` to ``dst``."""
@@ -227,6 +432,42 @@ class Routing:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _materialize_pending_dags(self) -> None:
+        """Slice deferred fused-pass DAG arrays into the ``_dags`` cache.
+
+        :meth:`destination_rows` keeps the flattened arrays of its fused
+        build instead of slicing ``DestinationDag`` tuples eagerly; any
+        reader of the cache (or a second build) materializes them first,
+        so the deferral is invisible outside this class.
+        """
+        if self._pending_dags is not None:
+            dests, arrays = self._pending_dags
+            self._pending_dags = None
+            for t, dag in zip(dests, slice_destination_dags(dests, arrays)):
+                self._dags[t] = dag
+
+    def _reachable_from_everywhere(self) -> bool:
+        """Whether every node reaches every node (no inf distances), cached."""
+        if self._all_finite is None:
+            self._all_finite = bool(np.isfinite(self._dist).all())
+        return self._all_finite
+
+    def _pair_schedule(self, dst: int) -> Schedule:
+        """A cached single-row schedule for destination ``dst``."""
+        schedule = self._pair_schedules.get(dst)
+        if schedule is None:
+            dag = self.ensure_dags([dst])[0]
+            schedule = build_schedule(
+                [dag],
+                self._net.link_destinations(),
+                self._net.num_nodes,
+                self._net.num_links,
+            )
+            while len(self._pair_schedules) >= _PAIR_SCHEDULE_CAP:
+                self._pair_schedules.popitem(last=False)
+            self._pair_schedules[dst] = schedule
+        return schedule
+
     def _demand_array(self, traffic: DemandsLike) -> np.ndarray:
         demands = traffic.demands if isinstance(traffic, TrafficMatrix) else np.asarray(traffic, dtype=float)
         n = self._net.num_nodes
@@ -241,6 +482,7 @@ class Routing:
         loads: np.ndarray,
         link_dst: np.ndarray,
     ) -> None:
+        """The scalar reference loop the SoA kernels are checked against."""
         dist = self._dist[t]
         unreachable = ~np.isfinite(dist) & (injections > 0)
         if np.any(unreachable):

@@ -46,7 +46,7 @@ from repro.costs.load_cost import load_cost_from_loads
 from repro.costs.sla import SlaParams, sla_cost_from_loads
 from repro.network.graph import Network
 from repro.routing.incremental import destinations_using_links
-from repro.routing.spf import distances_to_subset
+from repro.routing.spf import distances_to_subset, distances_to_subsets_batched
 from repro.routing.state import Routing
 from repro.routing.weights import weights_key
 from repro.scenarios.algebra import LoweredScenario, Scenario
@@ -92,11 +92,12 @@ class _ClassState:
         self.demands = traffic.demands
         self.active = np.flatnonzero(self.demands.sum(axis=0) > 0)
         self.index = {int(t): i for i, t in enumerate(self.active)}
-        self.rows = np.empty((self.active.size, net.num_links))
-        for i, t in enumerate(self.active):
-            self.rows[i] = routing.destination_link_loads(
-                int(t), self.demands[:, int(t)]
+        if self.active.size:
+            self.rows = routing.destination_rows(
+                self.active, self.demands[:, self.active].T
             )
+        else:
+            self.rows = np.empty((0, net.num_links))
         self.loads = _ordered_row_sum(self.rows, net.num_links)
 
 
@@ -216,6 +217,8 @@ class SweepEngine:
             two settings bit for bit.
         fallback_fraction: Affected-destination fraction above which a
             derived routing falls back to a full SPF.
+        vectorized: Whether routings accumulate loads on the SoA kernels
+            or the scalar reference loop (bit-identical either way).
     """
 
     def __init__(
@@ -230,6 +233,7 @@ class SweepEngine:
         sla_params: Optional[SlaParams] = None,
         batched: bool = True,
         fallback_fraction: float = DEFAULT_FALLBACK_FRACTION,
+        vectorized: bool = True,
     ) -> None:
         if mode not in (LOAD_MODE, SLA_MODE):
             raise ValueError(f"mode must be '{LOAD_MODE}' or '{SLA_MODE}', got {mode!r}")
@@ -240,10 +244,15 @@ class SweepEngine:
         self.sla_params = sla_params or SlaParams()
         self.batched = bool(batched)
         self.fallback_fraction = float(fallback_fraction)
+        self.vectorized = bool(vectorized)
         wh = np.asarray(high_weights, dtype=np.int64)
         wl = np.asarray(low_weights, dtype=np.int64)
-        high_routing = Routing(net, wh)
-        low_routing = high_routing if np.array_equal(wh, wl) else Routing(net, wl)
+        high_routing = Routing(net, wh, vectorized=self.vectorized)
+        low_routing = (
+            high_routing
+            if np.array_equal(wh, wl)
+            else Routing(net, wl, vectorized=self.vectorized)
+        )
         self._high = _ClassState(net, wh, high_routing, high_traffic)
         self._low = _ClassState(net, wl, low_routing, low_traffic)
         self._projections: dict[tuple[int, ...], TopologyProjection] = {}
@@ -282,16 +291,7 @@ class SweepEngine:
 
     def evaluate(self, scenario: Scenario) -> ScenarioOutcome:
         """Evaluate one scenario (reusing whatever earlier queries built)."""
-        before = len(self._projections)
-        lowered = scenario.lower(
-            self._net,
-            self._high_tm,
-            self._low_tm,
-            projections=self._projections if self.batched else None,
-        )
-        if self.batched and len(self._projections) == before:
-            self.stats["shared_projections"] += 1
-        return self._evaluate_lowered(scenario, lowered)
+        return self._evaluate_lowered(scenario, self._lower(scenario))
 
     def evaluate_streaming(self, scenario: Scenario) -> ScenarioOutcome:
         """Evaluate one scenario without growing any engine cache.
@@ -312,8 +312,21 @@ class SweepEngine:
         return self._evaluate_lowered(scenario, lowered, memoize=False)
 
     def sweep(self, scenarios: Iterable[Scenario]) -> SweepResult:
-        """Evaluate every scenario and fold the outcomes into a result."""
-        outcomes = tuple(self.evaluate(scenario) for scenario in scenarios)
+        """Evaluate every scenario and fold the outcomes into a result.
+
+        In batched mode the sweep lowers every scenario first and
+        prefetches the degraded routings the batch will need, so their
+        restricted Dijkstras run blocked
+        (:func:`repro.routing.spf.distances_to_subsets_batched`) instead
+        of one scipy call per scenario.  Outcomes and stats are
+        bit-identical to evaluating the scenarios one by one.
+        """
+        pairs = [(scenario, self._lower(scenario)) for scenario in scenarios]
+        if self.batched:
+            self._prefetch_routings(lowered for _, lowered in pairs)
+        outcomes = tuple(
+            self._evaluate_lowered(scenario, lowered) for scenario, lowered in pairs
+        )
         return SweepResult(
             baseline=self.baseline, outcomes=outcomes, stats=dict(self.stats)
         )
@@ -334,6 +347,93 @@ class SweepEngine:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _lower(self, scenario: Scenario) -> LoweredScenario:
+        """Lower one scenario, sharing projections and counting the hit."""
+        before = len(self._projections)
+        lowered = scenario.lower(
+            self._net,
+            self._high_tm,
+            self._low_tm,
+            projections=self._projections if self.batched else None,
+        )
+        if self.batched and len(self._projections) == before:
+            self.stats["shared_projections"] += 1
+        return lowered
+
+    _PREFETCH_CHUNK = 32
+    """Degraded routings resolved per blocked-Dijkstra call.  Bounds the
+    block-diagonal matrix (``chunk * num_nodes`` rows) while still
+    amortizing the scipy call overhead across many scenarios."""
+
+    def _prefetch_routings(self, lowereds: Iterable[LoweredScenario]) -> None:
+        """Build the degraded routings a sweep needs with blocked Dijkstra.
+
+        Collects the distinct ``(failed_links, weights_key)`` routing-memo
+        misses the batch will incur — in first-need order, so the FIFO
+        memo evolves exactly as under sequential evaluation — and resolves
+        them chunk-wise through one
+        :func:`~repro.routing.spf.distances_to_subsets_batched` call per
+        chunk.  The derive-vs-full decision, the resulting routings, and
+        the ``derived_routings``/``full_routings`` stats are identical to
+        what :meth:`_class_routing` would have produced on demand; at most
+        :data:`ROUTING_MEMO_CAP` keys are prefetched (more would only
+        evict each other) — any overflow falls back to on-demand builds.
+        """
+        classes = [self._high]
+        if self._low.key != self._high.key:
+            classes.append(self._low)
+        pending: dict[tuple[tuple[int, ...], bytes], TopologyProjection] = {}
+        for lowered in lowereds:
+            projection = lowered.projection
+            if projection.is_identity:
+                continue
+            for cls in classes:
+                key = (projection.failed_links, cls.key)
+                if key not in self._routings and key not in pending:
+                    pending[key] = projection
+            if len(pending) >= ROUTING_MEMO_CAP:
+                break
+        keys = list(pending)[:ROUTING_MEMO_CAP]
+        by_key = {self._high.key: self._high, self._low.key: self._low}
+        num_nodes = self._net.num_nodes
+        for start in range(0, len(keys), self._PREFETCH_CHUNK):
+            chunk = keys[start : start + self._PREFETCH_CHUNK]
+            tasks = []
+            plans = []
+            for key in chunk:
+                projection = pending[key]
+                cls = by_key[key[1]]
+                projected = projection.project_weights(cls.weights)
+                affected = destinations_using_links(
+                    self._net,
+                    cls.routing.distance_matrix,
+                    cls.weights,
+                    self._flow_relevant_links(projection),
+                )
+                full = affected.size > self.fallback_fraction * num_nodes
+                dests = np.arange(num_nodes) if full else affected
+                tasks.append((projection.network, projected, dests))
+                plans.append((key, cls, projection, projected, affected, full))
+            blocks = distances_to_subsets_batched(tasks)
+            for plan, rows in zip(plans, blocks):
+                key, cls, projection, projected, affected, full = plan
+                if full:
+                    # Exact-integer path sums make the blocked rows equal
+                    # a from-scratch distances_to_all bit for bit.
+                    dist = rows
+                    self.stats["full_routings"] += 1
+                else:
+                    dist = cls.routing.distance_matrix.copy()
+                    if affected.size:
+                        dist[affected] = rows
+                    self.stats["derived_routings"] += 1
+                routing = Routing.from_precomputed(
+                    projection.network, projected, dist, vectorized=self.vectorized
+                )
+                while len(self._routings) >= ROUTING_MEMO_CAP:
+                    self._routings.pop(next(iter(self._routings)))
+                self._routings[key] = routing
+
     def _evaluate_lowered(
         self,
         scenario: Scenario,
@@ -390,7 +490,9 @@ class SweepEngine:
         if projection.is_identity:
             if not self.batched:
                 self.stats["full_routings"] += 1
-                return Routing(projection.network, cls.weights)
+                return Routing(
+                    projection.network, cls.weights, vectorized=self.vectorized
+                )
             self.stats["shared_routings"] += 1
             return cls.routing
         key = (projection.failed_links, cls.key)
@@ -401,7 +503,7 @@ class SweepEngine:
         if not self.batched:
             self.stats["full_routings"] += 1
             # No memo: naive mode repeats all work by design.
-            return Routing(projection.network, projected)
+            return Routing(projection.network, projected, vectorized=self.vectorized)
         affected = destinations_using_links(
             self._net,
             cls.routing.distance_matrix,
@@ -412,7 +514,9 @@ class SweepEngine:
             # Pruned Dijkstra would recompute most rows anyway: rebuild
             # the distances outright.  Load-row reuse is unaffected — it
             # runs on the parent rows' failed-link flow, not on this set.
-            routing = Routing(projection.network, projected)
+            routing = Routing(
+                projection.network, projected, vectorized=self.vectorized
+            )
             self.stats["full_routings"] += 1
         else:
             routing = self._derive_routing(cls, projection, projected, affected)
@@ -471,7 +575,9 @@ class SweepEngine:
             dist[affected] = distances_to_subset(
                 projection.network, projected_weights, affected
             )
-        return Routing.from_precomputed(projection.network, projected_weights, dist)
+        return Routing.from_precomputed(
+            projection.network, projected_weights, dist, vectorized=self.vectorized
+        )
 
     def _class_loads(
         self,
@@ -507,6 +613,7 @@ class SweepEngine:
             else None
         )
         untouched = demands is cls.demands  # no transform, nothing disconnected
+        recompute: list[int] = []
         for i, t in enumerate(active):
             t = int(t)
             j = cls.index.get(t)
@@ -519,8 +626,14 @@ class SweepEngine:
                 rows[i] = cls.rows[j] if surviving is None else cls.rows[j][surviving]
                 self.stats["reused_rows"] += 1
             else:
-                rows[i] = routing.destination_link_loads(t, demands[:, t])
-                self.stats["recomputed_rows"] += 1
+                recompute.append(i)
+        if recompute:
+            # One batched kernel call covers every row the reuse test
+            # rejected; rows land in active-destination order, so the
+            # fixed summation below is unchanged.
+            ts = active[recompute]
+            rows[recompute] = routing.destination_rows(ts, demands[:, ts].T)
+            self.stats["recomputed_rows"] += len(recompute)
         return _ordered_row_sum(rows, num_links)
 
 
@@ -536,6 +649,7 @@ def sweep_scenarios(
     sla_params: Optional[SlaParams] = None,
     batched: bool = True,
     fallback_fraction: float = DEFAULT_FALLBACK_FRACTION,
+    vectorized: bool = True,
 ) -> SweepResult:
     """Evaluate a weight setting under every scenario, sharing state.
 
@@ -552,5 +666,6 @@ def sweep_scenarios(
         sla_params=sla_params,
         batched=batched,
         fallback_fraction=fallback_fraction,
+        vectorized=vectorized,
     )
     return engine.sweep(scenarios)

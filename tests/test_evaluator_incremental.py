@@ -181,25 +181,154 @@ def test_mismatched_hint_rejected():
         )
 
 
-def test_verify_flag_detects_corrupted_parent():
+def _reused_row_scenario(seed):
+    """A cached parent layer plus a delta that leaves some row reused."""
     from repro.routing.incremental import affected_destinations
     from repro.routing.weights import weights_key
 
-    net, incremental, _full, rng = _setup("isp", LOAD_MODE, seed=8)
+    net, incremental, _full, rng = _setup("isp", LOAD_MODE, seed=seed)
     base = random_weights(net.num_links, rng)
     incremental.evaluate_str(base)
     key = weights_key(np.asarray(base, dtype=np.int64))
     layer = incremental._high_cache.peek(key)
     active = np.flatnonzero(incremental.high_traffic.demands.sum(axis=0) > 0)
     # Find a delta that leaves at least one active destination's row reused,
-    # so corrupting the cached rows must surface in the derived loads.
-    delta = None
+    # so corrupting the cached rows must surface in the derived layer.
     for candidate in _random_single_deltas(base, net.num_links, rng, 50):
         affected = affected_destinations(net, layer.routing.distance_matrix, candidate)
-        if np.setdiff1d(active, affected).size > 0:
-            delta = candidate
-            break
-    assert delta is not None
+        reused = np.setdiff1d(active, affected)
+        if reused.size > 0:
+            return incremental, base, layer, active, reused, candidate
+    raise AssertionError("no delta with a reused row found")
+
+
+def test_verify_flag_detects_corrupted_parent():
+    incremental, base, layer, _active, _reused, delta = _reused_row_scenario(8)
     layer.dest_rows = layer.dest_rows * 1.5  # corrupt the cached rows
     with pytest.raises(IncrementalMismatchError):
         incremental.evaluate_str_neighbor(base, delta)
+
+
+def test_verify_catches_sub_tolerance_row_poison():
+    """A poisoned row too small for the loads tolerance still gets caught.
+
+    The old verifier only compared summed loads with ``allclose``; a
+    per-row perturbation below its tolerance survived verification and
+    resurfaced later through row reuse.  The exact per-destination-row
+    comparison closes that blind spot.
+    """
+    incremental, base, layer, active, reused, delta = _reused_row_scenario(8)
+    j = list(int(t) for t in active).index(int(reused[0]))
+    poison = layer.dest_rows.copy()
+    # 1e-10 is inside the loads allclose band (atol 1e-9): the summed-load
+    # check alone would pass.
+    poison[j][poison[j] > 0] += 1e-10
+    layer.dest_rows = poison
+    with pytest.raises(
+        IncrementalMismatchError, match="per-destination rows differ"
+    ):
+        incremental.evaluate_str_neighbor(base, delta)
+
+
+# ----------------------------------------------------------------------
+# Vectorized numeric core vs scalar reference
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+@pytest.mark.parametrize("mode", (LOAD_MODE, SLA_MODE))
+def test_vectorized_evaluator_bitwise_equals_scalar(topology, mode):
+    config = ExperimentConfig(topology=topology, mode=mode)
+    rng = random.Random(31)
+    net = build_network(topology, 31)
+    high, low, _meta = build_traffic(net, config, rng)
+    vec = DualTopologyEvaluator(net, high, low, mode=mode, vectorized=True)
+    ref = DualTopologyEvaluator(net, high, low, mode=mode, vectorized=False)
+    for _ in range(3):
+        wh = random_weights(net.num_links, rng)
+        wl = random_weights(net.num_links, rng)
+        _assert_same_evaluation(mode, vec.evaluate(wh, wl), ref.evaluate(wh, wl))
+        _assert_same_evaluation(mode, vec.evaluate_str(wh), ref.evaluate_str(wh))
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+def test_vectorized_incremental_matches_scalar_full(topology):
+    """SoA kernels riding the derived path equal a scalar from-scratch build."""
+    config = ExperimentConfig(topology=topology, mode=LOAD_MODE)
+    rng = random.Random(37)
+    net = build_network(topology, 37)
+    high, low, _meta = build_traffic(net, config, rng)
+    vec_inc = DualTopologyEvaluator(
+        net, high, low, incremental=True, verify_incremental=True, vectorized=True
+    )
+    ref_full = DualTopologyEvaluator(net, high, low, incremental=False, vectorized=False)
+    base = random_weights(net.num_links, rng)
+    vec_inc.evaluate_str(base)
+    for delta in _random_single_deltas(base, net.num_links, rng, 15):
+        neighbor, via_delta = vec_inc.evaluate_str_neighbor(base, delta)
+        _assert_same_evaluation(LOAD_MODE, via_delta, ref_full.evaluate_str(neighbor))
+    assert vec_inc.cache_stats()["high_incremental"] >= 1
+
+
+def test_vectorized_sla_mode_matches_scalar_full():
+    config = ExperimentConfig(topology="isp", mode=SLA_MODE)
+    rng = random.Random(41)
+    net = build_network("isp", 41)
+    high, low, _meta = build_traffic(net, config, rng)
+    vec_inc = DualTopologyEvaluator(
+        net, high, low, mode=SLA_MODE, incremental=True,
+        verify_incremental=True, vectorized=True,
+    )
+    ref_full = DualTopologyEvaluator(
+        net, high, low, mode=SLA_MODE, incremental=False, vectorized=False
+    )
+    base = random_weights(net.num_links, rng)
+    vec_inc.evaluate_str(base)
+    for delta in _random_single_deltas(base, net.num_links, rng, 10):
+        neighbor, via_delta = vec_inc.evaluate_str_neighbor(base, delta)
+        _assert_same_evaluation(SLA_MODE, via_delta, ref_full.evaluate_str(neighbor))
+
+
+def test_routings_inherit_vectorized_flag():
+    net, _inc, full, rng = _setup("isp", LOAD_MODE, seed=2)
+    w = random_weights(net.num_links, rng)
+    assert full.high_routing(w).vectorized is True
+    scalar = DualTopologyEvaluator(
+        net, full.high_traffic, full.low_traffic, vectorized=False
+    )
+    assert scalar.high_routing(w).vectorized is False
+
+
+# ----------------------------------------------------------------------
+# Weight-key validation (truncation regression)
+# ----------------------------------------------------------------------
+def test_fractional_weights_rejected_on_every_entry_point():
+    """Fractional weights raise instead of being truncated into a cache key.
+
+    Regression: a bare ``int64`` cast keyed ``w + 0.5`` as ``floor(w)``,
+    so a fractional vector silently resolved to the cached result of a
+    *different* weight setting.  Validation must run before keying, so
+    the cached entry for the truncated integer vector is never touched.
+    """
+    net, _inc, full, rng = _setup("isp", LOAD_MODE, seed=7)
+    w = random_weights(net.num_links, rng)
+    full.evaluate_str(w)  # cache the integer vector the truncation aliased
+    before = full.cache_stats()
+    frac = np.asarray(w, dtype=float)
+    frac[3] += 0.25  # truncates back to `w` under a bare int64 cast
+    with pytest.raises(ValueError, match="integer"):
+        full.evaluate(frac, frac)
+    with pytest.raises(ValueError, match="integer"):
+        full.evaluate(w, frac)
+    with pytest.raises(ValueError, match="integer"):
+        full.high_routing(frac)
+    with pytest.raises(ValueError, match="integer"):
+        full.low_routing(frac)
+    delta = _random_single_deltas(w, net.num_links, rng, 1)[0]
+    with pytest.raises(ValueError, match="integer"):
+        full.evaluate(delta.apply(w), w, high_base=frac, high_delta=delta)
+    with pytest.raises(ValueError, match="integer"):
+        full.evaluate(w, delta.apply(w), low_base=frac, low_delta=delta)
+    after = full.cache_stats()
+    # The truncated key never resolved to the cached integer result.
+    assert after["full_hits"] == before["full_hits"]
+    assert after["high_hits"] == before["high_hits"]
+    assert after["low_hits"] == before["low_hits"]

@@ -88,6 +88,41 @@ def test_hop_count_bounds(seed):
     assert hops <= net.num_nodes - 1 + 1e-9
 
 
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 5000))
+def test_vectorized_rows_bitwise_equal_scalar(seed):
+    """SoA destination rows equal the scalar loop exactly, not approximately."""
+    net = make_net(seed)
+    weights = random_weights(net.num_links, random.Random(seed))
+    vec = Routing(net, weights, vectorized=True)
+    ref = Routing(net, weights, vectorized=False)
+    rng = random.Random(seed + 1)
+    dests = [rng.randrange(net.num_nodes) for _ in range(4)]
+    inj = np.zeros((len(dests), net.num_nodes))
+    for i, t in enumerate(dests):
+        for _ in range(4):
+            u = rng.randrange(net.num_nodes)
+            if u != t:
+                inj[i, u] = rng.random() * 10
+    np.testing.assert_array_equal(
+        vec.destination_rows(dests, inj), ref.destination_rows(dests, inj)
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 5000), src=st.integers(0, 9), dst=st.integers(0, 9))
+def test_vectorized_pair_fractions_bitwise_equal_scalar(seed, src, dst):
+    if src == dst:
+        return
+    net = make_net(seed)
+    weights = random_weights(net.num_links, random.Random(seed))
+    vec = Routing(net, weights, vectorized=True)
+    ref = Routing(net, weights, vectorized=False)
+    np.testing.assert_array_equal(
+        vec.pair_link_fractions(src, dst), ref.pair_link_fractions(src, dst)
+    )
+
+
 def test_unit_weight_routing_is_min_hop(random_net):
     from repro.network.stats import hop_distances_from
     from repro.routing.weights import unit_weights
