@@ -23,6 +23,11 @@ otherwise only catch after the fact:
 * **RL005 non-atomic-write** — store/bench/baseline writes must use the
   tmp + ``os.replace`` idiom (:mod:`repro.ioutil`); a torn ``open(path,
   "w")`` write leaves half-records that resume logic then trusts.
+* **RL006 telemetry-in-canonical-output** — :mod:`repro.obs` telemetry
+  is out-of-band by contract: a counter value or trace attribute flowing
+  into ``canonical_body``/``canonical_dumps`` or a result-payload builder
+  makes "canonical" bytes depend on how many times the process was
+  exercised, breaking every differential bit-identity suite.
 
 Heuristics err toward precision: each check matches the concrete idioms
 this codebase uses, and genuinely intended exceptions are annotated with
@@ -439,3 +444,104 @@ class NonAtomicWrite(Rule):
             receiver = receiver.func
         name = _receiver_name(receiver) if receiver is not None else None
         return name is not None and "tmp" in name.lower()
+
+
+_TELEMETRY_SINKS = frozenset(
+    # Canonical-byte producers and the result-payload builders feeding
+    # them: anything reaching these becomes part of a record's identity.
+    {
+        "canonical_body", "canonical_dumps",
+        "whatif_payload", "sweep_payload", "space_payload",
+        "build_record",
+    }
+)
+
+
+@register_rule
+class TelemetryInCanonicalOutput(Rule):
+    """RL006: obs telemetry never flows into canonical result bytes."""
+
+    id = "RL006"
+    name = "telemetry-in-canonical-output"
+    contract = (
+        "repro.obs telemetry is out-of-band: counters, snapshots, and "
+        "span data must never reach canonical_body/canonical_dumps or a "
+        "result-payload builder — run-dependent values in canonical "
+        "bytes break differential bit-identity"
+    )
+
+    def check(
+        self, tree: ast.Module, lines: Sequence[str], path: str
+    ) -> Iterable[Finding]:
+        names, prefixes = self._tainted_bindings(tree)
+        if not names and not prefixes:
+            return
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted_name(node.func)
+            sink = dotted.rsplit(".", 1)[-1] if dotted else None
+            if sink not in _TELEMETRY_SINKS:
+                continue
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                for leak, what in self._scan(arg, names, prefixes):
+                    yield self.finding(
+                        leak,
+                        f"{what} flows into {sink}(...): telemetry is "
+                        "out-of-band and must not shape canonical result "
+                        "bytes (emit it via /metrics or the trace log)",
+                        lines, path,
+                    )
+
+    @staticmethod
+    def _tainted_bindings(
+        tree: ast.Module,
+    ) -> tuple[set[str], set[str]]:
+        """Names and dotted prefixes bound to :mod:`repro.obs`."""
+        names: set[str] = set()
+        prefixes: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module == "repro":
+                    names.update(
+                        (a.asname or a.name)
+                        for a in node.names if a.name == "obs"
+                    )
+                elif node.module and (
+                    node.module == "repro.obs"
+                    or node.module.startswith("repro.obs.")
+                ):
+                    names.update((a.asname or a.name) for a in node.names)
+            elif isinstance(node, ast.Import):
+                for a in node.names:
+                    if a.name == "repro.obs" or a.name.startswith("repro.obs."):
+                        if a.asname:
+                            names.add(a.asname)
+                        else:
+                            prefixes.add("repro.obs")
+        return names, prefixes
+
+    @classmethod
+    def _scan(
+        cls, node: ast.AST, names: set[str], prefixes: set[str]
+    ) -> Iterable[tuple[ast.AST, str]]:
+        """Tainted subexpressions of one sink argument.
+
+        Recursion stops at a tainted chain so ``obs.snapshot()`` reports
+        once (the chain), not again for the inner ``obs`` name.
+        """
+        if isinstance(node, ast.Name) and node.id in names:
+            yield node, node.id
+            return
+        if isinstance(node, ast.Attribute):
+            dotted = _dotted_name(node)
+            if dotted is not None:
+                root = dotted.split(".", 1)[0]
+                if root in names or any(
+                    dotted == p or dotted.startswith(p + ".")
+                    for p in prefixes
+                ):
+                    yield node, dotted
+                    return
+        for child in ast.iter_child_nodes(node):
+            yield from cls._scan(child, names, prefixes)

@@ -20,10 +20,15 @@ Subcommands::
     repro-dtr campaign status    --out DIR
     repro-dtr campaign aggregate --out DIR [--json agg.json]
     repro-dtr serve     --port 8093 --topology isp --utilization 0.5 \
-                        [--log serve.jsonl] [--pool-size 4] [--window-ms 5]
+                        [--log serve.jsonl] [--pool-size 4] [--window-ms 5] \
+                        [--trace spans.jsonl]
     repro-dtr query     --url http://127.0.0.1:8093 --scenario node:3
     repro-dtr query     --url ... --sweep link node [--metrics]
     repro-dtr query     --url ... --space space:all-link-2
+    repro-dtr obs snapshot      [--url http://127.0.0.1:8093] \
+                        [--format json|prometheus]
+    repro-dtr obs dump          --trace spans.jsonl [--limit 20]
+    repro-dtr obs trace-summary --trace spans.jsonl
     repro-dtr lint      [PATH ...] [--strict] [--format json] \
                         [--baseline .repro-lint-baseline.json] \
                         [--update-baseline] [--select RL001,RL004] [--list-rules]
@@ -77,6 +82,12 @@ history; ``trends`` prints the per-metric sparklines.
 ``results render`` is the raw → table → figure pipeline
 (:mod:`repro.eval.pipeline`): campaign store + bench trends in, CSV
 tables, ASCII figures 2–9, and trend sparklines out.
+``obs`` is the telemetry inspector (:mod:`repro.obs`): ``snapshot``
+prints a metrics snapshot — from a running service's ``/metrics`` when
+``--url`` is given, from this process's registry otherwise — as JSON or
+Prometheus text; ``dump`` prints the tail of a span-trace JSONL file;
+``trace-summary`` aggregates a trace by span name (count, total/mean/max
+duration).  ``serve --trace PATH`` enables span tracing into ``PATH``.
 ``lint`` runs the AST invariant linter (:mod:`repro.analysis`) over the
 given paths (default ``src/repro``) with the same CI-grade exit-code
 contract as ``bench compare``: 0 clean, 1 unsuppressed findings, 2 on a
@@ -321,6 +332,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="micro-batch coalescing window")
     srv.add_argument("--log", dest="log_path", default=None,
                      help="JSONL request log path")
+    srv.add_argument("--trace", dest="trace_path", default=None,
+                     help="span-trace JSONL path (enables tracing)")
 
     bench = sub.add_parser(
         "bench", help="compare, refresh, or plot the perf-trend baselines"
@@ -404,6 +417,33 @@ def build_parser() -> argparse.ArgumentParser:
                            "unknown id exits 2 listing the registered rules")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalog and exit")
+
+    obs_p = sub.add_parser(
+        "obs", help="inspect telemetry: metrics snapshots and span traces"
+    )
+    obs_sub = obs_p.add_subparsers(dest="obs_command", required=True)
+
+    snap_p = obs_sub.add_parser(
+        "snapshot", help="print a metrics snapshot (local or from a server)"
+    )
+    snap_p.add_argument("--url", default=None,
+                        help="base URL of a running `repro-dtr serve`; "
+                             "omitted: this process's own registry")
+    snap_p.add_argument("--format", dest="obs_format",
+                        choices=["json", "prometheus"], default="json",
+                        help="output format")
+
+    dump_p = obs_sub.add_parser(
+        "dump", help="print the tail of a span-trace JSONL file"
+    )
+    dump_p.add_argument("--trace", required=True, help="span-trace JSONL file")
+    dump_p.add_argument("--limit", type=int, default=20,
+                        help="records from the end (0: all)")
+
+    tsum_p = obs_sub.add_parser(
+        "trace-summary", help="aggregate a span trace by span name"
+    )
+    tsum_p.add_argument("--trace", required=True, help="span-trace JSONL file")
 
     qry = sub.add_parser(
         "query", help="query a running what-if service (validates specs locally)"
@@ -825,8 +865,11 @@ def _run_lint(args: argparse.Namespace) -> int:
 
 
 def _run_serve(args: argparse.Namespace) -> int:
+    from repro import obs
     from repro.serve import ServeService, SessionPool, SessionSpec, serve_forever
 
+    if args.trace_path:
+        obs.enable_tracing(args.trace_path)
     weights = "unit"
     try:
         if args.weights:
@@ -856,6 +899,78 @@ def _run_serve(args: argparse.Namespace) -> int:
         # errors, not usage errors: clean message, exit 1.
         print(f"error: cannot serve on {args.host}:{args.port}: {exc}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _read_trace(path: str) -> list[dict]:
+    """Parse a span-trace JSONL file (one record per line)."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def _run_obs(args: argparse.Namespace) -> int:
+    from urllib.error import URLError
+
+    from repro import obs
+
+    if args.obs_command == "snapshot":
+        prometheus = args.obs_format == "prometheus"
+        if args.url:
+            import urllib.request
+
+            url = args.url.rstrip("/") + "/metrics"
+            if prometheus:
+                url += "?format=prometheus"
+            try:
+                with urllib.request.urlopen(url) as response:
+                    body = response.read().decode("utf-8")
+            except (URLError, OSError) as exc:
+                print(f"error: cannot reach {args.url}: {exc}", file=sys.stderr)
+                return 1
+            if prometheus:
+                print(body, end="" if body.endswith("\n") else "\n")
+            else:
+                print(json.dumps(json.loads(body), indent=2, sort_keys=True))
+        else:
+            samples = obs.snapshot()
+            if prometheus:
+                print(obs.render_prometheus(samples), end="")
+            else:
+                print(json.dumps(samples, indent=2, sort_keys=True))
+        return 0
+
+    try:
+        records = _read_trace(args.trace)
+    except (OSError, json.JSONDecodeError) as exc:
+        return _usage_error(exc)
+    if args.obs_command == "dump":
+        tail = records[-args.limit:] if args.limit > 0 else records
+        for record in tail:
+            print(json.dumps(record, sort_keys=True))
+        return 0
+    # trace-summary: aggregate by span name, heaviest first.
+    totals: dict = {}
+    for record in records:
+        entry = totals.setdefault(
+            record["name"], {"count": 0, "total_ms": 0.0, "max_ms": 0.0}
+        )
+        entry["count"] += 1
+        entry["total_ms"] += record["dur_ms"]
+        entry["max_ms"] = max(entry["max_ms"], record["dur_ms"])
+    print(f"{len(records)} span(s), {len(totals)} name(s)")
+    for name, entry in sorted(
+        totals.items(), key=lambda item: -item[1]["total_ms"]
+    ):
+        mean = entry["total_ms"] / entry["count"]
+        print(
+            f"  {name:>24}: n={entry['count']} total={entry['total_ms']:.2f}ms "
+            f"mean={mean:.3f}ms max={entry['max_ms']:.3f}ms"
+        )
     return 0
 
 
@@ -984,6 +1099,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_serve(args)
     if args.command == "query":
         return _run_query(args)
+    if args.command == "obs":
+        return _run_obs(args)
     if args.command == "campaign":
         if args.campaign_command == "run":
             return _run_campaign_run(args)

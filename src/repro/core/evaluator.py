@@ -35,10 +35,12 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Optional, Union
 
 import numpy as np
 
+from repro import obs
 from repro.costs.fortz import fortz_cost_vector
 from repro.costs.load_cost import LoadCostEvaluation
 from repro.costs.residual import residual_capacities
@@ -203,6 +205,36 @@ class DualTopologyEvaluator:
             "low_incremental": 0,
             "low_full": 0,
         }
+        # Telemetry (out-of-band, rule RL006): instruments are resolved
+        # once here so the per-evaluation cost is a flag check plus one
+        # locked add — gated <=5% by benchmarks/test_bench_obs.py.
+        _cache_ev = "repro_evaluator_cache_events_total"
+        _cache_help = "Full-evaluation cache hits and misses."
+        self._obs_full_hit = obs.counter(_cache_ev, _cache_help, {"cache": "full", "event": "hit"})
+        self._obs_full_miss = obs.counter(_cache_ev, _cache_help, {"cache": "full", "event": "miss"})
+        _memo = "repro_evaluator_routing_memo_total"
+        _memo_help = "Shared routing-memo hits and misses."
+        self._obs_memo_hit = obs.counter(_memo, _memo_help, {"event": "hit"})
+        self._obs_memo_miss = obs.counter(_memo, _memo_help, {"event": "miss"})
+        _builds = "repro_evaluator_layer_builds_total"
+        _builds_help = "Cache-missed layers by build path (incremental vs full)."
+        self._obs_builds = {
+            (layer, path): obs.counter(_builds, _builds_help, {"layer": layer, "path": path})
+            for layer in ("high", "low")
+            for path in ("incremental", "full")
+        }
+        self._obs_eval_seconds = obs.histogram(
+            "repro_evaluator_evaluate_seconds",
+            "Full dual-topology evaluation latency (cache misses).",
+        )
+        self._obs_layer_seconds = {
+            layer: obs.histogram(
+                "repro_evaluator_layer_seconds",
+                "Per-layer build latency on cache miss.",
+                {"layer": layer},
+            )
+            for layer in ("high", "low")
+        }
 
     # ------------------------------------------------------------------
     # Public API
@@ -257,49 +289,54 @@ class DualTopologyEvaluator:
         full_key = hk + b"|" + lk
         cached = self._full_cache.get(full_key)
         if cached is not None:
+            self._obs_full_hit.inc()
             return cached
+        self._obs_full_miss.inc()
+        started = perf_counter()
 
-        hbk = (
-            weights_key(as_weight_array(high_base, self._net.num_links))
-            if high_base is not None
-            else None
-        )
-        lbk = (
-            weights_key(as_weight_array(low_base, self._net.num_links))
-            if low_base is not None
-            else None
-        )
-        high = self._high_layer(hk, hw, base_key=hbk, delta=high_delta)
-        low = self._low_layer(lk, lw, base_key=lbk, delta=low_delta)
-        per_link_low = fortz_cost_vector(low.loads, high.residual)
-        utilization = (high.loads + low.loads) / self._net.capacities()
+        with obs.span("evaluate", mode=self.mode):
+            hbk = (
+                weights_key(as_weight_array(high_base, self._net.num_links))
+                if high_base is not None
+                else None
+            )
+            lbk = (
+                weights_key(as_weight_array(low_base, self._net.num_links))
+                if low_base is not None
+                else None
+            )
+            high = self._high_layer(hk, hw, base_key=hbk, delta=high_delta)
+            low = self._low_layer(lk, lw, base_key=lbk, delta=low_delta)
+            per_link_low = fortz_cost_vector(low.loads, high.residual)
+            utilization = (high.loads + low.loads) / self._net.capacities()
 
-        if self.mode == LOAD_MODE:
-            result: Evaluation = LoadCostEvaluation(
-                phi_high=float(high.per_link_cost.sum()),
-                phi_low=float(per_link_low.sum()),
-                per_link_high=high.per_link_cost,
-                per_link_low=per_link_low,
-                high_loads=high.loads,
-                low_loads=low.loads,
-                residual=high.residual,
-                utilization=utilization,
-            )
-        else:
-            result = SlaCostEvaluation(
-                penalty=high.penalty,
-                phi_low=float(per_link_low.sum()),
-                violations=high.violations,
-                pair_delays_ms=high.pair_delays,
-                link_delays=high.link_delays,
-                per_link_low=per_link_low,
-                high_loads=high.loads,
-                low_loads=low.loads,
-                residual=high.residual,
-                utilization=utilization,
-                params=self.sla_params,
-            )
-        self._full_cache.put(full_key, result)
+            if self.mode == LOAD_MODE:
+                result: Evaluation = LoadCostEvaluation(
+                    phi_high=float(high.per_link_cost.sum()),
+                    phi_low=float(per_link_low.sum()),
+                    per_link_high=high.per_link_cost,
+                    per_link_low=per_link_low,
+                    high_loads=high.loads,
+                    low_loads=low.loads,
+                    residual=high.residual,
+                    utilization=utilization,
+                )
+            else:
+                result = SlaCostEvaluation(
+                    penalty=high.penalty,
+                    phi_low=float(per_link_low.sum()),
+                    violations=high.violations,
+                    pair_delays_ms=high.pair_delays,
+                    link_delays=high.link_delays,
+                    per_link_low=per_link_low,
+                    high_loads=high.loads,
+                    low_loads=low.loads,
+                    residual=high.residual,
+                    utilization=utilization,
+                    params=self.sla_params,
+                )
+            self._full_cache.put(full_key, result)
+        self._obs_eval_seconds.observe(perf_counter() - started)
         return result
 
     def evaluate_str(self, weights: np.ndarray) -> Evaluation:
@@ -388,16 +425,20 @@ class DualTopologyEvaluator:
         parent = None
         if self.incremental and delta is not None and delta.num_changes:
             parent = self._high_cache.peek(base_key)
+        started = perf_counter()
         if parent is not None:
             layer = self._build_high_layer(
                 weights, parent=parent, delta=delta, child_key=key, parent_key=base_key
             )
             self._incremental_stats["high_incremental"] += 1
+            self._obs_builds[("high", "incremental")].inc()
             if self.verify_incremental:
                 self._verify_layer(layer, self._build_high_layer(weights), "high")
         else:
             layer = self._build_high_layer(weights, child_key=key)
             self._incremental_stats["high_full"] += 1
+            self._obs_builds[("high", "full")].inc()
+        self._obs_layer_seconds["high"].observe(perf_counter() - started)
         self._high_cache.put(key, layer)
         return layer
 
@@ -414,16 +455,20 @@ class DualTopologyEvaluator:
         parent = None
         if self.incremental and delta is not None and delta.num_changes:
             parent = self._low_cache.peek(base_key)
+        started = perf_counter()
         if parent is not None:
             layer = self._build_low_layer(
                 weights, parent=parent, delta=delta, child_key=key, parent_key=base_key
             )
             self._incremental_stats["low_incremental"] += 1
+            self._obs_builds[("low", "incremental")].inc()
             if self.verify_incremental:
                 self._verify_layer(layer, self._build_low_layer(weights), "low")
         else:
             layer = self._build_low_layer(weights, child_key=key)
             self._incremental_stats["low_full"] += 1
+            self._obs_builds[("low", "full")].inc()
+        self._obs_layer_seconds["low"].observe(perf_counter() - started)
         self._low_cache.put(key, layer)
         return layer
 
@@ -444,6 +489,7 @@ class DualTopologyEvaluator:
         """
         memo = self._routing_memo.peek(child_key)
         if memo is not None:
+            self._obs_memo_hit.inc()
             routing, memo_parent_key, affected = memo
             if parent_routing is None or delta is None:
                 return routing, None
@@ -455,6 +501,7 @@ class DualTopologyEvaluator:
                     self._net, parent_routing.distance_matrix, delta
                 )
             )
+        self._obs_memo_miss.inc()
         if parent_routing is None or delta is None:
             routing, affected = Routing(self._net, weights, vectorized=self.vectorized), None
         else:

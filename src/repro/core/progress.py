@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro import obs
+
 ProgressFn = Callable[[str, int, int], None]
 """Progress callback ``(phase, iteration, total_iterations)``."""
 
@@ -41,10 +43,14 @@ class ProgressTicker:
         self._progress = progress
         self._interval = interval
         self._last: Optional[tuple[str, int]] = None
+        # The obs bridge: interval-aligned events also land as counters/
+        # gauges (out-of-band, rule RL006), even with no callback
+        # attached.  Captured once — a ticker lives for one phase.
+        self._obs_active = obs.enabled()
 
     def tick(self, phase: str, iteration: int, total: int) -> None:
         """Heartbeat for one iteration; fires on interval alignment or at the end."""
-        if self._progress is None:
+        if self._progress is None and not self._obs_active:
             return
         if iteration % self._interval == 0 or iteration == total:
             self._emit(phase, iteration, total)
@@ -52,11 +58,23 @@ class ProgressTicker:
     def finish(self, phase: str, total: int) -> None:
         """Terminal event for a phase; always fires unless the tick at
         ``iteration == total`` already emitted it."""
-        if self._progress is None:
+        if self._progress is None and not self._obs_active:
             return
         if self._last != (phase, total):
             self._emit(phase, total, total)
 
     def _emit(self, phase: str, iteration: int, total: int) -> None:
         self._last = (phase, iteration)
-        self._progress(phase, iteration, total)
+        if self._obs_active:
+            obs.counter(
+                "repro_search_progress_events_total",
+                "Interval-aligned search progress events by phase.",
+                {"phase": phase},
+            ).inc()
+            obs.gauge(
+                "repro_search_phase_iteration",
+                "Last reported iteration by phase.",
+                {"phase": phase},
+            ).set(iteration)
+        if self._progress is not None:
+            self._progress(phase, iteration, total)

@@ -34,6 +34,7 @@ from dataclasses import dataclass, fields
 from pathlib import Path
 from typing import Any, Callable, Iterator, Optional, Sequence, Union
 
+from repro import obs
 from repro.core.evaluator import LOAD_MODE, SLA_MODE
 from repro.core.search_params import SearchParams
 from repro.costs.sla import SlaParams
@@ -573,6 +574,10 @@ def _execute_config(
 
     progress = None
     if heartbeats:
+        heartbeat_count = obs.counter(
+            "repro_campaign_heartbeats_total",
+            "Worker heartbeat files written (liveness signal).",
+        )
 
         def progress(phase: str, iteration: int, total: int) -> None:
             store.write_heartbeat(
@@ -580,8 +585,10 @@ def _execute_config(
                 {"phase": phase, "iteration": iteration, "total": total,
                  "pid": os.getpid()},
             )
+            heartbeat_count.inc()
 
-    result = run_comparison(config, progress=progress)
+    with obs.span("campaign.config", config=key):
+        result = run_comparison(config, progress=progress)
     robustness = _failure_robustness(config, result) if failure_scenarios else None
     scenarios = (
         _scenario_robustness(config, result, scenario_kinds)

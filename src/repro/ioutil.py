@@ -16,8 +16,9 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from pathlib import Path
-from typing import Any, Union
+from typing import Any, Optional, Union
 
 
 def atomic_write_text(path: Union[str, Path], text: str) -> None:
@@ -40,3 +41,58 @@ def atomic_write_text(path: Union[str, Path], text: str) -> None:
 def atomic_write_json(path: Union[str, Path], payload: Any, **dumps_kwargs: Any) -> None:
     """Atomically write ``payload`` as JSON (``json.dumps`` kwargs pass through)."""
     atomic_write_text(path, json.dumps(payload, **dumps_kwargs))
+
+
+class JsonlAppender:
+    """Locked JSONL appends through one persistent handle.
+
+    The single-writer complement to the atomic-replace idiom above:
+    logs and traces are append-only streams, so the torn-write hazard is
+    an *interleaved or lost line*, not a half-replaced document.  The
+    contract here:
+
+    * one handle, opened lazily on first append and held until
+      :meth:`close` — not re-opened per line;
+    * every line is written and flushed under one lock, so two threads
+      can never interleave bytes within a line;
+    * each record gains a monotonic ``seq`` field assigned under the
+      same lock, so a reader can assert "no lost, no duplicated, no
+      reordered-by-writer lines" as ``sorted(seqs) == range(n)``.
+
+    Appends after :meth:`close` reopen the handle (and continue the
+    ``seq`` sequence) — a convenience for tests; production users close
+    once on shutdown.
+    """
+
+    def __init__(self, path: Union[str, Path], *, add_seq: bool = True) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._handle: Optional[Any] = None
+        self._seq = 0
+        self._add_seq = add_seq
+
+    def append(self, record: dict) -> int:
+        """Write one record as a JSON line; returns its ``seq``."""
+        with self._lock:
+            if self._handle is None:
+                self._handle = self.path.open("a", encoding="utf-8")
+            seq = self._seq
+            self._seq += 1
+            if self._add_seq:
+                record = {**record, "seq": seq}
+            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+            self._handle.flush()
+            return seq
+
+    def close(self) -> None:
+        """Flush and close the handle (idempotent)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "JsonlAppender":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

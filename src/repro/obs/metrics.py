@@ -1,0 +1,303 @@
+"""Thread-safe metrics instruments: counters, gauges, histograms.
+
+The registry is the unit of isolation: a :class:`MetricsRegistry` owns a
+set of named instruments and hands them out get-or-create style, so
+instrumented code never keeps module-global mutable state of its own.
+Process-wide layers (evaluator, routing kernels, sweep engines) register
+on the module-level default registry; the serve tier gives each
+component its **own** registry so two services in one process never
+share counters (the serve tests assert exact counts).
+
+Exactness contract: every mutation takes the instrument's lock — a bare
+``+=`` is not atomic under free-threading and is only incidentally so
+under the GIL — so N threads doing M increments each always total
+``N * M`` (``tests/test_obs_metrics.py`` tortures exactly this).
+
+Overhead contract: when telemetry is disabled (:func:`set_enabled`),
+``inc``/``set``/``observe`` return after one attribute check — no lock,
+no arithmetic — keeping the disabled path near zero cost (gated by
+``benchmarks/test_bench_obs.py``).
+
+Telemetry is **out-of-band**: nothing in this module may flow into
+canonical result payloads or ``canonical_body`` bytes (lint rule RL006).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, Iterable, Optional, Tuple
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+"""Default histogram upper bounds, in seconds: spans sub-millisecond
+kernel calls through multi-second sweeps.  ``+Inf`` is implicit."""
+
+SIZE_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+"""Bucket bounds for size-shaped histograms (batch sizes, row counts)."""
+
+
+class _State:
+    """The process-wide enable switch (attribute read = the fast path)."""
+
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = True
+
+
+_state = _State()
+
+
+def set_enabled(on: bool) -> None:
+    """Globally enable/disable all instrument mutations (default: on)."""
+    _state.enabled = bool(on)
+
+
+def enabled() -> bool:
+    """Whether instrument mutations currently record anything."""
+    return _state.enabled
+
+
+def _label_items(labels: Optional[dict]) -> LabelItems:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing float counter."""
+
+    kind = "counter"
+    __slots__ = ("name", "help", "labels", "_lock", "_value")
+
+    def __init__(self, name: str, help: str = "", labels: LabelItems = ()) -> None:
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not _state.enabled:
+            return
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def sample(self) -> dict:
+        return {"value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down (occupancy, last-seen iteration)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "help", "labels", "_lock", "_value")
+
+    def __init__(self, name: str, help: str = "", labels: LabelItems = ()) -> None:
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        if not _state.enabled:
+            return
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not _state.enabled:
+            return
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def sample(self) -> dict:
+        return {"value": self.value}
+
+
+class Histogram:
+    """A fixed-bound cumulative histogram (Prometheus semantics).
+
+    ``bounds`` are inclusive upper bounds; the implicit ``+Inf`` bucket
+    catches the rest.  ``observe`` is O(log buckets) via bisect, under
+    the instrument lock so ``sum``/``count``/bucket totals always agree.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "help", "labels", "bounds", "_lock", "_counts", "_sum", "_count")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: LabelItems = (),
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self.bounds = bounds
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(bounds) + 1)  # last slot = +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        if not _state.enabled:
+            return
+        value = float(value)
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    def sample(self) -> dict:
+        """A consistent snapshot: cumulative bucket counts + sum + count."""
+        with self._lock:
+            counts = list(self._counts)
+            total, acc = self._sum, self._count
+        cumulative = []
+        running = 0
+        for c in counts[:-1]:
+            running += c
+            cumulative.append(running)
+        return {
+            "buckets": [
+                {"le": bound, "count": cum}
+                for bound, cum in zip(self.bounds, cumulative)
+            ],
+            "sum": total,
+            "count": acc,
+        }
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Get-or-create home for named instruments.
+
+    Keyed on ``(name, sorted label items)``; asking for an existing key
+    with a different instrument kind raises, so a name can never flip
+    type mid-run.  ``snapshot`` reads every instrument under its own
+    lock and returns plain JSON-safe dicts in sorted order —
+    deterministic output for the CLI and the Prometheus renderer.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[Tuple[str, LabelItems], object] = {}
+
+    def _get_or_create(self, kind: str, name: str, help: str, labels: Optional[dict], **kwargs):
+        key = (name, _label_items(labels))
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is not None:
+                if instrument.kind != kind:
+                    raise ValueError(
+                        f"instrument {name!r} already registered as "
+                        f"{instrument.kind}, not {kind}"
+                    )
+                return instrument
+            instrument = _KINDS[kind](name, help=help, labels=key[1], **kwargs)
+            self._instruments[key] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str = "", labels: Optional[dict] = None) -> Counter:
+        return self._get_or_create("counter", name, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels: Optional[dict] = None) -> Gauge:
+        return self._get_or_create("gauge", name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[dict] = None,
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create("histogram", name, help, labels, buckets=buckets)
+
+    def instruments(self) -> list:
+        """All instruments, sorted by (name, labels) — a stable order."""
+        with self._lock:
+            values = list(self._instruments.values())
+        return sorted(values, key=lambda i: (i.name, i.labels))
+
+    def snapshot(self) -> list[dict]:
+        """JSON-safe samples of every instrument, in sorted order."""
+        out = []
+        for instrument in self.instruments():
+            out.append(
+                {
+                    "name": instrument.name,
+                    "type": instrument.kind,
+                    "help": instrument.help,
+                    "labels": dict(instrument.labels),
+                    **instrument.sample(),
+                }
+            )
+        return out
+
+    def clear(self) -> None:
+        """Drop every instrument (test isolation)."""
+        with self._lock:
+            self._instruments.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._instruments)
+
+
+REGISTRY = MetricsRegistry()
+"""The process-wide default registry (evaluator, kernels, sweeps, search)."""
+
+
+def counter(name: str, help: str = "", labels: Optional[dict] = None) -> Counter:
+    """Get-or-create a counter on the default registry."""
+    return REGISTRY.counter(name, help=help, labels=labels)
+
+
+def gauge(name: str, help: str = "", labels: Optional[dict] = None) -> Gauge:
+    """Get-or-create a gauge on the default registry."""
+    return REGISTRY.gauge(name, help=help, labels=labels)
+
+
+def histogram(
+    name: str,
+    help: str = "",
+    labels: Optional[dict] = None,
+    buckets: Iterable[float] = DEFAULT_BUCKETS,
+) -> Histogram:
+    """Get-or-create a histogram on the default registry."""
+    return REGISTRY.histogram(name, help=help, labels=labels, buckets=buckets)
+
+
+def snapshot() -> list[dict]:
+    """Snapshot of the default registry."""
+    return REGISTRY.snapshot()

@@ -1,0 +1,194 @@
+"""Prometheus text exposition: render registry snapshots, parse them back.
+
+The renderer turns :meth:`MetricsRegistry.snapshot` output into the
+text format version 0.0.4 a Prometheus server scrapes: ``# HELP`` /
+``# TYPE`` headers per metric family, ``{label="value"}`` sample lines,
+histograms expanded into cumulative ``_bucket{le=...}`` series plus
+``_sum`` and ``_count``.  Counter names carry their ``_total`` suffix in
+the instrument name itself (the repo-wide naming convention), so the
+renderer never rewrites names.
+
+The parser is the renderer's inverse — deliberately strict, because the
+obs-smoke CI job and the unit tests use it to *prove* the exposition is
+well-formed: unknown line shapes raise instead of being skipped.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+
+
+def _escape_label(value: str) -> str:
+    return "".join(_ESCAPES.get(ch, ch) for ch in value)
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    as_int = int(value)
+    if value == as_int:
+        return str(as_int)
+    return repr(value)
+
+
+def _label_block(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label(str(val))}"' for key, val in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def render_prometheus(samples: Iterable[dict]) -> str:
+    """Render snapshot entries (possibly from several registries) as
+    Prometheus text exposition.
+
+    Entries sharing a name form one metric family: the ``# HELP`` /
+    ``# TYPE`` header is emitted once, followed by every labeled sample.
+    A name appearing with two different types raises — the same
+    invariant :class:`MetricsRegistry` enforces within one registry,
+    extended across merged snapshots.
+    """
+    families: dict[str, dict] = {}
+    order: list[str] = []
+    for entry in samples:
+        name = entry["name"]
+        family = families.get(name)
+        if family is None:
+            family = {"type": entry["type"], "help": entry.get("help", ""), "entries": []}
+            families[name] = family
+            order.append(name)
+        elif family["type"] != entry["type"]:
+            raise ValueError(
+                f"metric {name!r} rendered as both {family['type']} and {entry['type']}"
+            )
+        family["entries"].append(entry)
+
+    lines: list[str] = []
+    for name in sorted(order):
+        family = families[name]
+        help_text = family["help"].replace("\\", "\\\\").replace("\n", "\\n")
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {family['type']}")
+        for entry in sorted(family["entries"], key=lambda e: sorted(e["labels"].items())):
+            labels = entry["labels"]
+            if family["type"] == "histogram":
+                cumulative = 0
+                for bucket in entry["buckets"]:
+                    cumulative = bucket["count"]
+                    le_labels = {**labels, "le": _format_value(float(bucket["le"]))}
+                    lines.append(
+                        f"{name}_bucket{_label_block(le_labels)} {cumulative}"
+                    )
+                inf_labels = {**labels, "le": "+Inf"}
+                lines.append(f"{name}_bucket{_label_block(inf_labels)} {entry['count']}")
+                lines.append(f"{name}_sum{_label_block(labels)} {_format_value(entry['sum'])}")
+                lines.append(f"{name}_count{_label_block(labels)} {entry['count']}")
+            else:
+                lines.append(f"{name}{_label_block(labels)} {_format_value(entry['value'])}")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_labels(block: str) -> dict:
+    labels: dict[str, str] = {}
+    i = 0
+    while i < len(block):
+        eq = block.index("=", i)
+        key = block[i:eq].strip().lstrip(",").strip()
+        if block[eq + 1] != '"':
+            raise ValueError(f"label value for {key!r} is not quoted")
+        j = eq + 2
+        out = []
+        while j < len(block):
+            ch = block[j]
+            if ch == "\\":
+                nxt = block[j + 1]
+                out.append({"\\": "\\", '"': '"', "n": "\n"}[nxt])
+                j += 2
+                continue
+            if ch == '"':
+                break
+            out.append(ch)
+            j += 1
+        else:
+            raise ValueError("unterminated label value")
+        labels[key] = "".join(out)
+        i = j + 1
+    return labels
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)
+
+
+def parse_prometheus_text(text: str) -> dict[str, dict]:
+    """Parse a text exposition into ``{family: {type, help, samples}}``.
+
+    ``samples`` is a list of ``{"name", "labels", "value"}`` — histogram
+    series keep their ``_bucket``/``_sum``/``_count`` sample names but
+    group under the family name their ``# TYPE`` header declared.
+    Raises ``ValueError`` on malformed lines (strict by design: this is
+    the CI job's validity check).
+    """
+    families: dict[str, dict] = {}
+    current: str | None = None
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            families.setdefault(name, {"type": None, "help": "", "samples": []})
+            families[name]["help"] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            if kind not in {"counter", "gauge", "histogram"}:
+                raise ValueError(f"unknown metric type {kind!r} for {name!r}")
+            families.setdefault(name, {"type": None, "help": "", "samples": []})
+            families[name]["type"] = kind
+            current = name
+            continue
+        if line.startswith("#"):
+            continue
+        # Sample line: name[{labels}] value
+        if "{" in line:
+            name = line[: line.index("{")]
+            rest = line[line.index("{") + 1 :]
+            close = rest.rindex("}")
+            labels = _parse_labels(rest[:close])
+            value_text = rest[close + 1 :].strip()
+        else:
+            name, _, value_text = line.partition(" ")
+            labels = {}
+            value_text = value_text.strip()
+        if not value_text:
+            raise ValueError(f"sample line without a value: {raw!r}")
+        family = current
+        if family is None or not (
+            name == family or name.startswith(family + "_")
+        ):
+            # A sample outside its family's TYPE header block.
+            matches = [
+                f for f in families
+                if name == f or name.startswith(f + "_")
+            ]
+            if not matches:
+                raise ValueError(f"sample {name!r} has no # TYPE header")
+            family = max(matches, key=len)
+        families[family]["samples"].append(
+            {"name": name, "labels": labels, "value": _parse_value(value_text)}
+        )
+    for name, family in families.items():
+        if family["type"] is None:
+            raise ValueError(f"family {name!r} has samples but no # TYPE header")
+    return families

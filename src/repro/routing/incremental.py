@@ -39,9 +39,11 @@ per-destination load rows as well.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
+from repro import obs
 from repro.network.graph import Network
 from repro.routing.spf import (
     _DISTANCE_ATOL,
@@ -49,6 +51,18 @@ from repro.routing.spf import (
     distances_to_subsets_batched,
 )
 from repro.routing.state import Routing
+
+# Out-of-band telemetry (rule RL006): incremental-derivation shape/latency.
+_OBS_DERIVE_SECONDS = obs.histogram(
+    "repro_routing_kernel_seconds",
+    "Routing-kernel latency by kernel.",
+    {"kernel": "derive_routing"},
+)
+_OBS_AFFECTED = obs.histogram(
+    "repro_routing_affected_destinations",
+    "Affected-destination set size per derived routing.",
+    buckets=obs.SIZE_BUCKETS,
+)
 
 
 @dataclass(frozen=True)
@@ -234,11 +248,14 @@ def derive_routing(
         parent — and the affected-destination array, so callers can limit
         their own recomputation (e.g. per-destination load rows) to it.
     """
+    started = perf_counter()
     net = parent.network
     new_weights = delta.apply(parent.weights)
     affected = affected_destinations(net, parent.distance_matrix, delta)
     dist = incremental_distances(net, new_weights, parent.distance_matrix, affected)
     child = _child_routing(parent, new_weights, dist, affected)
+    _OBS_DERIVE_SECONDS.observe(perf_counter() - started)
+    _OBS_AFFECTED.observe(affected.size)
     return child, affected
 
 

@@ -42,9 +42,26 @@ schedule.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import NamedTuple
 
 import numpy as np
+
+from repro import obs
+
+# Out-of-band telemetry (rule RL006): kernel timings and batch shapes.
+_OBS_KERNEL_HELP = "Routing-kernel latency by kernel."
+_OBS_ACCUMULATE_SECONDS = obs.histogram(
+    "repro_routing_kernel_seconds", _OBS_KERNEL_HELP, {"kernel": "accumulate_rows"}
+)
+_OBS_SCHEDULE_SECONDS = obs.histogram(
+    "repro_routing_kernel_seconds", _OBS_KERNEL_HELP, {"kernel": "build_schedule"}
+)
+_OBS_ACCUMULATE_ROWS = obs.histogram(
+    "repro_routing_accumulate_rows",
+    "Load rows per accumulate_rows call.",
+    buckets=obs.SIZE_BUCKETS,
+)
 
 
 class DestinationDag(NamedTuple):
@@ -329,6 +346,7 @@ def build_schedule(dags, link_dst, num_nodes: int, num_links: int) -> Schedule:
         num_nodes: Node count (flow-buffer row stride).
         num_links: Link count (load-buffer row stride).
     """
+    started = perf_counter()
     k = len(dags)
     if k == 0:
         return Schedule(0, num_nodes, num_links)
@@ -357,9 +375,11 @@ def build_schedule(dags, link_dst, num_nodes: int, num_links: int) -> Schedule:
     link_pool = np.concatenate(pool_parts)
     link_starts = np.concatenate(starts_parts)
     row_cat = np.repeat(np.arange(k, dtype=np.int64), sizes)
-    return _compile_schedule(
+    schedule = _compile_schedule(
         node_cat, level_cat, count_cat, link_pool, link_starts, row_cat, link_dst, k, n, m
     )
+    _OBS_SCHEDULE_SECONDS.observe(perf_counter() - started)
+    return schedule
 
 
 def _compile_schedule(
@@ -424,6 +444,8 @@ def accumulate_rows(schedule: Schedule, injections: np.ndarray) -> np.ndarray:
         scalar accumulation loop on each row separately.
     """
     k, n, m = schedule.num_rows, schedule.num_nodes, schedule.num_links
+    started = perf_counter()
+    _OBS_ACCUMULATE_ROWS.observe(k)
     inj = np.asarray(injections, dtype=float)
     if inj.shape != (k, n):
         raise ValueError(f"expected injections of shape ({k}, {n}), got {inj.shape}")
@@ -443,4 +465,5 @@ def accumulate_rows(schedule: Schedule, injections: np.ndarray) -> np.ndarray:
         # flow recursion, so one deferred fancy += lands each slot's
         # single 0.0 + share addition — the scalar loop's exact bits.
         rows[schedule.load_pos] += np.concatenate(chunks)
+    _OBS_ACCUMULATE_SECONDS.observe(perf_counter() - started)
     return rows.reshape(k, m)

@@ -2,13 +2,28 @@
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import dijkstra
 
+from repro import obs
 from repro.network.graph import Network
 
 _DISTANCE_ATOL = 1e-9
+
+# Out-of-band telemetry (rule RL006): batched-solve shape and latency.
+_OBS_BATCH_TASKS = obs.histogram(
+    "repro_routing_batched_solve_tasks",
+    "Tasks per distances_to_subsets_batched call.",
+    buckets=obs.SIZE_BUCKETS,
+)
+_OBS_BATCH_SECONDS = obs.histogram(
+    "repro_routing_kernel_seconds",
+    "Routing-kernel latency by kernel.",
+    {"kernel": "distances_to_subsets_batched"},
+)
 
 
 class RoutingError(RuntimeError):
@@ -131,6 +146,8 @@ def distances_to_subsets_batched(tasks) -> list[np.ndarray]:
     from scipy.sparse import block_diag
 
     tasks = list(tasks)
+    started = perf_counter()
+    _OBS_BATCH_TASKS.observe(len(tasks))
     graphs, idx_list, spans = [], [], []
     node_offset = 0
     for net, weights, destinations in tasks:
@@ -149,6 +166,7 @@ def distances_to_subsets_batched(tasks) -> list[np.ndarray]:
     for offset, n, k in spans:
         out.append(np.ascontiguousarray(dmat[row : row + k, offset : offset + n]))
         row += k
+    _OBS_BATCH_SECONDS.observe(perf_counter() - started)
     return out
 
 

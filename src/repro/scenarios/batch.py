@@ -40,6 +40,7 @@ from typing import Iterable, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.core.evaluator import LOAD_MODE, SLA_MODE, Evaluation
 from repro.core.lexicographic import LexCost
 from repro.costs.load_cost import load_cost_from_loads
@@ -52,6 +53,25 @@ from repro.routing.weights import weights_key
 from repro.scenarios.algebra import LoweredScenario, Scenario
 from repro.scenarios.projection import TopologyProjection
 from repro.traffic.matrix import TrafficMatrix
+
+# Out-of-band telemetry (rule RL006): the engine's deterministic reuse
+# counters mirrored as process-wide instruments, plus batch occupancy.
+_OBS_SWEEP_EVENTS = {
+    key: obs.counter(
+        "repro_scenarios_engine_events_total",
+        "SweepEngine reuse/recompute events by kind.",
+        {"event": key},
+    )
+    for key in (
+        "scenarios", "shared_projections", "shared_routings",
+        "derived_routings", "full_routings", "reused_rows", "recomputed_rows",
+    )
+}
+_OBS_SWEEP_BATCH = obs.histogram(
+    "repro_scenarios_sweep_batch_size",
+    "Scenarios per SweepEngine.sweep call.",
+    buckets=obs.SIZE_BUCKETS,
+)
 
 DEFAULT_FALLBACK_FRACTION = 0.5
 """Affected-destination fraction above which a full SPF beats pruning."""
@@ -289,9 +309,19 @@ class SweepEngine:
         """The intact low-priority traffic."""
         return self._low_tm
 
+    def _mirror_stats(self, before: dict) -> None:
+        """Mirror the stat deltas since ``before`` into obs counters."""
+        for key, value in self.stats.items():
+            delta = value - before[key]
+            if delta:
+                _OBS_SWEEP_EVENTS[key].inc(delta)
+
     def evaluate(self, scenario: Scenario) -> ScenarioOutcome:
         """Evaluate one scenario (reusing whatever earlier queries built)."""
-        return self._evaluate_lowered(scenario, self._lower(scenario))
+        before = dict(self.stats)
+        outcome = self._evaluate_lowered(scenario, self._lower(scenario))
+        self._mirror_stats(before)
+        return outcome
 
     def evaluate_streaming(self, scenario: Scenario) -> ScenarioOutcome:
         """Evaluate one scenario without growing any engine cache.
@@ -321,12 +351,16 @@ class SweepEngine:
         of one scipy call per scenario.  Outcomes and stats are
         bit-identical to evaluating the scenarios one by one.
         """
+        before = dict(self.stats)
         pairs = [(scenario, self._lower(scenario)) for scenario in scenarios]
-        if self.batched:
-            self._prefetch_routings(lowered for _, lowered in pairs)
-        outcomes = tuple(
-            self._evaluate_lowered(scenario, lowered) for scenario, lowered in pairs
-        )
+        with obs.span("scenarios.sweep", scenarios=len(pairs)):
+            _OBS_SWEEP_BATCH.observe(len(pairs))
+            if self.batched:
+                self._prefetch_routings(lowered for _, lowered in pairs)
+            outcomes = tuple(
+                self._evaluate_lowered(scenario, lowered) for scenario, lowered in pairs
+            )
+        self._mirror_stats(before)
         return SweepResult(
             baseline=self.baseline, outcomes=outcomes, stats=dict(self.stats)
         )

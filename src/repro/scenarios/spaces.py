@@ -45,6 +45,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, ClassVar, Iterator, Optional, Union
 
+from repro import obs
 from repro.core.evaluator import Evaluation
 from repro.network.graph import Network
 from repro.scenarios.aggregate import (
@@ -428,38 +429,44 @@ def sweep_scenario_space(
     )
     total = evaluated = pruned = disconnected = 0
     iterator = space.scenarios(net)
-    while True:
-        chunk = list(itertools.islice(iterator, chunk_size))
-        if not chunk:
-            break
-        for scenario in chunk:
-            total += 1
-            witness = (
-                pruner.dominated(scenario) if pruner is not None else None
-            )
-            if witness is not None:
-                pruned += 1
-                disconnected += 1
-                aggregate.add_disconnected()
-                if on_prune is not None:
-                    on_prune(scenario, witness)
-                continue
-            outcome = engine.evaluate_streaming(scenario)
-            evaluated += 1
-            if outcome.disconnected:
-                disconnected += 1
-                aggregate.add_disconnected()
-                if pruner is not None:
-                    pruner.record(scenario)
-            else:
-                primary, secondary = score_fn(
-                    outcome.evaluation, outcome.lowered.network
+    with obs.span("scenarios.space", space=space.spec()):
+        while True:
+            chunk = list(itertools.islice(iterator, chunk_size))
+            if not chunk:
+                break
+            for scenario in chunk:
+                total += 1
+                witness = (
+                    pruner.dominated(scenario) if pruner is not None else None
                 )
-                aggregate.add(
-                    primary, secondary, outcome.evaluation.max_utilization
-                )
+                if witness is not None:
+                    pruned += 1
+                    disconnected += 1
+                    aggregate.add_disconnected()
+                    if on_prune is not None:
+                        on_prune(scenario, witness)
+                    continue
+                outcome = engine.evaluate_streaming(scenario)
+                evaluated += 1
+                if outcome.disconnected:
+                    disconnected += 1
+                    aggregate.add_disconnected()
+                    if pruner is not None:
+                        pruner.record(scenario)
+                else:
+                    primary, secondary = score_fn(
+                        outcome.evaluation, outcome.lowered.network
+                    )
+                    aggregate.add(
+                        primary, secondary, outcome.evaluation.max_utilization
+                    )
     baseline_primary, baseline_secondary = score_fn(engine.baseline, net)
     baseline_max_utilization = engine.baseline.max_utilization
+    _events = "repro_spaces_scenarios_total"
+    _help = "Space-sweep scenario outcomes by disposition."
+    obs.counter(_events, _help, {"disposition": "evaluated"}).inc(evaluated)
+    obs.counter(_events, _help, {"disposition": "pruned"}).inc(pruned)
+    obs.counter(_events, _help, {"disposition": "disconnected"}).inc(disconnected)
     return SpaceSweepResult(
         space=space.spec(),
         scenarios=total,

@@ -20,25 +20,42 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Callable
+from typing import Callable, Optional
+
+from repro.obs import MetricsRegistry
 
 
 class PlanCache:
     """A thread-safe LRU of encoded query answers.
 
+    Counters are registry-backed :mod:`repro.obs` instruments on a
+    per-cache registry (two services in one process never share
+    counters).  Every mutation happens under the cache lock, and
+    :meth:`metrics` reads under the same lock, so any snapshot — even
+    one taken mid-storm — satisfies ``hits + misses == lookups``.
+
     Args:
         capacity: Entries kept; a what-if payload is a few KB (three
             per-link float arrays), so the default bounds the cache at a
             few MB.
+        registry: Instrument home; a private one by default.
     """
 
-    def __init__(self, capacity: int = 1024) -> None:
+    def __init__(self, capacity: int = 1024, registry: Optional[MetricsRegistry] = None) -> None:
         if capacity < 1:
             raise ValueError("plan cache capacity must be >= 1")
         self.capacity = int(capacity)
         self._lock = threading.Lock()
         self._store: OrderedDict[tuple[str, str], dict] = OrderedDict()
-        self.stats = {"hits": 0, "misses": 0, "evictions": 0}
+        self.registry = registry if registry is not None else MetricsRegistry()
+        _events = "repro_serve_plan_cache_events_total"
+        _help = "Plan-cache lookup outcomes and evictions."
+        self._hits = self.registry.counter(_events, _help, {"event": "hit"})
+        self._misses = self.registry.counter(_events, _help, {"event": "miss"})
+        self._evictions = self.registry.counter(_events, _help, {"event": "eviction"})
+        self._size = self.registry.gauge(
+            "repro_serve_plan_cache_size", "Entries currently cached."
+        )
 
     def get_or_compute(
         self,
@@ -64,16 +81,17 @@ class PlanCache:
             entry = self._store.get(key)
             if entry is not None:
                 self._store.move_to_end(key)
-                self.stats["hits"] += 1
+                self._hits.inc()
                 return entry, True
-            self.stats["misses"] += 1
+            self._misses.inc()
         payload = compute()
         with self._lock:
             self._store[key] = payload
             self._store.move_to_end(key)
             while len(self._store) > self.capacity:
                 self._store.popitem(last=False)
-                self.stats["evictions"] += 1
+                self._evictions.inc()
+            self._size.set(len(self._store))
         return payload, False
 
     def __len__(self) -> int:
@@ -81,6 +99,20 @@ class PlanCache:
             return len(self._store)
 
     def metrics(self) -> dict:
-        """Counters plus occupancy (the ``/metrics`` block)."""
+        """Counters plus occupancy (the ``/metrics`` JSON block).
+
+        Taken under the cache lock — the same lock every counter
+        mutation holds — so ``hits + misses == lookups`` in any
+        snapshot, concurrent storm or not.
+        """
         with self._lock:
-            return {**self.stats, "size": len(self._store), "capacity": self.capacity}
+            hits = int(self._hits.value)
+            misses = int(self._misses.value)
+            return {
+                "hits": hits,
+                "misses": misses,
+                "lookups": hits + misses,
+                "evictions": int(self._evictions.value),
+                "size": len(self._store),
+                "capacity": self.capacity,
+            }

@@ -7,7 +7,10 @@ No new runtime dependencies — ``http.server`` threads per connection,
 path       method  body / answer
 =========  ======  ====================================================
 /health    GET     liveness: ``{"status": "ok", ...}``
-/metrics   GET     pool / scheduler / plan-cache counters
+/metrics   GET     pool / scheduler / plan-cache counters (JSON), or
+                   the full Prometheus text exposition when negotiated
+                   via ``?format=prometheus`` or an ``Accept`` header
+                   preferring ``text/plain``
 /whatif    POST    ``{"scenario": SPEC, "session": {...}?}`` ->
                    the encoded what-if payload (plus ``"served"``)
 /sweep     POST    ``{"scenarios": [SPEC...]?, "kinds": [KIND...]?,
@@ -21,8 +24,11 @@ scenario specs, and unknown scenario kinds answer **400** with
 ``{"error": msg}``, where ``msg`` is the underlying registry/grammar
 message (an unknown kind lists the registered ones, exactly like the
 CLI); unknown paths answer 404; unexpected failures answer 500.  Every
-request appends one line to the JSONL request log (when configured):
-``{"path", "status", "ms", "scenario"?, "cache_hit"?}``.
+request — GET and POST alike, through one shared timed respond path —
+appends one line to the JSONL request log (when configured):
+``{"seq", "method", "path", "status", "ms", "scenario"?, "cache_hit"?}``
+where ``seq`` is monotonic per log file (see
+:class:`repro.ioutil.JsonlAppender`).
 
 Determinism: success bodies are ``canonical_body(payload)``.  For
 ``/whatif`` the *payload* (everything except the transport-only
@@ -36,12 +42,15 @@ assert exactly this — they strip ``served`` before comparing.
 from __future__ import annotations
 
 import json
-import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Optional, Union
+from urllib.parse import parse_qs
 
+from repro.ioutil import JsonlAppender
+from repro.obs import render_prometheus
+from repro.obs import span as obs_span
 from repro.serve.encoding import canonical_body
 from repro.serve.service import ServeService
 
@@ -52,6 +61,15 @@ rejects abuse without constraining any legitimate query."""
 
 class _BadRequest(ValueError):
     """A request the client can fix (answered 400, message verbatim)."""
+
+
+class _TextBody:
+    """A non-JSON response body (the Prometheus exposition)."""
+
+    __slots__ = ("text",)
+
+    def __init__(self, text: str) -> None:
+        self.text = text
 
 
 class WhatIfServer(ThreadingHTTPServer):
@@ -74,21 +92,35 @@ class WhatIfServer(ThreadingHTTPServer):
     ) -> None:
         super().__init__(address, _Handler)
         self.service = service
-        self._log_lock = threading.Lock()
-        self._log_path = Path(log_path) if log_path else None
+        # One persistent, locked handle for the life of the server — not
+        # an open() per line — with a monotonic ``seq`` per record so
+        # concurrency tests can assert no interleaved or lost lines.
+        self._log = JsonlAppender(log_path) if log_path else None
 
     def log_jsonl(self, record: dict) -> None:
         """Append one request record to the JSONL log (thread-safe)."""
-        if self._log_path is None:
-            return
-        line = json.dumps(record, sort_keys=True)
-        with self._log_lock:
-            with self._log_path.open("a", encoding="utf-8") as handle:
-                handle.write(line + "\n")
+        if self._log is not None:
+            self._log.append(record)
+
+    def observe_request(self, method: str, path: str, status: int, seconds: float) -> None:
+        """Per-request instruments on the service registry."""
+        registry = self.service.registry
+        registry.histogram(
+            "repro_serve_http_request_seconds",
+            "Request handling latency by method and path.",
+            labels={"method": method, "path": path},
+        ).observe(seconds)
+        registry.counter(
+            "repro_serve_http_responses_total",
+            "Responses by status code.",
+            labels={"status": str(status)},
+        ).inc()
 
     def shutdown(self) -> None:
         super().shutdown()
         self.service.close()
+        if self._log is not None:
+            self._log.close()
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -96,27 +128,30 @@ class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
 
     # ------------------------------------------------------------------
-    # Routing
+    # Routing — both verbs share one timed/logged respond path
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (http.server naming)
-        if self.path == "/health":
-            self._respond(200, {"status": "ok", "endpoints": ["/health", "/metrics", "/whatif", "/sweep"]})
-        elif self.path == "/metrics":
-            self._respond(200, self.server.service.metrics())
-        else:
-            self._respond(404, {"error": f"unknown path {self.path!r}"})
+        self._handle("GET")
 
     def do_POST(self) -> None:  # noqa: N802
+        self._handle("POST")
+
+    def _handle(self, method: str) -> None:
+        """The shared request path: route, time, respond, log.
+
+        ``/health`` and ``/metrics`` go through the same perf_counter
+        timing and JSONL request-log append as the POST endpoints — a
+        scrape is a request like any other.
+        """
         started = time.perf_counter()
         extra: dict = {}
+        path, _, query = self.path.partition("?")
         try:
-            body = self._read_json()
-            if self.path == "/whatif":
-                status, payload = self._whatif(body, extra)
-            elif self.path == "/sweep":
-                status, payload = self._sweep(body)
-            else:
-                status, payload = 404, {"error": f"unknown path {self.path!r}"}
+            with obs_span("http.request", method=method, path=path):
+                if method == "GET":
+                    status, payload = self._route_get(path, query, extra)
+                else:
+                    status, payload = self._route_post(path, extra)
         except _BadRequest as exc:
             status, payload = 400, {"error": str(exc)}
         except ValueError as exc:
@@ -126,16 +161,54 @@ class _Handler(BaseHTTPRequestHandler):
             status, payload = 400, {"error": str(exc)}
         except Exception as exc:  # pragma: no cover - defensive 500 path
             status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        elapsed = time.perf_counter() - started
         self._respond(
             status,
             payload,
             log={
-                "path": self.path,
+                "method": method,
+                "path": path,
                 "status": status,
-                "ms": (time.perf_counter() - started) * 1e3,
+                "ms": elapsed * 1e3,
                 **extra,
             },
         )
+        self.server.observe_request(method, path, status, elapsed)
+
+    def _route_get(self, path: str, query: str, extra: dict):
+        if path == "/health":
+            return 200, {
+                "status": "ok",
+                "endpoints": ["/health", "/metrics", "/whatif", "/sweep"],
+            }
+        if path == "/metrics":
+            if self._wants_prometheus(query):
+                extra["format"] = "prometheus"
+                text = render_prometheus(self.server.service.metrics_samples())
+                return 200, _TextBody(text)
+            return 200, self.server.service.metrics()
+        return 404, {"error": f"unknown path {path!r}"}
+
+    def _route_post(self, path: str, extra: dict):
+        body = self._read_json()
+        if path == "/whatif":
+            return self._whatif(body, extra)
+        if path == "/sweep":
+            return self._sweep(body)
+        return 404, {"error": f"unknown path {path!r}"}
+
+    def _wants_prometheus(self, query: str) -> bool:
+        """Content negotiation: ``?format=prometheus`` wins; otherwise an
+        Accept preferring ``text/plain`` over JSON (what a Prometheus
+        scraper sends) selects the text exposition."""
+        params = parse_qs(query)
+        fmt = params.get("format", [""])[-1].lower()
+        if fmt == "prometheus":
+            return True
+        if fmt == "json":
+            return False
+        accept = (self.headers.get("Accept") or "").lower()
+        return "text/plain" in accept and "application/json" not in accept
 
     # ------------------------------------------------------------------
     # Endpoints
@@ -184,11 +257,16 @@ class _Handler(BaseHTTPRequestHandler):
         return body
 
     def _respond(
-        self, status: int, payload: dict, log: Optional[dict] = None
+        self, status: int, payload, log: Optional[dict] = None
     ) -> None:
-        body = canonical_body(payload)
+        if isinstance(payload, _TextBody):
+            body = payload.text.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = canonical_body(payload)
+            content_type = "application/json"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)

@@ -27,12 +27,14 @@ from __future__ import annotations
 import hashlib
 import json
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
 from repro.api.session import Session
 from repro.eval.experiment import ExperimentConfig
+from repro.obs import MetricsRegistry
 from repro.routing.weights import unit_weights
 
 UNIT_WEIGHTS = "unit"
@@ -176,13 +178,26 @@ class SessionPool:
     concurrently must hold ``session.lock`` (the scheduler does).
     """
 
-    def __init__(self, capacity: int = 4) -> None:
+    def __init__(self, capacity: int = 4, registry: Optional["MetricsRegistry"] = None) -> None:
         if capacity < 1:
             raise ValueError("pool capacity must be >= 1")
         self.capacity = int(capacity)
         self._lock = threading.Lock()
         self._sessions: OrderedDict[str, tuple[SessionSpec, Session]] = OrderedDict()
-        self.stats = {"hits": 0, "misses": 0, "builds": 0, "evictions": 0}
+        self.registry = registry if registry is not None else MetricsRegistry()
+        _events = "repro_serve_pool_events_total"
+        _help = "Session-pool lookup outcomes, builds, and evictions."
+        self._hits = self.registry.counter(_events, _help, {"event": "hit"})
+        self._misses = self.registry.counter(_events, _help, {"event": "miss"})
+        self._builds = self.registry.counter(_events, _help, {"event": "build"})
+        self._evictions = self.registry.counter(_events, _help, {"event": "eviction"})
+        self._build_seconds = self.registry.histogram(
+            "repro_serve_pool_build_seconds",
+            "Wall time to deterministically rebuild a session on miss.",
+        )
+        self._size = self.registry.gauge(
+            "repro_serve_pool_size", "Warm sessions currently pooled."
+        )
 
     def get(self, spec: SessionSpec) -> tuple[str, Session]:
         """The warm session for ``spec``, building (and evicting) on miss.
@@ -196,15 +211,18 @@ class SessionPool:
             entry = self._sessions.get(key)
             if entry is not None:
                 self._sessions.move_to_end(key)
-                self.stats["hits"] += 1
+                self._hits.inc()
                 return key, entry[1]
-            self.stats["misses"] += 1
+            self._misses.inc()
+            started = time.perf_counter()
             session = spec.build()
-            self.stats["builds"] += 1
+            self._build_seconds.observe(time.perf_counter() - started)
+            self._builds.inc()
             self._sessions[key] = (spec, session)
             while len(self._sessions) > self.capacity:
                 self._sessions.popitem(last=False)
-                self.stats["evictions"] += 1
+                self._evictions.inc()
+            self._size.set(len(self._sessions))
             return key, session
 
     def add(self, key: str, spec: Optional[SessionSpec], session: Session) -> None:
@@ -214,13 +232,29 @@ class SessionPool:
             self._sessions.move_to_end(key)
             while len(self._sessions) > self.capacity:
                 self._sessions.popitem(last=False)
-                self.stats["evictions"] += 1
+                self._evictions.inc()
+            self._size.set(len(self._sessions))
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._sessions)
 
     def metrics(self) -> dict:
-        """Counters plus current occupancy (the ``/metrics`` block)."""
+        """Counters plus current occupancy (the ``/metrics`` JSON block).
+
+        Snapshot under the pool lock — the lock all mutations hold — so
+        ``hits + misses == lookups`` and ``builds <= misses`` hold in
+        any snapshot.
+        """
         with self._lock:
-            return {**self.stats, "size": len(self._sessions), "capacity": self.capacity}
+            hits = int(self._hits.value)
+            misses = int(self._misses.value)
+            return {
+                "hits": hits,
+                "misses": misses,
+                "lookups": hits + misses,
+                "builds": int(self._builds.value),
+                "evictions": int(self._evictions.value),
+                "size": len(self._sessions),
+                "capacity": self.capacity,
+            }

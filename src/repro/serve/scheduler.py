@@ -38,6 +38,8 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.api.session import Session
+from repro.obs import SIZE_BUCKETS, MetricsRegistry
+from repro.obs import span as obs_span
 from repro.scenarios.spec import canonical_spec
 from repro.serve.cache import PlanCache
 from repro.serve.encoding import whatif_payload
@@ -56,6 +58,7 @@ class _Job:
     session: Session
     canonical: str
     future: Future = field(default_factory=Future)
+    submitted: float = field(default_factory=time.perf_counter)
 
 
 class MicroBatchScheduler:
@@ -73,6 +76,7 @@ class MicroBatchScheduler:
         *,
         window_s: float = DEFAULT_WINDOW_S,
         max_batch: int = DEFAULT_MAX_BATCH,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -83,14 +87,26 @@ class MicroBatchScheduler:
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
         self._stats_lock = threading.Lock()
-        self.stats = {
-            "queries": 0,
-            "batches": 0,
-            "coalesced_queries": 0,
-            "max_batch_size": 0,
-            "cache_hits": 0,
-            "errors": 0,
-        }
+        self.registry = registry if registry is not None else MetricsRegistry()
+        _events = "repro_serve_scheduler_events_total"
+        _help = "Scheduler query/batch/cache/error counts."
+        self._queries = self.registry.counter(_events, _help, {"event": "query"})
+        self._batches = self.registry.counter(_events, _help, {"event": "batch"})
+        self._coalesced = self.registry.counter(_events, _help, {"event": "coalesced_query"})
+        self._cache_hits = self.registry.counter(_events, _help, {"event": "cache_hit"})
+        self._errors = self.registry.counter(_events, _help, {"event": "error"})
+        self._max_batch_seen = self.registry.gauge(
+            "repro_serve_scheduler_max_batch_size", "Largest batch drained so far."
+        )
+        self._batch_size = self.registry.histogram(
+            "repro_serve_scheduler_batch_size",
+            "Jobs per drained micro-batch.",
+            buckets=SIZE_BUCKETS,
+        )
+        self._queue_wait = self.registry.histogram(
+            "repro_serve_scheduler_queue_wait_seconds",
+            "Submit-to-dispatch wait per job.",
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -176,14 +192,17 @@ class MicroBatchScheduler:
             self._process(batch)
 
     def _process(self, batch: list[_Job]) -> None:
+        dispatched = time.perf_counter()
         with self._stats_lock:
-            self.stats["queries"] += len(batch)
-            self.stats["batches"] += 1
-            self.stats["max_batch_size"] = max(
-                self.stats["max_batch_size"], len(batch)
-            )
+            self._queries.inc(len(batch))
+            self._batches.inc()
+            if len(batch) > int(self._max_batch_seen.value):
+                self._max_batch_seen.set(len(batch))
             if len(batch) > 1:
-                self.stats["coalesced_queries"] += len(batch)
+                self._coalesced.inc(len(batch))
+            self._batch_size.observe(len(batch))
+            for job in batch:
+                self._queue_wait.observe(dispatched - job.submitted)
         groups: dict[str, list[_Job]] = {}
         for job in batch:  # arrival order, stable within each group
             groups.setdefault(job.session_key, []).append(job)
@@ -193,27 +212,37 @@ class MicroBatchScheduler:
     def _process_group(self, jobs: list[_Job]) -> None:
         """One session's slice of a batch, evaluated under its lock."""
         session = jobs[0].session
-        with session.lock:
-            for job in jobs:
-                try:
-                    payload, hit = self.cache.get_or_compute(
-                        job.session_key,
-                        job.canonical,
-                        lambda spec=job.canonical: whatif_payload(
-                            session.under_scenario(spec)
-                        ),
-                    )
-                except Exception as exc:  # surfaced on the caller's future
-                    with self._stats_lock:
-                        self.stats["errors"] += 1
-                    job.future.set_exception(exc)
-                    continue
-                if hit:
-                    with self._stats_lock:
-                        self.stats["cache_hits"] += 1
-                job.future.set_result((payload, hit))
+        with obs_span("serve.batch_group", size=len(jobs), session=jobs[0].session_key):
+            with session.lock:
+                for job in jobs:
+                    try:
+                        payload, hit = self.cache.get_or_compute(
+                            job.session_key,
+                            job.canonical,
+                            lambda spec=job.canonical: whatif_payload(
+                                session.under_scenario(spec)
+                            ),
+                        )
+                    except Exception as exc:  # surfaced on the caller's future
+                        with self._stats_lock:
+                            self._errors.inc()
+                        job.future.set_exception(exc)
+                        continue
+                    if hit:
+                        with self._stats_lock:
+                            self._cache_hits.inc()
+                    job.future.set_result((payload, hit))
 
     def metrics(self) -> dict:
-        """Counters (the ``/metrics`` block)."""
+        """Counters (the ``/metrics`` JSON block), snapshot under the
+        stats lock every mutation also holds — mid-storm snapshots are
+        internally consistent (``coalesced_queries <= queries``, ...)."""
         with self._stats_lock:
-            return dict(self.stats)
+            return {
+                "queries": int(self._queries.value),
+                "batches": int(self._batches.value),
+                "coalesced_queries": int(self._coalesced.value),
+                "max_batch_size": int(self._max_batch_seen.value),
+                "cache_hits": int(self._cache_hits.value),
+                "errors": int(self._errors.value),
+            }

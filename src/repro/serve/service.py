@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from repro import obs
 from repro.api.session import Session
 from repro.scenarios.spec import (
     ScenarioSet,
@@ -72,6 +73,9 @@ class ServeService:
         self.scheduler = scheduler
         self.scheduler.start()
         self._pinned: Optional[tuple[str, Session]] = None
+        # The frontend's own instruments (request latency, responses)
+        # live on a per-service registry like the components'.
+        self.registry = obs.MetricsRegistry()
 
     @classmethod
     def from_session(
@@ -173,12 +177,43 @@ class ServeService:
     # Introspection and lifecycle
     # ------------------------------------------------------------------
     def metrics(self) -> dict:
-        """Pool/scheduler/cache counters (the ``/metrics`` body)."""
+        """Pool/scheduler/cache counters (the ``/metrics`` JSON body).
+
+        The shape predates :mod:`repro.obs` and is part of the HTTP
+        contract (``examples/serve_smoke.py`` asserts it); each block is
+        a consistent snapshot taken under its component's own lock.
+        """
         return {
             "pool": self.pool.metrics(),
             "scheduler": self.scheduler.metrics(),
             "plan_cache": self.cache.metrics(),
         }
+
+    def metrics_samples(self) -> list[dict]:
+        """Every instrument sample this service can see, merged.
+
+        The union of the per-component registries (pool, scheduler,
+        plan cache, the frontend's own) and the process-wide default
+        registry (evaluator, kernels, sweep engines) — what
+        ``GET /metrics?format=prometheus`` renders.  Component registry
+        objects may be shared (a scheduler built around the service's
+        cache); duplicates are skipped by identity.
+        """
+        samples: list[dict] = []
+        seen: set[int] = set()
+        registries = [
+            self.registry,
+            self.pool.registry,
+            self.scheduler.registry,
+            self.cache.registry,
+            obs.REGISTRY,
+        ]
+        for registry in registries:
+            if id(registry) in seen:
+                continue
+            seen.add(id(registry))
+            samples.extend(registry.snapshot())
+        return samples
 
     def close(self) -> None:
         """Stop the scheduler (queued queries drain first)."""

@@ -1,0 +1,10 @@
+"""Fixture: exactly one RL006 violation (telemetry in canonical bytes)."""
+
+from repro import obs
+from repro.serve.encoding import canonical_body
+
+
+def respond(payload):
+    in_band = canonical_body({"result": payload, "telemetry": obs.snapshot()})
+    out_of_band = canonical_body({"result": payload})  # clean: obs stays out
+    return in_band, out_of_band

@@ -1,0 +1,11 @@
+"""Fixture: one RL006 violation, silenced by an inline directive."""
+
+from repro import obs
+from repro.serve.encoding import canonical_body
+
+
+def debug_dump(payload):
+    # A deliberate debugging endpoint outside the canonical store.
+    return canonical_body(
+        {"result": payload, "telemetry": obs.snapshot()}  # repro-lint: disable=RL006
+    )

@@ -37,6 +37,7 @@ def lint_file(name, **kwargs):
         ("rl003.py", "RL003"),
         ("serve/rl004.py", "RL004"),
         ("rl005.py", "RL005"),
+        ("rl006.py", "RL006"),
     ],
 )
 def test_rule_fires_once_on_its_fixture(fixture, rule):
@@ -88,6 +89,43 @@ def test_inline_directives_silence_both_styles():
     report = lint_file("suppressed.py")
     assert report.findings == []
     assert sorted(f.rule for f in report.suppressed) == ["RL001", "RL001"]
+
+
+def test_rl006_suppression_is_honored():
+    report = lint_file("rl006_suppressed.py")
+    assert report.findings == []
+    assert [f.rule for f in report.suppressed] == ["RL006"]
+
+
+def test_rl006_taints_every_obs_import_style(tmp_path):
+    path = tmp_path / "leaky.py"
+    path.write_text(
+        "import repro.obs\n"
+        "from repro.obs import snapshot as grab\n"
+        "from repro.serve.encoding import canonical_body\n"
+        "\n"
+        "def respond(payload):\n"
+        "    a = canonical_body({'t': repro.obs.snapshot()})\n"
+        "    b = canonical_body({'t': grab()})\n"
+        "    return a, b\n"
+    )
+    report = lint_paths([path])
+    assert [f.rule for f in report.findings] == ["RL006", "RL006"]
+
+
+def test_rl006_ignores_out_of_band_telemetry(tmp_path):
+    # Instrumented modules that keep obs out of the payload are clean.
+    path = tmp_path / "instrumented.py"
+    path.write_text(
+        "from repro import obs\n"
+        "from repro.serve.encoding import canonical_body\n"
+        "\n"
+        "def respond(payload):\n"
+        "    obs.counter('repro_requests_total', 'Requests.').inc()\n"
+        "    with obs.span('respond'):\n"
+        "        return canonical_body({'result': payload})\n"
+    )
+    assert lint_paths([path]).findings == []
 
 
 def test_directive_inside_string_literal_does_not_count():
@@ -172,11 +210,12 @@ def test_malformed_baseline_raises(tmp_path, payload):
 # ----------------------------------------------------------------------
 # Registry and runner config errors
 # ----------------------------------------------------------------------
-def test_registry_holds_the_five_builtins():
+def test_registry_holds_the_six_builtins():
     assert [rule.id for rule in all_rules()] == [
-        "RL001", "RL002", "RL003", "RL004", "RL005",
+        "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
     ]
     assert get_rule("RL003").name == "unordered-iteration-to-canonical-output"
+    assert get_rule("RL006").name == "telemetry-in-canonical-output"
 
 
 def test_unknown_rule_error_lists_alternatives():

@@ -28,9 +28,9 @@ def test_clean_file_exits_zero(capsys):
 def test_findings_exit_one(capsys):
     code, out, err = run(capsys, str(FIXTURES), "--no-baseline")
     assert code == 1
-    for rule in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+    for rule in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
         assert rule in out
-    assert "5 unsuppressed" in err
+    assert "6 unsuppressed" in err
 
 
 def test_missing_path_is_usage_error(capsys):
@@ -76,11 +76,11 @@ def test_update_baseline_then_lint_is_clean(tmp_path, capsys):
     assert "grandfathered" in out
     doc = json.loads(baseline.read_text())
     assert doc["version"] == 1
-    assert len(doc["findings"]) == 5
+    assert len(doc["findings"]) == 6
 
     code, out, _ = run(capsys, str(FIXTURES), "--baseline", str(baseline), "--strict")
     assert code == 0
-    assert "5 grandfathered" in out
+    assert "6 grandfathered" in out
 
 
 def test_stale_baseline_fails_only_under_strict(tmp_path, capsys):
@@ -122,7 +122,7 @@ def test_json_format_is_machine_readable(capsys):
 def test_list_rules_exits_zero(capsys):
     code, out, _ = run(capsys, "--list-rules")
     assert code == 0
-    for rule in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+    for rule in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
         assert rule in out
 
 

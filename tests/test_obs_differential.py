@@ -1,0 +1,97 @@
+"""Telemetry is out-of-band: canonical result bytes are identical with
+instrumentation fully on (metrics + tracing) and fully off.
+
+This is the executable form of lint rule RL006 — the whatif/sweep/space
+payload encoders must produce the same ``canonical_body`` bytes no
+matter how often the instruments were exercised, because a counter value
+leaking into a payload would differ between the two passes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.serve import (
+    SessionSpec,
+    canonical_body,
+    space_payload,
+    sweep_payload,
+    whatif_payload,
+)
+
+SPEC = SessionSpec(topology="isp", utilization=0.5)
+WHATIF_QUERIES = ["link:0-4", "node:3", "srlg:0-4,2-5", "link:0-4+surge:3x2.0"]
+SWEEP_KINDS = ["link", "node"]
+SPACE = "space:surge-sample:n=8:seed=3"
+
+
+def _answer_bytes():
+    """All three payload kinds, from a fresh session, as canonical bytes."""
+    from repro.scenarios.spec import ScenarioSet, enumerate_scenarios
+
+    session = SPEC.build()
+    out = {}
+    for query in WHATIF_QUERIES:
+        out[query] = canonical_body(whatif_payload(session.under_scenario(query)))
+    scenarios = [
+        s for kind in SWEEP_KINDS
+        for s in enumerate_scenarios(session.network, kind)
+    ]
+    out["sweep"] = canonical_body(
+        sweep_payload(
+            session.sweep(ScenarioSet(scenarios)),
+            [s.spec() for s in scenarios],
+        )
+    )
+    out["space"] = canonical_body(space_payload(session.sweep_space(SPACE)))
+    return out
+
+
+def test_traced_and_untraced_answers_are_byte_identical(tmp_path):
+    obs.set_enabled(False)
+    assert not obs.tracing_enabled()
+    try:
+        dark = _answer_bytes()
+    finally:
+        obs.set_enabled(True)
+
+    obs.enable_tracing(tmp_path / "spans.jsonl")
+    try:
+        lit = _answer_bytes()
+        # Exercise the instruments again so any in-band leak would show
+        # up as a count difference in a third pass.
+        relit = _answer_bytes()
+    finally:
+        obs.disable_tracing()
+
+    assert set(dark) == set(lit) == set(relit)
+    for key in dark:
+        assert lit[key] == dark[key], f"tracing changed {key} bytes"
+        assert relit[key] == dark[key], f"repetition changed {key} bytes"
+    trace = (tmp_path / "spans.jsonl").read_text().splitlines()
+    assert trace, "tracing was enabled but produced no spans"
+
+
+def test_payload_bytes_never_contain_instrument_names(tmp_path):
+    """No payload smuggles an obs metric name into its canonical bytes."""
+    obs.enable_tracing(tmp_path / "spans.jsonl")
+    try:
+        answers = _answer_bytes()
+    finally:
+        obs.disable_tracing()
+    for key, body in answers.items():
+        assert b"repro_" not in body, f"{key} embeds a metric name"
+        assert b'"obs"' not in body, f"{key} embeds an obs block"
+
+
+@pytest.mark.parametrize("query", WHATIF_QUERIES)
+def test_whatif_repeat_is_deterministic_while_traced(tmp_path, query):
+    obs.enable_tracing(tmp_path / "spans.jsonl")
+    try:
+        session = SPEC.build()
+        first = canonical_body(whatif_payload(session.under_scenario(query)))
+        second = canonical_body(whatif_payload(session.under_scenario(query)))
+    finally:
+        obs.disable_tracing()
+    assert first == second

@@ -1,0 +1,195 @@
+"""Metrics instruments (:mod:`repro.obs.metrics`) and the Prometheus
+exposition round trip.
+
+The load-bearing test is the 8-thread torture: instrument mutations are
+locked, so concurrent increments total **exactly** — not approximately —
+``threads * increments``.  A bare ``+=`` would pass only incidentally
+under the GIL.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+
+THREADS = 8
+PER_THREAD = 5000
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+@pytest.fixture
+def enabled_state():
+    """Restore the global enable switch after a test flips it."""
+    yield
+    obs.set_enabled(True)
+
+
+def _hammer(target, threads=THREADS):
+    """Run ``target(thread_index)`` from N threads, joined."""
+    workers = [
+        threading.Thread(target=target, args=(i,)) for i in range(threads)
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+
+
+# ----------------------------------------------------------------------
+# Exactness under concurrency
+# ----------------------------------------------------------------------
+def test_counter_torture_totals_exactly(registry):
+    counter = registry.counter("torture_total", "Torture counter.")
+    _hammer(lambda _i: [counter.inc() for _ in range(PER_THREAD)])
+    assert counter.value == THREADS * PER_THREAD
+
+
+def test_histogram_torture_counts_exactly(registry):
+    hist = registry.histogram("torture_seconds", buckets=(0.5, 1.0))
+    _hammer(lambda i: [hist.observe(i % 2) for _ in range(PER_THREAD)])
+    sample = hist.sample()
+    total = THREADS * PER_THREAD
+    assert sample["count"] == total
+    # Half the observations are 0, half are 1 — both land <= 1.0, only
+    # the zeros land <= 0.5; the cumulative bucket counts are exact.
+    assert sample["buckets"][0] == {"le": 0.5, "count": total // 2}
+    assert sample["buckets"][1] == {"le": 1.0, "count": total}
+    assert sample["sum"] == total // 2
+
+
+def test_gauge_inc_dec_torture_cancels_exactly(registry):
+    gauge = registry.gauge("torture_occupancy")
+    _hammer(
+        lambda _i: [(gauge.inc(), gauge.dec()) for _ in range(PER_THREAD)]
+    )
+    assert gauge.value == 0.0
+
+
+def test_concurrent_get_or_create_yields_one_instrument(registry):
+    instruments = [None] * THREADS
+
+    def create(i):
+        instruments[i] = registry.counter("shared_total", labels={"k": "v"})
+        instruments[i].inc()
+
+    _hammer(create)
+    assert len(set(map(id, instruments))) == 1
+    assert instruments[0].value == THREADS
+    assert len(registry) == 1
+
+
+# ----------------------------------------------------------------------
+# Registry contract
+# ----------------------------------------------------------------------
+def test_same_name_different_labels_are_distinct(registry):
+    a = registry.counter("events_total", labels={"event": "hit"})
+    b = registry.counter("events_total", labels={"event": "miss"})
+    assert a is not b
+    a.inc(3)
+    assert b.value == 0
+
+
+def test_kind_mismatch_raises(registry):
+    registry.counter("x_total")
+    with pytest.raises(ValueError, match="already registered as counter"):
+        registry.gauge("x_total")
+
+
+def test_counter_rejects_negative_increments(registry):
+    with pytest.raises(ValueError, match="only go up"):
+        registry.counter("down_total").inc(-1)
+
+
+def test_snapshot_is_sorted_and_json_safe(registry):
+    registry.counter("b_total").inc()
+    registry.gauge("a_gauge", "Help text.").set(2.5)
+    registry.histogram("c_seconds", labels={"layer": "high"}).observe(0.01)
+    snap = registry.snapshot()
+    assert [s["name"] for s in snap] == ["a_gauge", "b_total", "c_seconds"]
+    assert snap[0] == {
+        "name": "a_gauge", "type": "gauge", "help": "Help text.",
+        "labels": {}, "value": 2.5,
+    }
+    assert snap[2]["labels"] == {"layer": "high"}
+
+
+def test_set_enabled_false_makes_mutations_noops(registry, enabled_state):
+    counter = registry.counter("gated_total")
+    hist = registry.histogram("gated_seconds")
+    gauge = registry.gauge("gated_gauge")
+    obs.set_enabled(False)
+    assert not obs.enabled()
+    counter.inc()
+    hist.observe(1.0)
+    gauge.set(9.0)
+    obs.set_enabled(True)
+    assert counter.value == 0
+    assert hist.sample()["count"] == 0
+    assert gauge.value == 0.0
+    counter.inc()
+    assert counter.value == 1
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition: render + strict parse round trip
+# ----------------------------------------------------------------------
+def test_prometheus_round_trip(registry):
+    registry.counter("rt_events_total", "Events.", {"event": "hit"}).inc(3)
+    registry.counter("rt_events_total", "Events.", {"event": "miss"}).inc(1)
+    registry.gauge("rt_size", "Size.").set(7)
+    hist = registry.histogram("rt_seconds", "Latency.", buckets=(0.1, 1.0))
+    hist.observe(0.05)
+    hist.observe(0.5)
+    text = obs.render_prometheus(registry.snapshot())
+    families = obs.parse_prometheus_text(text)
+    assert set(families) == {"rt_events_total", "rt_size", "rt_seconds"}
+    assert families["rt_events_total"]["type"] == "counter"
+    by_labels = {
+        tuple(sorted(s["labels"].items())): s["value"]
+        for s in families["rt_events_total"]["samples"]
+    }
+    assert by_labels == {(("event", "hit"),): 3.0, (("event", "miss"),): 1.0}
+    hist_samples = {
+        (s["name"], s["labels"].get("le")): s["value"]
+        for s in families["rt_seconds"]["samples"]
+    }
+    assert hist_samples[("rt_seconds_bucket", "0.1")] == 1.0
+    assert hist_samples[("rt_seconds_bucket", "1")] == 2.0
+    assert hist_samples[("rt_seconds_bucket", "+Inf")] == 2.0
+    assert hist_samples[("rt_seconds_count", None)] == 2.0
+    assert hist_samples[("rt_seconds_sum", None)] == pytest.approx(0.55)
+
+
+def test_render_rejects_type_conflicts():
+    samples = [
+        {"name": "x", "type": "counter", "help": "", "labels": {}, "value": 1},
+        {"name": "x", "type": "gauge", "help": "", "labels": {}, "value": 2},
+    ]
+    with pytest.raises(ValueError, match="rendered as both"):
+        obs.render_prometheus(samples)
+
+
+def test_parser_rejects_untyped_and_malformed_series():
+    with pytest.raises(ValueError, match="TYPE"):
+        obs.parse_prometheus_text("orphan_metric 1\n")
+    with pytest.raises(ValueError, match="unterminated label"):
+        obs.parse_prometheus_text('# TYPE bad counter\nbad{x="oops} 1\n')
+
+
+def test_default_registry_helpers_share_one_home():
+    name = "test_obs_metrics_default_total"
+    first = obs.counter(name, "Default-registry helper.")
+    assert obs.counter(name) is first
+    before = first.value
+    first.inc()
+    assert any(
+        s["name"] == name and s["value"] == before + 1 for s in obs.snapshot()
+    )

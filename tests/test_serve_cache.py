@@ -27,7 +27,8 @@ def test_get_or_compute_computes_once_per_key():
     assert first == again == {"x": 1}
     assert calls["n"] == 1
     assert cache.metrics() == {
-        "hits": 1, "misses": 1, "evictions": 0, "size": 1, "capacity": 1024,
+        "hits": 1, "misses": 1, "lookups": 2, "evictions": 0,
+        "size": 1, "capacity": 1024,
     }
 
 

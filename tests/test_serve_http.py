@@ -176,6 +176,52 @@ def test_metrics_reports_all_components(base_url):
     assert metrics["plan_cache"]["hits"] >= 1  # the repeated round above
 
 
+def test_metrics_prometheus_negotiation(base_url):
+    from repro.obs import parse_prometheus_text
+
+    status, body = _get(base_url, "/metrics?format=prometheus")
+    assert status == 200
+    families = parse_prometheus_text(body.decode("utf-8"))
+    assert "repro_serve_scheduler_events_total" in families
+    assert "repro_serve_http_request_seconds" in families
+    assert families["repro_serve_http_request_seconds"]["type"] == "histogram"
+    # Accept negotiation: text/plain gets Prometheus, default stays JSON.
+    request = urllib.request.Request(
+        base_url + "/metrics", headers={"Accept": "text/plain"}
+    )
+    with urllib.request.urlopen(request) as response:
+        assert response.headers["Content-Type"].startswith("text/plain")
+        parse_prometheus_text(response.read().decode("utf-8"))
+    status, body = _get(base_url, "/metrics")
+    assert set(json.loads(body)) == {"pool", "scheduler", "plan_cache"}
+    # ?format=json wins over any Accept header.
+    request = urllib.request.Request(
+        base_url + "/metrics?format=json", headers={"Accept": "text/plain"}
+    )
+    with urllib.request.urlopen(request) as response:
+        assert response.headers["Content-Type"].startswith("application/json")
+
+
+def test_component_metrics_are_snapshot_consistent(base_url):
+    """hits + misses == lookups in any mid-storm snapshot."""
+
+    def storm(i):
+        _post(base_url, "/whatif", {"scenario": KIND_QUERIES[i % len(KIND_QUERIES)]})
+
+    with ThreadPoolExecutor(max_workers=8) as executor:
+        futures = [executor.submit(storm, i) for i in range(24)]
+        for _ in range(20):
+            _status, body = _get(base_url, "/metrics")
+            metrics = json.loads(body)
+            for component in ("pool", "plan_cache"):
+                block = metrics[component]
+                assert block["hits"] + block["misses"] == block["lookups"], (
+                    component, block,
+                )
+        for future in futures:
+            future.result()
+
+
 def test_jsonl_request_log(tmp_path):
     log = tmp_path / "requests.jsonl"
     service = ServeService(SPEC)
@@ -197,6 +243,58 @@ def test_jsonl_request_log(tmp_path):
     assert ok["scenario"] == "node:3" and ok["cache_hit"] is False
     assert ok["ms"] > 0
     assert bad["status"] == 400
+    assert [line["seq"] for line in lines] == [0, 1]
+    assert all(line["method"] == "POST" for line in lines)
+
+
+def test_request_log_covers_get_endpoints(tmp_path):
+    """GET /health and /metrics ride the same timed, logged respond path."""
+    log = tmp_path / "requests.jsonl"
+    service = ServeService(SPEC)
+    srv = WhatIfServer(("127.0.0.1", 0), service, log_path=log)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    try:
+        url = "http://127.0.0.1:%d" % srv.server_address[1]
+        _get(url, "/health")
+        _get(url, "/metrics")
+        _get(url, "/metrics?format=prometheus")
+        _get(url, "/nope")
+    finally:
+        srv.shutdown()
+        srv.server_close()
+        thread.join(timeout=5)
+    lines = [json.loads(line) for line in log.read_text().splitlines()]
+    assert [(l["method"], l["path"], l["status"]) for l in lines] == [
+        ("GET", "/health", 200),
+        ("GET", "/metrics", 200),
+        ("GET", "/metrics", 200),
+        ("GET", "/nope", 404),
+    ]
+    assert lines[2]["format"] == "prometheus"
+    assert all(l["ms"] >= 0 for l in lines)
+    assert [l["seq"] for l in lines] == [0, 1, 2, 3]
+
+
+def test_request_log_seq_is_gapless_under_concurrency(tmp_path):
+    """One persistent handle + lock: no interleaved lines, gapless seq."""
+    log = tmp_path / "requests.jsonl"
+    service = ServeService(SPEC)
+    srv = WhatIfServer(("127.0.0.1", 0), service, log_path=log)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    total = 32
+    try:
+        url = "http://127.0.0.1:%d" % srv.server_address[1]
+        with ThreadPoolExecutor(max_workers=8) as executor:
+            list(executor.map(lambda _i: _get(url, "/health"), range(total)))
+    finally:
+        srv.shutdown()
+        srv.server_close()
+        thread.join(timeout=5)
+    lines = [json.loads(line) for line in log.read_text().splitlines()]
+    assert len(lines) == total  # every line parses: no torn writes
+    assert sorted(line["seq"] for line in lines) == list(range(total))
 
 
 # ----------------------------------------------------------------------
